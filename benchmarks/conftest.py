@@ -1,0 +1,42 @@
+"""Benchmark-suite configuration.
+
+Environment knobs (defaults keep each module to roughly a minute on a
+laptop; raise them to approach the paper's full configuration):
+
+* ``REPRO_FIG4_WIDTH``   — tnum width for the Figure 4 sweep (default 5;
+  the paper uses 8, which takes hours in pure Python).
+* ``REPRO_TABLE1_MAX``   — largest width for the Table I trend
+  (default 6; the paper reaches 10).
+* ``REPRO_FIG5_PAIRS``   — random 64-bit input pairs for Figure 5
+  (default 2000; the paper uses 40 million).
+
+Each benchmark regenerates its paper artifact and writes the rendered
+text into ``benchmarks/out/`` so results survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(out_dir: Path, name: str, text: str) -> None:
+    path = out_dir / name
+    path.write_text(text + "\n")
+    # Also surface in captured output for `pytest -s`.
+    print(f"\n[artifact written: {path}]")
+    print(text)

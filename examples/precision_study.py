@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Mini precision study: Figure 4 and Table I at laptop scale.
+
+Enumerates every tnum pair at a configurable width, runs the three
+multiplication algorithms, and prints the paper-style comparison plus an
+ASCII CDF of the log2 set-size ratios.
+
+Run:  python examples/precision_study.py [width]
+Width defaults to 5 (59,049 pairs ≈ a few seconds); the paper uses 8.
+"""
+
+import sys
+
+from repro.eval import (
+    compare_precision,
+    precision_cdf,
+    precision_trend,
+    render_comparison,
+    render_fig4,
+    render_table1,
+)
+
+
+def main() -> None:
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+
+    print(f"Precision study at width {width} "
+          f"({3 ** (2 * width):,} tnum pairs)\n")
+
+    kern = compare_precision("our_mul", "kern_mul", width)
+    bitw = compare_precision("our_mul", "bitwise_mul", width)
+
+    print(render_comparison(kern))
+    print()
+    print(render_comparison(bitw))
+    print()
+    print(render_fig4(
+        {
+            "kern_mul": precision_cdf(kern),
+            "bitwise_mul": precision_cdf(bitw),
+        },
+        width,
+    ))
+
+    print()
+    print(f"Table I trend (widths 5..{width}):")
+    rows = precision_trend(range(5, width + 1))
+    print(render_table1(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Why the paper proves soundness: a buggy tnum_add breaks the sandbox.
+
+The paper's security motivation (§I) is that an unsound abstract operator
+in the BPF verifier hands attackers arbitrary kernel read/write — several
+CVEs came from exactly such bounds-tracking bugs.  This example makes
+that concrete inside the reproduction:
+
+1. take a *plausible-looking but unsound* variant of ``tnum_add`` (it
+   forgets to fold the operands' own unknown masks into the result — the
+   kind of off-by-one-line bug the SAT pipeline catches instantly);
+2. craft a BPF program whose safety proof depends on the addition's
+   result mask;
+3. show the honest verifier rejects the program, while a verifier built
+   on the buggy operator *accepts* it;
+4. run the program concretely and watch it access memory out of bounds —
+   the sandbox escape the analyzer was supposed to make impossible;
+5. show the repository's own verification pipeline (Eqn. 11 via the SAT
+   solver) flags the buggy operator as UNSOUND with a counterexample.
+
+Run:  python examples/soundness_matters.py
+"""
+
+from unittest import mock
+
+from repro.bpf import CTX_BASE, Machine, assemble
+from repro.bpf.interpreter import ExecutionError
+from repro.bpf.verifier import Verifier
+from repro.core.tnum import Tnum, mask_for_width
+from repro.verify.sat.bitvector import BitVecBuilder
+from repro.verify.sat.cnf import CNFBuilder
+from repro.verify.sat.encode import SymTnum
+from repro.verify.sat.solver import Solver
+
+# The attack program. The buggy tnum_add below computes the result mask
+# as chi alone, forgetting the operands' own unknown bits — so for two
+# values masked to [0, 7] it claims the *low bit of their sum is a known
+# zero* (the carries from unknown bits land in chi, but bit 0 has no
+# carry-in). The program launders that one wrong trit into an
+# out-of-bounds pointer: if bit 0 of r2+r3 were provably 0, the access
+# below is the fixed, initialized slot [r10-8]; concretely the sum is
+# odd for half the inputs and the access lands 512 bytes below the
+# frame. Note the interval half of the reduced product cannot save the
+# analyzer here — `and r2, 1` derives its bounds from the (lying) tnum.
+ATTACK = """
+    ldxb  r2, [r1+0]
+    and   r2, 7          ; r2 in [0, 7]
+    ldxb  r3, [r1+1]
+    and   r3, 7          ; r3 in [0, 7]
+    add   r2, r3         ; buggy tnum_add: "bit 0 of the sum is 0"
+    and   r2, 1          ; honest: {0, 1}; buggy: constant 0
+    lsh   r2, 9          ; honest: {0, 512}; buggy: 0
+    mov   r4, r10
+    add   r4, -8
+    sub   r4, r2         ; honest: fp-8 or fp-520; buggy: always fp-8
+    stdw  [r10-8], 0     ; only slot -8 is initialized
+    ldxdw r0, [r4+0]     ; buggy verifier "proves" this is [r10-8]
+    exit
+"""
+
+
+def buggy_add(p: Tnum, q: Tnum) -> Tnum:
+    """tnum_add with the operand masks dropped from eta — UNSOUND."""
+    limit = mask_for_width(p.width)
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(p.width)
+    sm = (p.mask + q.mask) & limit
+    sv = (p.value + q.value) & limit
+    sigma = (sv + sm) & limit
+    chi = sigma ^ sv
+    eta = chi  # BUG: the correct operator uses chi | p.mask | q.mask
+    return Tnum(sv & ~eta & limit, eta, p.width)
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def main() -> None:
+    program = assemble(ATTACK)
+
+    banner("1. The honest verifier (paper-proven tnum_add)")
+    result = Verifier(ctx_size=64).verify(program)
+    print("verdict:", "ACCEPTED" if result.ok else "REJECTED")
+    for message in result.error_messages():
+        print("  ", message)
+    assert not result.ok, "the honest verifier must reject this program"
+
+    banner("2. A verifier built on the buggy tnum_add")
+    # The product domain routes additions through ScalarValue.add, whose
+    # tnum component is repro.domains.product.tnum_add.
+    with mock.patch("repro.domains.product.tnum_add", buggy_add):
+        buggy_result = Verifier(ctx_size=64).verify(program)
+    print("verdict:", "ACCEPTED" if buggy_result.ok else "REJECTED")
+    assert buggy_result.ok, "the buggy analyzer is fooled"
+    print("  the unsound operator 'proved' bit 0 of r2+r3 is always 0")
+
+    banner("3. Concrete execution escapes the sandbox")
+    crashed = 0
+    for byte0, byte1 in [(0, 0), (1, 2), (3, 4), (7, 7)]:
+        ctx = bytes([byte0, byte1]) + bytes(62)
+        odd_sum = ((byte0 & 7) + (byte1 & 7)) & 1
+        try:
+            outcome = Machine(ctx=ctx).run(program, r1=CTX_BASE)
+            note = "in-bounds this time" if not odd_sum else "UNEXPECTED"
+            print(f"  ctx=({byte0},{byte1}): r0={outcome.return_value} ({note})")
+        except ExecutionError as exc:
+            crashed += 1
+            print(f"  ctx=({byte0},{byte1}): CRASH — {exc}")
+    print(f"  -> {crashed} inputs faulted; a kernel would now be owned")
+    assert crashed > 0
+
+    banner("4. The paper's methodology catches the bug automatically")
+    cnf = CNFBuilder()
+    bb = BitVecBuilder(cnf, 8)
+    p = SymTnum(bb.var(), bb.var())
+    q = SymTnum(bb.var(), bb.var())
+    x, y = bb.var(), bb.var()
+    wellformed = lambda t: bb.is_zero(bb.and_(t.v, t.m))
+    member = lambda val, t: bb.eq(bb.and_(val, bb.not_(t.m)), t.v)
+    cnf.assert_lit(wellformed(p))
+    cnf.assert_lit(wellformed(q))
+    cnf.assert_lit(member(x, p))
+    cnf.assert_lit(member(y, q))
+    sv = bb.add(p.v, q.v)
+    sm = bb.add(p.m, q.m)
+    chi = bb.xor(bb.add(sv, sm), sv)
+    r = SymTnum(bb.and_(sv, bb.not_(chi)), chi)  # the buggy circuit
+    cnf.assert_lit(-member(bb.add(x, y), r))
+    model = Solver(cnf.num_vars, cnf.clauses).solve()
+    assert model.sat
+    print("  SAT solver verdict: UNSOUND, counterexample:")
+    print(f"    P = {Tnum(bb.value_of(p.v, model), bb.value_of(p.m, model), 8)}")
+    print(f"    Q = {Tnum(bb.value_of(q.v, model), bb.value_of(q.m, model), 8)}")
+    print(f"    x = {bb.value_of(x, model)}, y = {bb.value_of(y, model)}")
+    print()
+    print("Soundness is not pedantry: one dropped OR in a mask update is")
+    print("the whole distance between a sandbox and a kernel exploit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Verify BPF programs with the miniature verifier.
+
+This example exercises the system the paper's domain serves: a static
+analyzer that must prove memory safety of untrusted kernel extensions.
+Three programs are checked:
+
+1. a packet-bounds filter that is safe thanks to tnum-based masking
+   (the `x & 7` idiom from the paper's introduction);
+2. the same filter without the mask — rejected for a possible
+   out-of-bounds access;
+3. a program that would leak a kernel pointer — rejected.
+
+Each accepted program is also executed concretely on random inputs to
+demonstrate the abstract results really do over-approximate reality.
+
+Run:  python examples/verify_bpf_program.py
+"""
+
+import random
+
+from repro.bpf import CTX_BASE, Machine, assemble
+from repro.bpf.verifier import Verifier
+
+SAFE_FILTER = """
+; r1 = ctx pointer (64-byte blob). Read a length byte, mask it, and use
+; it as an index into an 8-slot table kept on the stack.
+    stdw  [r10-8],  0
+    stdw  [r10-16], 0
+    stdw  [r10-24], 0
+    stdw  [r10-32], 0
+    stdw  [r10-40], 0
+    stdw  [r10-48], 0
+    stdw  [r10-56], 0
+    stdw  [r10-64], 0
+    ldxb  r2, [r1+0]      ; untrusted byte from ctx
+    and   r2, 7           ; tnum: 00000µµµ -> provably < 8
+    lsh   r2, 3           ; *8 -> provably 8-aligned, <= 56
+    mov   r3, r10
+    add   r3, -64         ; base of the table
+    add   r3, r2          ; variable, but bounded + aligned
+    ldxdw r0, [r3+0]      ; verifier must prove this safe
+    exit
+"""
+
+UNSAFE_FILTER = """
+; identical, but the mask is missing: r2 may be up to 255, so the access
+; can run past the frame.
+    stdw  [r10-8],  0
+    stdw  [r10-64], 0
+    ldxb  r2, [r1+0]
+    lsh   r2, 3
+    mov   r3, r10
+    add   r3, -64
+    add   r3, r2
+    ldxdw r0, [r3+0]
+    exit
+"""
+
+POINTER_LEAK = """
+; tries to return the frame pointer to userspace via r0.
+    mov r0, r10
+    exit
+"""
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def check(name: str, text: str) -> None:
+    banner(name)
+    program = assemble(text)
+    result = Verifier(ctx_size=64).verify(program)
+    if result.ok:
+        print(f"ACCEPTED ({result.insns_processed} instructions analyzed)")
+        # Differential sanity run: execute on random contexts.
+        rng = random.Random(0)
+        for _ in range(5):
+            ctx = bytes(rng.randrange(256) for _ in range(64))
+            outcome = Machine(ctx=ctx).run(program, r1=CTX_BASE)
+            print(f"  concrete run: ctx[0]={ctx[0]:3d} -> r0={outcome.return_value}")
+    else:
+        print("REJECTED:")
+        for message in result.error_messages():
+            print(f"  {message}")
+
+
+def main() -> None:
+    check("1. masked table lookup (safe: tnum proves bounds + alignment)",
+          SAFE_FILTER)
+    check("2. unmasked table lookup (unsafe: index up to 255*8)",
+          UNSAFE_FILTER)
+    check("3. pointer leak via r0 (unsafe)", POINTER_LEAK)
+
+
+if __name__ == "__main__":
+    main()

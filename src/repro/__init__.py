@@ -1,0 +1,72 @@
+"""Reproduction of "Sound, Precise, and Fast Abstract Interpretation with
+Tristate Numbers" (Vishwanathan, Shachnai, Narayana, Nagarakatte — CGO 2022).
+
+Subpackages
+-----------
+``repro.core``
+    The tnum abstract domain: values, lattice, Galois connection, and
+    every abstract operator including the paper's novel ``our_mul``.
+``repro.baselines``
+    The algorithms the paper compares against (kernel ``kern_mul``,
+    Regehr–Duongsaa ``bitwise_mul``, ripple-carry arithmetic).
+``repro.domains``
+    Interval and KnownBits domains plus the tnum × interval reduced
+    product used by the verifier.
+``repro.bpf``
+    A BPF virtual machine (ISA, assembler, concrete interpreter) and a
+    miniature verifier performing abstract interpretation with tnums.
+``repro.verify``
+    Bounded verification of operator soundness: exhaustive, randomized,
+    and SAT-based (in-repo CDCL solver standing in for Z3).
+``repro.eval``
+    Harnesses regenerating the paper's Figure 4, Figure 5 and Table I.
+
+Quick start
+-----------
+>>> from repro.core import Tnum, tnum_add, our_mul
+>>> p = Tnum.from_trits("10µ0", width=5)
+>>> q = Tnum.from_trits("10µ1", width=5)
+>>> str(tnum_add(p, q))
+'10µµ1'
+"""
+
+from .core import (
+    DEFAULT_WIDTH,
+    Tnum,
+    our_mul,
+    tnum_add,
+    tnum_and,
+    tnum_arshift,
+    tnum_div,
+    tnum_lshift,
+    tnum_mod,
+    tnum_mul,
+    tnum_neg,
+    tnum_not,
+    tnum_or,
+    tnum_rshift,
+    tnum_sub,
+    tnum_xor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Tnum",
+    "DEFAULT_WIDTH",
+    "tnum_add",
+    "tnum_sub",
+    "tnum_neg",
+    "tnum_and",
+    "tnum_or",
+    "tnum_xor",
+    "tnum_not",
+    "tnum_lshift",
+    "tnum_rshift",
+    "tnum_arshift",
+    "tnum_mul",
+    "our_mul",
+    "tnum_div",
+    "tnum_mod",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Baseline algorithms the paper compares against.
+
+* :func:`kern_mul` — the Linux kernel's pre-2021 tnum multiplication
+  (Listing 2), replaced by the paper's ``our_mul``.
+* :func:`bitwise_mul_naive` / :func:`bitwise_mul_opt` — Regehr & Duongsaa's
+  long multiplication for the bitwise domain (Listing 5), literal and with
+  the paper's machine-arithmetic optimization.
+* :func:`ripple_add` / :func:`ripple_sub` — O(n) ripple-carry arithmetic
+  composed from three-valued full adders, the prior state of the art that
+  the kernel's O(1) operators improve on.
+"""
+
+from .bitwise_mul import bitwise_mul_naive, bitwise_mul_opt, multiply_bit_naive
+from .kernel_mul import hma, kern_mul
+from .ripple import ripple_add, ripple_sub, trit_and, trit_not, trit_or, trit_xor
+
+__all__ = [
+    "kern_mul",
+    "hma",
+    "bitwise_mul_naive",
+    "bitwise_mul_opt",
+    "multiply_bit_naive",
+    "ripple_add",
+    "ripple_sub",
+    "trit_xor",
+    "trit_and",
+    "trit_or",
+    "trit_not",
+]

@@ -1,0 +1,120 @@
+"""O(n) ripple-carry abstract addition/subtraction baseline.
+
+Regehr & Duongsaa (2006) derive abstract arithmetic for the bitwise domain
+by composing per-bit three-valued full adders: each result trit is
+``p ⊕ q ⊕ carry-in`` and each carry-out is the three-valued majority
+``(p ∧ q) ∨ (cin ∧ (p ⊕ q))``, rippled across the word.  This runs in
+O(n) trit steps, versus the kernel's O(1) machine-arithmetic ``tnum_add``.
+
+The paper cites these as the only previously-known arithmetic transformers
+in this domain and notes they are *sound but not optimal* as well as
+"much slower than the kernel's algorithms".  Both halves are observable
+here: the per-trit majority ``(p ∧ q) ∨ (cin ∧ (p ⊕ q))`` composed from
+three-valued gates loses correlations (e.g. maj(1, µ, 1) comes out µ even
+though any majority with two known 1s is 1), so e.g. ``011 + 0µ1`` yields
+``µµ0`` where the optimal ``tnum_add`` yields ``1µ0``; and the benchmarks
+quantify the O(n)-vs-O(1) speed gap.
+
+Trits are encoded as ``(v, m)`` bit pairs exactly like whole tnums:
+``(0,0)=0, (1,0)=1, (0,1)=µ``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.tnum import Tnum
+
+__all__ = ["ripple_add", "ripple_sub", "trit_xor", "trit_and", "trit_or", "trit_not"]
+
+Trit = Tuple[int, int]
+
+_ZERO: Trit = (0, 0)
+
+
+def trit_xor(a: Trit, b: Trit) -> Trit:
+    """Three-valued XOR: any µ input makes the output µ."""
+    if a[1] or b[1]:
+        return (0, 1)
+    return (a[0] ^ b[0], 0)
+
+
+def trit_and(a: Trit, b: Trit) -> Trit:
+    """Three-valued AND: a known 0 annihilates µ."""
+    if (a == _ZERO) or (b == _ZERO):
+        return _ZERO
+    if a[1] or b[1]:
+        return (0, 1)
+    return (1, 0)
+
+
+def trit_or(a: Trit, b: Trit) -> Trit:
+    """Three-valued OR: a known 1 absorbs µ."""
+    if a == (1, 0) or b == (1, 0):
+        return (1, 0)
+    if a[1] or b[1]:
+        return (0, 1)
+    return (0, 0)
+
+
+def trit_not(a: Trit) -> Trit:
+    """Three-valued NOT: flips known trits, keeps µ."""
+    if a[1]:
+        return (0, 1)
+    return (a[0] ^ 1, 0)
+
+
+def _trit_at(t: Tnum, i: int) -> Trit:
+    return ((t.value >> i) & 1, (t.mask >> i) & 1)
+
+
+def _assemble(trits, width: int) -> Tnum:
+    value = 0
+    mask = 0
+    for i, (v, m) in enumerate(trits):
+        value |= v << i
+        mask |= m << i
+    return Tnum(value, mask, width)
+
+
+def ripple_add(p: Tnum, q: Tnum) -> Tnum:
+    """Ripple-carry abstract addition: O(n) three-valued full adders."""
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+    width = p.width
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(width)
+    carry: Trit = _ZERO
+    out = []
+    for i in range(width):
+        a = _trit_at(p, i)
+        b = _trit_at(q, i)
+        axb = trit_xor(a, b)
+        out.append(trit_xor(axb, carry))
+        carry = trit_or(trit_and(a, b), trit_and(carry, axb))
+    return _assemble(out, width)
+
+
+def ripple_sub(p: Tnum, q: Tnum) -> Tnum:
+    """Ripple-borrow abstract subtraction: O(n) three-valued full subtractors.
+
+    Borrow-out follows Definition 23 of the paper:
+    ``bout = (~p ∧ q) ∨ (bin ∧ ~(p ⊕ q))``.
+    """
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+    width = p.width
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(width)
+    borrow: Trit = _ZERO
+    out = []
+    for i in range(width):
+        a = _trit_at(p, i)
+        b = _trit_at(q, i)
+        axb = trit_xor(a, b)
+        out.append(trit_xor(axb, borrow))
+        borrow = trit_or(
+            trit_and(trit_not(a), b),
+            trit_and(borrow, trit_not(axb)),
+        )
+    return _assemble(out, width)

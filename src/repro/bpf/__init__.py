@@ -1,0 +1,42 @@
+"""BPF substrate: ISA, assembler, interpreter, CFG, and the verifier.
+
+This package rebuilds the system the paper's abstract domain serves: a
+BPF-like virtual machine (bit-compatible instruction encoding, concrete
+interpreter with real wraparound semantics) and a static verifier that
+proves memory safety through abstract interpretation with tnums.
+"""
+
+from .assembler import AssemblyError, assemble
+from .cfg import CFGError, ControlFlowGraph, build_cfg
+from .disassembler import format_instruction, format_program
+from .insn import Instruction, decode, decode_program, encode, encode_program
+from .interpreter import (
+    CTX_BASE,
+    STACK_BASE,
+    ExecutionError,
+    ExecutionResult,
+    Machine,
+)
+from .program import Program, ProgramError
+
+__all__ = [
+    "assemble",
+    "AssemblyError",
+    "Instruction",
+    "encode",
+    "decode",
+    "encode_program",
+    "decode_program",
+    "Program",
+    "ProgramError",
+    "format_instruction",
+    "format_program",
+    "build_cfg",
+    "ControlFlowGraph",
+    "CFGError",
+    "Machine",
+    "ExecutionError",
+    "ExecutionResult",
+    "STACK_BASE",
+    "CTX_BASE",
+]

@@ -1,0 +1,245 @@
+"""Two-pass assembler for the BPF text syntax.
+
+Syntax, one instruction per line (``;`` or ``#`` start a comment)::
+
+    entry:                       ; label
+        mov   r1, 42             ; ALU64 immediate
+        mov32 r2, r1             ; ALU32 register
+        add   r1, r2
+        lddw  r3, 0x1122334455667788
+        jge   r1, 10, done       ; conditional jump to label
+        jne   r1, r2, +2         ; or relative offset (insns to skip)
+        ldxdw r4, [r10-8]        ; load  dst, [reg+off]
+        stxw  [r10-16], r4       ; store [reg+off], src
+        stdw  [r10-24], 7        ; store-immediate
+        call  1                  ; helper call by number
+    done:
+        exit
+
+Jump targets follow kernel semantics: the encoded offset is relative to
+the *next* instruction.  ``lddw`` occupies two encoding slots, and label
+arithmetic accounts for that.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import isa
+from .insn import Instruction
+from .program import Program
+
+__all__ = ["assemble", "AssemblyError"]
+
+
+class AssemblyError(ValueError):
+    """Raised for any syntax or semantic error in assembly text."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^\[\s*r(\d+)\s*([+-]\s*\d+)?\s*\]$")
+
+_ALU_MNEMONICS = {
+    name: code
+    for code, name in isa.ALU_OP_NAMES.items()
+    if name not in ("neg", "mov")
+}
+_JMP_MNEMONICS = {
+    name: code
+    for code, name in isa.JMP_OP_NAMES.items()
+    if name not in ("ja", "call", "exit")
+}
+_SIZE_BY_SUFFIX = {v: k for k, v in isa.SIZE_SUFFIX.items()}
+
+
+def _parse_reg(token: str, line_no: int) -> int:
+    m = _REG_RE.match(token)
+    if not m:
+        raise AssemblyError(line_no, f"expected register, got {token!r}")
+    reg = int(m.group(1))
+    if reg >= isa.MAX_REG:
+        raise AssemblyError(line_no, f"register r{reg} out of range")
+    return reg
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(line_no, f"expected integer, got {token!r}") from None
+
+
+def _parse_mem(token: str, line_no: int) -> Tuple[int, int]:
+    m = _MEM_RE.match(token)
+    if not m:
+        raise AssemblyError(line_no, f"expected [reg+off], got {token!r}")
+    reg = int(m.group(1))
+    if reg >= isa.MAX_REG:
+        raise AssemblyError(line_no, f"register r{reg} out of range")
+    off = int(m.group(2).replace(" ", "")) if m.group(2) else 0
+    return reg, off
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()] if rest else []
+
+
+def assemble(text: str) -> Program:
+    """Assemble BPF text into a :class:`~repro.bpf.program.Program`."""
+    # Pass 1: tokenize, resolve instruction slot positions for labels.
+    parsed: List[Tuple[int, str, List[str]]] = []  # (line_no, mnemonic, operands)
+    labels: Dict[str, int] = {}
+    slot = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        m = _LABEL_RE.match(line)
+        if m:
+            name = m.group(1)
+            if name in labels:
+                raise AssemblyError(line_no, f"duplicate label {name!r}")
+            labels[name] = slot
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1] if len(parts) > 1 else "")
+        parsed.append((line_no, mnemonic, operands))
+        slot += 2 if mnemonic == "lddw" else 1
+
+    # Pass 2: emit instructions.
+    insns: List[Instruction] = []
+    slot = 0
+    for line_no, mnemonic, ops in parsed:
+        insn = _emit(line_no, mnemonic, ops, slot, labels)
+        insns.append(insn)
+        slot += insn.slots()
+    return Program(insns, labels=labels)
+
+
+def _emit(
+    line_no: int,
+    mnemonic: str,
+    ops: List[str],
+    slot: int,
+    labels: Dict[str, int],
+) -> Instruction:
+    # -- exit / ja / call ---------------------------------------------------
+    if mnemonic == "exit":
+        _expect(ops, 0, line_no, mnemonic)
+        return Instruction(isa.CLS_JMP | isa.JMP_EXIT)
+    if mnemonic == "ja":
+        _expect(ops, 1, line_no, mnemonic)
+        off = _jump_offset(ops[0], slot, labels, line_no)
+        return Instruction(isa.CLS_JMP | isa.JMP_JA, off=off)
+    if mnemonic == "call":
+        _expect(ops, 1, line_no, mnemonic)
+        return Instruction(
+            isa.CLS_JMP | isa.JMP_CALL, imm=_parse_int(ops[0], line_no)
+        )
+
+    # -- lddw -----------------------------------------------------------------
+    if mnemonic == "lddw":
+        _expect(ops, 2, line_no, mnemonic)
+        dst = _parse_reg(ops[0], line_no)
+        imm = _parse_int(ops[1], line_no)
+        return Instruction(isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM, dst=dst, imm=imm)
+
+    # -- mov / mov32 ------------------------------------------------------------
+    if mnemonic in ("mov", "mov32"):
+        _expect(ops, 2, line_no, mnemonic)
+        cls = isa.CLS_ALU64 if mnemonic == "mov" else isa.CLS_ALU
+        return _alu(cls, isa.ALU_MOV, ops, line_no)
+
+    # -- neg / neg32 --------------------------------------------------------------
+    if mnemonic in ("neg", "neg32"):
+        _expect(ops, 1, line_no, mnemonic)
+        cls = isa.CLS_ALU64 if mnemonic == "neg" else isa.CLS_ALU
+        dst = _parse_reg(ops[0], line_no)
+        return Instruction(cls | isa.ALU_NEG, dst=dst)
+
+    # -- generic ALU, 64- and 32-bit -------------------------------------------------
+    base = mnemonic[:-2] if mnemonic.endswith("32") else mnemonic
+    if base in _ALU_MNEMONICS:
+        _expect(ops, 2, line_no, mnemonic)
+        cls = isa.CLS_ALU if mnemonic.endswith("32") else isa.CLS_ALU64
+        return _alu(cls, _ALU_MNEMONICS[base], ops, line_no)
+
+    # -- conditional jumps (64-bit and 32-bit compare) ----------------------------------
+    jbase = mnemonic[:-2] if mnemonic.endswith("32") else mnemonic
+    if jbase in _JMP_MNEMONICS:
+        _expect(ops, 3, line_no, mnemonic)
+        cls = isa.CLS_JMP32 if mnemonic.endswith("32") else isa.CLS_JMP
+        dst = _parse_reg(ops[0], line_no)
+        off = _jump_offset(ops[2], slot, labels, line_no)
+        opbits = cls | _JMP_MNEMONICS[jbase]
+        if _REG_RE.match(ops[1]):
+            return Instruction(
+                opbits | isa.SRC_X, dst=dst, src=_parse_reg(ops[1], line_no), off=off
+            )
+        return Instruction(
+            opbits | isa.SRC_K, dst=dst, imm=_parse_int(ops[1], line_no), off=off
+        )
+
+    # -- loads: ldxdw r1, [r2+8] ----------------------------------------------------------
+    if mnemonic.startswith("ldx") and mnemonic[3:] in _SIZE_BY_SUFFIX:
+        _expect(ops, 2, line_no, mnemonic)
+        dst = _parse_reg(ops[0], line_no)
+        src, off = _parse_mem(ops[1], line_no)
+        size = _SIZE_BY_SUFFIX[mnemonic[3:]]
+        return Instruction(
+            isa.CLS_LDX | size | isa.MODE_MEM, dst=dst, src=src, off=off
+        )
+
+    # -- register stores: stxdw [r10-8], r1 -------------------------------------------------
+    if mnemonic.startswith("stx") and mnemonic[3:] in _SIZE_BY_SUFFIX:
+        _expect(ops, 2, line_no, mnemonic)
+        dst, off = _parse_mem(ops[0], line_no)
+        src = _parse_reg(ops[1], line_no)
+        size = _SIZE_BY_SUFFIX[mnemonic[3:]]
+        return Instruction(
+            isa.CLS_STX | size | isa.MODE_MEM, dst=dst, src=src, off=off
+        )
+
+    # -- immediate stores: stdw [r10-8], 42 ---------------------------------------------------
+    if mnemonic.startswith("st") and mnemonic[2:] in _SIZE_BY_SUFFIX:
+        _expect(ops, 2, line_no, mnemonic)
+        dst, off = _parse_mem(ops[0], line_no)
+        imm = _parse_int(ops[1], line_no)
+        size = _SIZE_BY_SUFFIX[mnemonic[2:]]
+        return Instruction(
+            isa.CLS_ST | size | isa.MODE_MEM, dst=dst, off=off, imm=imm
+        )
+
+    raise AssemblyError(line_no, f"unknown mnemonic {mnemonic!r}")
+
+
+def _alu(cls: int, op: int, ops: List[str], line_no: int) -> Instruction:
+    dst = _parse_reg(ops[0], line_no)
+    if _REG_RE.match(ops[1]):
+        return Instruction(cls | op | isa.SRC_X, dst=dst, src=_parse_reg(ops[1], line_no))
+    return Instruction(cls | op | isa.SRC_K, dst=dst, imm=_parse_int(ops[1], line_no))
+
+
+def _jump_offset(
+    token: str, slot: int, labels: Dict[str, int], line_no: int
+) -> int:
+    """Resolve a jump target (label or ±N) into a next-pc-relative offset."""
+    if token.startswith(("+", "-")):
+        return _parse_int(token, line_no)
+    if token not in labels:
+        raise AssemblyError(line_no, f"undefined label {token!r}")
+    return labels[token] - (slot + 1)
+
+
+def _expect(ops: List[str], count: int, line_no: int, mnemonic: str) -> None:
+    if len(ops) != count:
+        raise AssemblyError(
+            line_no, f"{mnemonic} expects {count} operand(s), got {len(ops)}"
+        )

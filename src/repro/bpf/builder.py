@@ -1,0 +1,178 @@
+"""Programmatic BPF program construction (kernel-selftest style).
+
+The kernel's selftests build programs with macros like
+``BPF_ALU64_IMM(BPF_ADD, BPF_REG_1, 4)``; this module is the Python
+equivalent for users who prefer constructing :class:`Instruction` lists
+directly over writing assembly text.  Labels are resolved at
+:meth:`ProgramBuilder.build` time, so forward references work.
+
+Example
+-------
+>>> b = ProgramBuilder()
+>>> b.mov_imm(0, 0)
+>>> b.ldx(2, 1, 0, size=1)
+>>> b.alu_imm("and", 2, 7)
+>>> b.jmp_imm("jeq", 2, 0, "done")
+>>> b.alu_imm("add", 0, 1)
+>>> b.label("done")
+>>> b.exit_()
+>>> program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from . import isa
+from .insn import Instruction
+from .program import Program
+
+__all__ = ["ProgramBuilder"]
+
+_ALU_BY_NAME = {name: code for code, name in isa.ALU_OP_NAMES.items()}
+_JMP_BY_NAME = {name: code for code, name in isa.JMP_OP_NAMES.items()}
+_SIZE_BY_BYTES = {1: isa.SZ_B, 2: isa.SZ_H, 4: isa.SZ_W, 8: isa.SZ_DW}
+
+Target = Union[str, int]  # label name or relative slot offset
+
+
+class ProgramBuilder:
+    """Accumulates instructions; resolves labels on :meth:`build`."""
+
+    def __init__(self) -> None:
+        self._items: List[Tuple[str, object]] = []  # ("insn"|"patch", data)
+        self._labels: Dict[str, int] = {}
+        self._slot = 0
+
+    # -- labels -----------------------------------------------------------
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Attach a label to the next emitted instruction."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = self._slot
+        return self
+
+    # -- ALU ------------------------------------------------------------------
+
+    def mov_imm(self, dst: int, imm: int, is64: bool = True) -> "ProgramBuilder":
+        cls = isa.CLS_ALU64 if is64 else isa.CLS_ALU
+        return self._emit(Instruction(cls | isa.ALU_MOV | isa.SRC_K, dst=dst, imm=imm))
+
+    def mov_reg(self, dst: int, src: int, is64: bool = True) -> "ProgramBuilder":
+        cls = isa.CLS_ALU64 if is64 else isa.CLS_ALU
+        return self._emit(Instruction(cls | isa.ALU_MOV | isa.SRC_X, dst=dst, src=src))
+
+    def alu_imm(self, op: str, dst: int, imm: int, is64: bool = True) -> "ProgramBuilder":
+        """``BPF_ALU64_IMM(op, dst, imm)`` — op by name ('add', 'and', ...)."""
+        cls = isa.CLS_ALU64 if is64 else isa.CLS_ALU
+        return self._emit(
+            Instruction(cls | _ALU_BY_NAME[op] | isa.SRC_K, dst=dst, imm=imm)
+        )
+
+    def alu_reg(self, op: str, dst: int, src: int, is64: bool = True) -> "ProgramBuilder":
+        """``BPF_ALU64_REG(op, dst, src)``."""
+        cls = isa.CLS_ALU64 if is64 else isa.CLS_ALU
+        return self._emit(
+            Instruction(cls | _ALU_BY_NAME[op] | isa.SRC_X, dst=dst, src=src)
+        )
+
+    def neg(self, dst: int, is64: bool = True) -> "ProgramBuilder":
+        cls = isa.CLS_ALU64 if is64 else isa.CLS_ALU
+        return self._emit(Instruction(cls | isa.ALU_NEG, dst=dst))
+
+    def ld_imm64(self, dst: int, imm: int) -> "ProgramBuilder":
+        """``BPF_LD_IMM64(dst, imm)`` — the two-slot lddw form."""
+        return self._emit(
+            Instruction(isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM, dst=dst, imm=imm)
+        )
+
+    # -- memory -------------------------------------------------------------------
+
+    def ldx(self, dst: int, src: int, off: int, size: int = 8) -> "ProgramBuilder":
+        """``BPF_LDX_MEM(size, dst, src, off)`` — size in bytes."""
+        return self._emit(Instruction(
+            isa.CLS_LDX | _SIZE_BY_BYTES[size] | isa.MODE_MEM,
+            dst=dst, src=src, off=off,
+        ))
+
+    def stx(self, dst: int, off: int, src: int, size: int = 8) -> "ProgramBuilder":
+        """``BPF_STX_MEM(size, dst, src, off)``."""
+        return self._emit(Instruction(
+            isa.CLS_STX | _SIZE_BY_BYTES[size] | isa.MODE_MEM,
+            dst=dst, src=src, off=off,
+        ))
+
+    def st_imm(self, dst: int, off: int, imm: int, size: int = 8) -> "ProgramBuilder":
+        """``BPF_ST_MEM(size, dst, off, imm)``."""
+        return self._emit(Instruction(
+            isa.CLS_ST | _SIZE_BY_BYTES[size] | isa.MODE_MEM,
+            dst=dst, off=off, imm=imm,
+        ))
+
+    # -- control flow ------------------------------------------------------------------
+
+    def jmp_imm(
+        self, op: str, dst: int, imm: int, target: Target, is64: bool = True
+    ) -> "ProgramBuilder":
+        """``BPF_JMP_IMM(op, dst, imm, off)`` — target is a label or offset."""
+        cls = isa.CLS_JMP if is64 else isa.CLS_JMP32
+        return self._emit_jump(
+            cls | _JMP_BY_NAME[op] | isa.SRC_K, dst, 0, imm, target
+        )
+
+    def jmp_reg(
+        self, op: str, dst: int, src: int, target: Target, is64: bool = True
+    ) -> "ProgramBuilder":
+        """``BPF_JMP_REG(op, dst, src, off)``."""
+        cls = isa.CLS_JMP if is64 else isa.CLS_JMP32
+        return self._emit_jump(
+            cls | _JMP_BY_NAME[op] | isa.SRC_X, dst, src, 0, target
+        )
+
+    def ja(self, target: Target) -> "ProgramBuilder":
+        return self._emit_jump(isa.CLS_JMP | isa.JMP_JA, 0, 0, 0, target)
+
+    def call(self, helper: int) -> "ProgramBuilder":
+        return self._emit(Instruction(isa.CLS_JMP | isa.JMP_CALL, imm=helper))
+
+    def exit_(self) -> "ProgramBuilder":
+        return self._emit(Instruction(isa.CLS_JMP | isa.JMP_EXIT))
+
+    # -- assembly ----------------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Resolve labels and produce a validated :class:`Program`."""
+        insns: List[Instruction] = []
+        slot = 0
+        for kind, data in self._items:
+            if kind == "insn":
+                insns.append(data)  # type: ignore[arg-type]
+                slot += data.slots()  # type: ignore[union-attr]
+            else:
+                opcode, dst, src, imm, target, at_slot = data  # type: ignore[misc]
+                if isinstance(target, str):
+                    if target not in self._labels:
+                        raise ValueError(f"undefined label {target!r}")
+                    off = self._labels[target] - (at_slot + 1)
+                else:
+                    off = target
+                insns.append(
+                    Instruction(opcode, dst=dst, src=src, off=off, imm=imm)
+                )
+                slot += 1
+        return Program(insns, labels=dict(self._labels))
+
+    # -- internals ------------------------------------------------------------------------------
+
+    def _emit(self, insn: Instruction) -> "ProgramBuilder":
+        self._items.append(("insn", insn))
+        self._slot += insn.slots()
+        return self
+
+    def _emit_jump(
+        self, opcode: int, dst: int, src: int, imm: int, target: Target
+    ) -> "ProgramBuilder":
+        self._items.append(("patch", (opcode, dst, src, imm, target, self._slot)))
+        self._slot += 1
+        return self

@@ -1,0 +1,172 @@
+"""Control-flow graph over BPF programs.
+
+The verifier analyzes programs as a CFG of basic blocks.  Like the
+classic in-kernel verifier, we reject programs containing back-edges
+(loops) — this guarantees the abstract interpretation terminates without
+widening and matches the security posture the paper's analyzer operates
+under.  The check is the kernel's own DFS edge-classification
+(``check_cfg`` in ``verifier.c``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from . import isa
+from .program import Program
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "CFGError", "build_cfg"]
+
+
+class CFGError(ValueError):
+    """Structural CFG problem: loops, unreachable code, missing exit."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start`` / ``end`` are instruction *indexes* (not slots); ``end`` is
+    inclusive.  ``successors`` are block ids; a conditional jump's
+    fall-through edge comes first, then the taken edge.
+    """
+
+    block_id: int
+    start: int
+    end: int
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def instructions(self, program: Program):
+        return program.insns[self.start : self.end + 1]
+
+
+class ControlFlowGraph:
+    """Basic blocks plus traversal orders for the abstract interpreter."""
+
+    def __init__(self, program: Program, blocks: List[BasicBlock]) -> None:
+        self.program = program
+        self.blocks = blocks
+        self._block_of_insn: Dict[int, int] = {}
+        for block in blocks:
+            for idx in range(block.start, block.end + 1):
+                self._block_of_insn[idx] = block.block_id
+
+    def block_containing(self, insn_index: int) -> BasicBlock:
+        return self.blocks[self._block_of_insn[insn_index]]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def reverse_post_order(self) -> List[int]:
+        """Block ids in reverse post-order from the entry (analysis order)."""
+        visited: Set[int] = set()
+        post: List[int] = []
+
+        def dfs(block_id: int) -> None:
+            visited.add(block_id)
+            for succ in self.blocks[block_id].successors:
+                if succ not in visited:
+                    dfs(succ)
+            post.append(block_id)
+
+        dfs(0)
+        return list(reversed(post))
+
+    def check_acyclic(self) -> None:
+        """Reject back-edges, kernel-style (iterative DFS colouring)."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {b.block_id: WHITE for b in self.blocks}
+        stack: List[tuple] = [(0, iter(self.blocks[0].successors))]
+        colour[0] = GREY
+        while stack:
+            block_id, succs = stack[-1]
+            advanced = False
+            for succ in succs:
+                if colour[succ] == GREY:
+                    raise CFGError(
+                        f"back-edge from block {block_id} to block {succ}: "
+                        "loops are not allowed"
+                    )
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    stack.append((succ, iter(self.blocks[succ].successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[block_id] = BLACK
+                stack.pop()
+
+    def check_reachable(self) -> None:
+        """Reject unreachable blocks (the kernel rejects unreachable insns)."""
+        seen: Set[int] = set()
+        work = [0]
+        while work:
+            bid = work.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            work.extend(self.blocks[bid].successors)
+        unreachable = [b.block_id for b in self.blocks if b.block_id not in seen]
+        if unreachable:
+            raise CFGError(f"unreachable blocks: {unreachable}")
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Split a program into basic blocks and wire the edges.
+
+    Raises :class:`CFGError` if any path can fall off the end of the
+    program (the kernel requires every path to reach ``exit``).
+    """
+    n = len(program)
+    if n == 0:
+        raise CFGError("empty program")
+
+    # Leaders: first insn, jump targets, insns after jumps/exits.
+    leaders: Set[int] = {0}
+    for idx, insn in enumerate(program):
+        if insn.is_jump() and not insn.is_exit() and isa.BPF_OP(
+            insn.opcode
+        ) != isa.JMP_CALL:
+            target_idx = program.index_at_slot(program.jump_target_slot(idx))
+            leaders.add(target_idx)
+            if idx + 1 < n:
+                leaders.add(idx + 1)
+        elif insn.is_exit() and idx + 1 < n:
+            leaders.add(idx + 1)
+
+    ordered = sorted(leaders)
+    blocks: List[BasicBlock] = []
+    for i, start in enumerate(ordered):
+        end = (ordered[i + 1] - 1) if i + 1 < len(ordered) else n - 1
+        blocks.append(BasicBlock(block_id=i, start=start, end=end))
+    block_of_start = {b.start: b.block_id for b in blocks}
+
+    for block in blocks:
+        last = program.insns[block.end]
+        if last.is_exit():
+            continue
+        if last.is_ja():
+            target_idx = program.index_at_slot(program.jump_target_slot(block.end))
+            block.successors.append(block_of_start[target_idx])
+        elif last.is_cond_jump():
+            if block.end + 1 >= n:
+                raise CFGError(f"conditional jump at insn {block.end} can fall off the end")
+            target_idx = program.index_at_slot(program.jump_target_slot(block.end))
+            block.successors.append(block_of_start[block.end + 1])  # fall-through
+            block.successors.append(block_of_start[target_idx])     # taken
+        else:
+            if block.end + 1 >= n:
+                raise CFGError("control falls off the end of the program")
+            block.successors.append(block_of_start[block.end + 1])
+
+    for block in blocks:
+        for succ in block.successors:
+            blocks[succ].predecessors.append(block.block_id)
+
+    cfg = ControlFlowGraph(program, blocks)
+    cfg.check_acyclic()
+    cfg.check_reachable()
+    return cfg

@@ -1,0 +1,93 @@
+"""Disassembler: instructions back to the assembler's text syntax.
+
+``assemble(format_program(p))`` round-trips for every supported
+instruction, which the test suite exercises program-by-program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from . import isa
+from .insn import Instruction
+
+__all__ = ["format_instruction", "format_program"]
+
+
+def format_instruction(insn: Instruction, target_label: str = "") -> str:
+    """Render one instruction in assembler syntax.
+
+    ``target_label`` substitutes for the raw relative offset of jumps when
+    the caller (the program-level formatter) knows the label name.
+    """
+    cls = insn.cls()
+
+    if insn.is_lddw():
+        return f"lddw r{insn.dst}, {insn.imm:#x}"
+
+    if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+        op = isa.BPF_OP(insn.opcode)
+        name = isa.ALU_OP_NAMES[op]
+        if cls == isa.CLS_ALU:
+            name += "32"
+        if op == isa.ALU_NEG:
+            return f"{name} r{insn.dst}"
+        operand = f"r{insn.src}" if not insn.uses_imm() else str(insn.imm)
+        return f"{name} r{insn.dst}, {operand}"
+
+    if cls in (isa.CLS_JMP, isa.CLS_JMP32):
+        op = isa.BPF_OP(insn.opcode)
+        name = isa.JMP_OP_NAMES[op]
+        if cls == isa.CLS_JMP32:
+            name += "32"
+        if op == isa.JMP_EXIT:
+            return "exit"
+        if op == isa.JMP_CALL:
+            return f"call {insn.imm}"
+        target = target_label or f"{insn.off:+d}"
+        if op == isa.JMP_JA:
+            return f"ja {target}"
+        operand = f"r{insn.src}" if not insn.uses_imm() else str(insn.imm)
+        return f"{name} r{insn.dst}, {operand}, {target}"
+
+    if cls == isa.CLS_LDX:
+        suffix = isa.SIZE_SUFFIX[isa.BPF_SIZE(insn.opcode)]
+        return f"ldx{suffix} r{insn.dst}, [r{insn.src}{insn.off:+d}]"
+
+    if cls == isa.CLS_STX:
+        suffix = isa.SIZE_SUFFIX[isa.BPF_SIZE(insn.opcode)]
+        return f"stx{suffix} [r{insn.dst}{insn.off:+d}], r{insn.src}"
+
+    if cls == isa.CLS_ST:
+        suffix = isa.SIZE_SUFFIX[isa.BPF_SIZE(insn.opcode)]
+        return f"st{suffix} [r{insn.dst}{insn.off:+d}], {insn.imm}"
+
+    raise ValueError(f"cannot disassemble opcode {insn.opcode:#04x}")
+
+
+def format_program(program) -> str:
+    """Render a whole program with labels on their own lines."""
+    slot_labels: Dict[int, str] = {slot: name for name, slot in program.labels.items()}
+    # Jumps to unlabeled slots get synthetic labels so output re-assembles.
+    counter = 0
+    for idx, insn in enumerate(program.insns):
+        if insn.is_jump() and not insn.is_exit() and isa.BPF_OP(
+            insn.opcode
+        ) != isa.JMP_CALL:
+            target = program.jump_target_slot(idx)
+            if target not in slot_labels:
+                slot_labels[target] = f"L{counter}"
+                counter += 1
+    lines = []
+    for idx, insn in enumerate(program.insns):
+        slot = program.slot_of(idx)
+        if slot in slot_labels:
+            lines.append(f"{slot_labels[slot]}:")
+        if insn.is_jump() and not insn.is_exit() and isa.BPF_OP(
+            insn.opcode
+        ) != isa.JMP_CALL:
+            label = slot_labels[program.jump_target_slot(idx)]
+            lines.append("    " + format_instruction(insn, target_label=label))
+        else:
+            lines.append("    " + format_instruction(insn))
+    return "\n".join(lines) + "\n"

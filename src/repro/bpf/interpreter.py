@@ -1,0 +1,248 @@
+"""Concrete BPF interpreter.
+
+Executes programs with real 64-bit machine semantics: wrapping arithmetic,
+BPF's defined division-by-zero behaviour (``x/0 == 0``, ``x%0 == x``),
+32-bit subregister ops that zero-extend, and little-endian stack/context
+memory.  The interpreter is the *ground truth* against which the abstract
+verifier is differentially tested: any value produced by a concrete run
+must be contained in the verifier's abstract value at the same point.
+
+Pointers are modelled as integers in a flat address space with the stack
+and the context placed at fixed, well-separated bases.  That keeps
+pointer arithmetic honest (r10-8 really is an address) while letting the
+machine detect out-of-bounds accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from . import isa
+from .insn import Instruction
+from .program import Program
+
+__all__ = ["Machine", "ExecutionError", "ExecutionResult", "STACK_BASE", "CTX_BASE"]
+
+U64 = (1 << 64) - 1
+U32 = (1 << 32) - 1
+
+#: Flat-address-space bases. r10 starts at STACK_BASE + STACK_SIZE and the
+#: valid stack bytes are [STACK_BASE, STACK_BASE + STACK_SIZE).
+STACK_BASE = 0x1000_0000
+CTX_BASE = 0x2000_0000
+
+
+class ExecutionError(RuntimeError):
+    """A concrete run crashed: bad memory, bad register, or divergence."""
+
+    def __init__(self, pc: int, message: str) -> None:
+        super().__init__(f"pc {pc}: {message}")
+        self.pc = pc
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of a concrete run."""
+
+    return_value: int
+    steps: int
+    trace: List[int] = field(default_factory=list)
+
+
+def _s64(x: int) -> int:
+    return x - (1 << 64) if x & (1 << 63) else x
+
+
+def _s32(x: int) -> int:
+    x &= U32
+    return x - (1 << 32) if x & (1 << 31) else x
+
+
+class Machine:
+    """A concrete BPF machine: registers, stack, context memory."""
+
+    def __init__(
+        self,
+        ctx: bytes = b"",
+        helpers: Optional[Dict[int, Callable[..., int]]] = None,
+        step_limit: int = 1_000_000,
+        record_trace: bool = False,
+    ) -> None:
+        self.ctx = bytearray(ctx)
+        self.stack = bytearray(isa.STACK_SIZE)
+        self.helpers = helpers or {}
+        self.step_limit = step_limit
+        self.record_trace = record_trace
+        self.regs = [0] * isa.MAX_REG
+
+    # -- memory ------------------------------------------------------------
+
+    def _load(self, pc: int, addr: int, size: int) -> int:
+        region, off = self._resolve(pc, addr, size)
+        return int.from_bytes(region[off : off + size], "little")
+
+    def _store(self, pc: int, addr: int, size: int, value: int) -> None:
+        region, off = self._resolve(pc, addr, size)
+        region[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def _resolve(self, pc: int, addr: int, size: int):
+        if STACK_BASE <= addr and addr + size <= STACK_BASE + isa.STACK_SIZE:
+            return self.stack, addr - STACK_BASE
+        if CTX_BASE <= addr and addr + size <= CTX_BASE + len(self.ctx):
+            return self.ctx, addr - CTX_BASE
+        raise ExecutionError(pc, f"out-of-bounds access at {addr:#x} size {size}")
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, program: Program, r1: int = CTX_BASE) -> ExecutionResult:
+        """Execute to ``exit``; returns r0.  ``r1`` defaults to the context
+        pointer, matching the BPF calling convention."""
+        self.regs = [0] * isa.MAX_REG
+        self.regs[1] = r1
+        self.regs[isa.FP_REG] = STACK_BASE + isa.STACK_SIZE
+        trace: List[int] = []
+
+        pc_slot = 0
+        steps = 0
+        while True:
+            if steps >= self.step_limit:
+                raise ExecutionError(pc_slot, "step limit exceeded")
+            steps += 1
+            idx = program.index_at_slot(pc_slot)
+            insn = program.insns[idx]
+            if self.record_trace:
+                trace.append(idx)
+
+            if insn.is_exit():
+                return ExecutionResult(self.regs[0], steps, trace)
+
+            next_slot = pc_slot + insn.slots()
+            pc_slot = self._step(program, idx, insn, next_slot)
+
+    def _step(
+        self, program: Program, idx: int, insn: Instruction, next_slot: int
+    ) -> int:
+        cls = insn.cls()
+        pc = program.slot_of(idx)
+
+        if insn.is_lddw():
+            self.regs[insn.dst] = insn.imm & U64
+            return next_slot
+
+        if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+            self._alu(pc, insn, is64=(cls == isa.CLS_ALU64))
+            return next_slot
+
+        if cls in (isa.CLS_JMP, isa.CLS_JMP32):
+            return self._jump(program, idx, insn, next_slot)
+
+        if cls == isa.CLS_LDX:
+            addr = (self.regs[insn.src] + insn.off) & U64
+            self.regs[insn.dst] = self._load(pc, addr, insn.size_bytes())
+            return next_slot
+
+        if cls == isa.CLS_STX:
+            addr = (self.regs[insn.dst] + insn.off) & U64
+            self._store(pc, addr, insn.size_bytes(), self.regs[insn.src])
+            return next_slot
+
+        if cls == isa.CLS_ST:
+            addr = (self.regs[insn.dst] + insn.off) & U64
+            self._store(pc, addr, insn.size_bytes(), insn.imm & U64)
+            return next_slot
+
+        raise ExecutionError(pc, f"unsupported opcode {insn.opcode:#04x}")
+
+    # -- ALU ------------------------------------------------------------------
+
+    def _alu(self, pc: int, insn: Instruction, is64: bool) -> None:
+        op = isa.BPF_OP(insn.opcode)
+        dst = self.regs[insn.dst]
+        src = insn.imm & U64 if insn.uses_imm() else self.regs[insn.src]
+        if not is64:
+            dst &= U32
+            src &= U32
+        width_mask = U64 if is64 else U32
+        shift_mask = 63 if is64 else 31
+
+        if op == isa.ALU_MOV:
+            result = src
+        elif op == isa.ALU_ADD:
+            result = dst + src
+        elif op == isa.ALU_SUB:
+            result = dst - src
+        elif op == isa.ALU_MUL:
+            result = dst * src
+        elif op == isa.ALU_DIV:
+            result = 0 if src == 0 else dst // src
+        elif op == isa.ALU_MOD:
+            result = dst if src == 0 else dst % src
+        elif op == isa.ALU_AND:
+            result = dst & src
+        elif op == isa.ALU_OR:
+            result = dst | src
+        elif op == isa.ALU_XOR:
+            result = dst ^ src
+        elif op == isa.ALU_LSH:
+            result = dst << (src & shift_mask)
+        elif op == isa.ALU_RSH:
+            result = dst >> (src & shift_mask)
+        elif op == isa.ALU_ARSH:
+            signed = _s64(dst) if is64 else _s32(dst)
+            result = signed >> (src & shift_mask)
+        elif op == isa.ALU_NEG:
+            result = -dst
+        else:
+            raise ExecutionError(pc, f"unsupported ALU op {op:#04x}")
+        # 32-bit ops zero-extend their result into the full register.
+        self.regs[insn.dst] = result & width_mask
+
+    # -- jumps ------------------------------------------------------------------
+
+    def _jump(
+        self, program: Program, idx: int, insn: Instruction, next_slot: int
+    ) -> int:
+        op = isa.BPF_OP(insn.opcode)
+        pc = program.slot_of(idx)
+
+        if op == isa.JMP_JA:
+            return program.jump_target_slot(idx)
+
+        if op == isa.JMP_CALL:
+            helper = self.helpers.get(insn.imm)
+            if helper is None:
+                raise ExecutionError(pc, f"unknown helper {insn.imm}")
+            self.regs[0] = helper(*self.regs[1:6]) & U64
+            # r1-r5 are clobbered by calls, per the BPF ABI.
+            for r in range(1, 6):
+                self.regs[r] = 0
+            return next_slot
+
+        is32 = insn.cls() == isa.CLS_JMP32
+        dst = self.regs[insn.dst]
+        src = insn.imm & U64 if insn.uses_imm() else self.regs[insn.src]
+        if is32:
+            dst &= U32
+            src &= U32
+        sdst = _s32(dst) if is32 else _s64(dst)
+        ssrc = _s32(src) if is32 else _s64(src)
+
+        taken = {
+            isa.JMP_JEQ: dst == src,
+            isa.JMP_JNE: dst != src,
+            isa.JMP_JGT: dst > src,
+            isa.JMP_JGE: dst >= src,
+            isa.JMP_JLT: dst < src,
+            isa.JMP_JLE: dst <= src,
+            isa.JMP_JSET: bool(dst & src),
+            isa.JMP_JSGT: sdst > ssrc,
+            isa.JMP_JSGE: sdst >= ssrc,
+            isa.JMP_JSLT: sdst < ssrc,
+            isa.JMP_JSLE: sdst <= ssrc,
+        }.get(op)
+        if taken is None:
+            raise ExecutionError(pc, f"unsupported jump op {op:#04x}")
+        return program.jump_target_slot(idx) if taken else next_slot

@@ -1,0 +1,147 @@
+"""eBPF instruction-set constants.
+
+A faithful subset of the Linux eBPF ISA: opcode layout, instruction
+classes, ALU/JMP operation codes, size and mode fields, and register
+conventions.  Values match ``include/uapi/linux/bpf.h`` so encoded
+programs are bit-compatible with real BPF bytecode.
+
+An instruction is 8 bytes::
+
+    opcode:8  dst_reg:4  src_reg:4  off:16  imm:32   (little-endian)
+
+The opcode byte decomposes as ``class | source | operation`` for ALU/JMP
+classes and ``class | size | mode`` for load/store classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "BPF_CLASS", "BPF_OP", "BPF_SRC", "BPF_SIZE", "BPF_MODE",
+    "CLS_LD", "CLS_LDX", "CLS_ST", "CLS_STX", "CLS_ALU", "CLS_JMP",
+    "CLS_JMP32", "CLS_ALU64",
+    "ALU_ADD", "ALU_SUB", "ALU_MUL", "ALU_DIV", "ALU_OR", "ALU_AND",
+    "ALU_LSH", "ALU_RSH", "ALU_NEG", "ALU_MOD", "ALU_XOR", "ALU_MOV",
+    "ALU_ARSH",
+    "JMP_JA", "JMP_JEQ", "JMP_JGT", "JMP_JGE", "JMP_JSET", "JMP_JNE",
+    "JMP_JSGT", "JMP_JSGE", "JMP_CALL", "JMP_EXIT", "JMP_JLT", "JMP_JLE",
+    "JMP_JSLT", "JMP_JSLE",
+    "SRC_K", "SRC_X",
+    "SZ_W", "SZ_H", "SZ_B", "SZ_DW",
+    "MODE_IMM", "MODE_MEM",
+    "MAX_REG", "FP_REG", "STACK_SIZE", "MAX_INSNS",
+    "ALU_OP_NAMES", "JMP_OP_NAMES", "SIZE_BYTES", "SIZE_SUFFIX",
+]
+
+# -- instruction classes (low 3 bits of opcode) --------------------------------
+
+CLS_LD = 0x00
+CLS_LDX = 0x01
+CLS_ST = 0x02
+CLS_STX = 0x03
+CLS_ALU = 0x04     # 32-bit ALU
+CLS_JMP = 0x05
+CLS_JMP32 = 0x06
+CLS_ALU64 = 0x07   # 64-bit ALU
+
+
+def BPF_CLASS(opcode: int) -> int:
+    """Extract the class field from an opcode byte."""
+    return opcode & 0x07
+
+
+# -- ALU / JMP operation field (high 4 bits) -----------------------------------
+
+ALU_ADD = 0x00
+ALU_SUB = 0x10
+ALU_MUL = 0x20
+ALU_DIV = 0x30
+ALU_OR = 0x40
+ALU_AND = 0x50
+ALU_LSH = 0x60
+ALU_RSH = 0x70
+ALU_NEG = 0x80
+ALU_MOD = 0x90
+ALU_XOR = 0xA0
+ALU_MOV = 0xB0
+ALU_ARSH = 0xC0
+
+JMP_JA = 0x00
+JMP_JEQ = 0x10
+JMP_JGT = 0x20
+JMP_JGE = 0x30
+JMP_JSET = 0x40
+JMP_JNE = 0x50
+JMP_JSGT = 0x60
+JMP_JSGE = 0x70
+JMP_CALL = 0x80
+JMP_EXIT = 0x90
+JMP_JLT = 0xA0
+JMP_JLE = 0xB0
+JMP_JSLT = 0xC0
+JMP_JSLE = 0xD0
+
+
+def BPF_OP(opcode: int) -> int:
+    """Extract the operation field from an ALU/JMP opcode byte."""
+    return opcode & 0xF0
+
+
+# -- source field --------------------------------------------------------------
+
+SRC_K = 0x00  # use the 32-bit immediate
+SRC_X = 0x08  # use the source register
+
+
+def BPF_SRC(opcode: int) -> int:
+    """Extract the source field from an ALU/JMP opcode byte."""
+    return opcode & 0x08
+
+
+# -- load/store size and mode ----------------------------------------------------
+
+SZ_W = 0x00   # 4 bytes
+SZ_H = 0x08   # 2 bytes
+SZ_B = 0x10   # 1 byte
+SZ_DW = 0x18  # 8 bytes
+
+MODE_IMM = 0x00
+MODE_MEM = 0x60
+
+
+def BPF_SIZE(opcode: int) -> int:
+    """Extract the size field from a load/store opcode byte."""
+    return opcode & 0x18
+
+
+def BPF_MODE(opcode: int) -> int:
+    """Extract the mode field from a load/store opcode byte."""
+    return opcode & 0xE0
+
+
+# -- machine parameters -----------------------------------------------------------
+
+MAX_REG = 11          # r0..r10
+FP_REG = 10           # r10 is the read-only frame pointer
+STACK_SIZE = 512      # bytes of BPF stack per frame
+MAX_INSNS = 4096      # classic verifier program-size limit
+
+# -- pretty-printing tables ---------------------------------------------------------
+
+ALU_OP_NAMES: Dict[int, str] = {
+    ALU_ADD: "add", ALU_SUB: "sub", ALU_MUL: "mul", ALU_DIV: "div",
+    ALU_OR: "or", ALU_AND: "and", ALU_LSH: "lsh", ALU_RSH: "rsh",
+    ALU_NEG: "neg", ALU_MOD: "mod", ALU_XOR: "xor", ALU_MOV: "mov",
+    ALU_ARSH: "arsh",
+}
+
+JMP_OP_NAMES: Dict[int, str] = {
+    JMP_JA: "ja", JMP_JEQ: "jeq", JMP_JGT: "jgt", JMP_JGE: "jge",
+    JMP_JSET: "jset", JMP_JNE: "jne", JMP_JSGT: "jsgt", JMP_JSGE: "jsge",
+    JMP_CALL: "call", JMP_EXIT: "exit", JMP_JLT: "jlt", JMP_JLE: "jle",
+    JMP_JSLT: "jslt", JMP_JSLE: "jsle",
+}
+
+SIZE_BYTES: Dict[int, int] = {SZ_B: 1, SZ_H: 2, SZ_W: 4, SZ_DW: 8}
+SIZE_SUFFIX: Dict[int, str] = {SZ_B: "b", SZ_H: "h", SZ_W: "w", SZ_DW: "dw"}

@@ -1,0 +1,116 @@
+"""Program container: instructions plus slot-accurate addressing.
+
+BPF jump offsets count 8-byte *slots*, and ``lddw`` occupies two slots, so
+a program needs a mapping between instruction indexes and slot addresses.
+:class:`Program` owns that mapping, validates jump targets, and round-trips
+to flat bytecode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from . import isa
+from .insn import Instruction, decode_program, encode_program
+
+__all__ = ["Program", "ProgramError"]
+
+
+class ProgramError(ValueError):
+    """Raised when a program is structurally invalid."""
+
+
+@dataclass
+class Program:
+    """An ordered sequence of BPF instructions with label metadata."""
+
+    insns: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.insns) > isa.MAX_INSNS:
+            raise ProgramError(
+                f"program too large: {len(self.insns)} > {isa.MAX_INSNS}"
+            )
+        self._slot_of_index: List[int] = []
+        self._index_of_slot: Dict[int, int] = {}
+        slot = 0
+        for idx, insn in enumerate(self.insns):
+            self._slot_of_index.append(slot)
+            self._index_of_slot[slot] = idx
+            slot += insn.slots()
+        self._total_slots = slot
+        self._validate_jumps()
+
+    # -- addressing -----------------------------------------------------------
+
+    @property
+    def total_slots(self) -> int:
+        """Total number of 8-byte encoding slots."""
+        return self._total_slots
+
+    def slot_of(self, index: int) -> int:
+        """Slot address of the instruction at list position ``index``."""
+        return self._slot_of_index[index]
+
+    def index_at_slot(self, slot: int) -> int:
+        """Instruction list position at slot address ``slot``.
+
+        Raises :class:`ProgramError` for mid-``lddw`` or out-of-range slots.
+        """
+        if slot not in self._index_of_slot:
+            raise ProgramError(f"slot {slot} is not an instruction boundary")
+        return self._index_of_slot[slot]
+
+    def jump_target_slot(self, index: int) -> int:
+        """Slot a (conditional or unconditional) jump at ``index`` targets."""
+        insn = self.insns[index]
+        return self.slot_of(index) + insn.slots() + insn.off
+
+    def _validate_jumps(self) -> None:
+        for idx, insn in enumerate(self.insns):
+            if insn.is_jump() and not insn.is_exit() and isa.BPF_OP(
+                insn.opcode
+            ) != isa.JMP_CALL:
+                target = self.jump_target_slot(idx)
+                if target not in self._index_of_slot:
+                    raise ProgramError(
+                        f"insn {idx}: jump target slot {target} invalid"
+                    )
+
+    # -- conveniences ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.insns)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.insns[index]
+
+    def label_at(self, index: int) -> Optional[str]:
+        """Label (if any) attached to the slot of instruction ``index``."""
+        slot = self.slot_of(index)
+        for name, s in self.labels.items():
+            if s == slot:
+                return name
+        return None
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Flat kernel-format bytecode."""
+        return encode_program(self.insns)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Program":
+        """Decode flat bytecode (labels are not recoverable)."""
+        return cls(decode_program(data))
+
+    def disassemble(self) -> str:
+        """Human-readable listing with labels."""
+        from .disassembler import format_program
+
+        return format_program(self)

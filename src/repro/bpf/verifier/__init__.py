@@ -1,0 +1,25 @@
+"""Miniature BPF verifier: abstract interpretation with tnum × interval.
+
+The paper's tnum operators are one component of the Linux BPF analyzer;
+this subpackage rebuilds enough of that analyzer — abstract register
+states, stack tracking, CFG traversal, branch refinement, memory safety
+checks — that the tnum domain can be exercised in its real context.
+"""
+
+from .absint import Verifier, verify_program
+from .errors import VerificationResult, VerifierError
+from .paths import PathSensitiveVerifier
+from .state import AbstractState, RegKind, RegState, Region, StackSlot
+
+__all__ = [
+    "Verifier",
+    "PathSensitiveVerifier",
+    "verify_program",
+    "VerificationResult",
+    "VerifierError",
+    "AbstractState",
+    "RegState",
+    "RegKind",
+    "Region",
+    "StackSlot",
+]

@@ -1,0 +1,485 @@
+"""The abstract interpretation engine — a miniature BPF verifier.
+
+Walks the (acyclic, fully reachable) CFG in reverse post-order, propagating
+:class:`AbstractState` through every instruction with the tnum × interval
+reduced product as the scalar domain.  Conditional jumps *refine* the
+branched-on register in each successor state, which is how facts like
+``r1 < 64`` flow into later bounds checks — the mechanism the paper's
+introduction sketches with the ``x ≤ 8`` example.
+
+Safety checks enforced (each mirrors a kernel check):
+
+* no read of an uninitialized register or stack slot;
+* pointer arithmetic limited to ``add``/``sub`` with scalars, and pointer
+  difference within one region;
+* every memory access in bounds and sufficiently aligned for all
+  executions (tnum alignment, interval bounds);
+* no pointer stores into the context (pointer-leak prevention);
+* ``exit`` requires an initialized scalar r0 (no pointer leaks via r0);
+* r10 (frame pointer) is read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bpf import isa
+from repro.bpf.cfg import CFGError, build_cfg
+from repro.bpf.insn import Instruction
+from repro.bpf.program import Program
+from repro.domains.interval import to_signed
+from repro.domains.product import ScalarValue
+from repro.core.tnum import Tnum, mask_for_width
+from repro.core.lattice import meet as tnum_meet
+
+from .errors import VerificationResult, VerifierError
+from .memory import check_mem_access, load_stack, store_stack
+from .state import AbstractState, RegKind, RegState, Region
+
+__all__ = ["Verifier", "verify_program"]
+
+U64 = (1 << 64) - 1
+
+#: Comparison mirroring for "constant <op> register" refinement:
+#: ``c <op> r`` holds iff ``r <mirror(op)> c``.
+_MIRRORED_OPS = {
+    isa.JMP_JEQ: isa.JMP_JEQ,
+    isa.JMP_JNE: isa.JMP_JNE,
+    isa.JMP_JGT: isa.JMP_JLT,
+    isa.JMP_JGE: isa.JMP_JLE,
+    isa.JMP_JLT: isa.JMP_JGT,
+    isa.JMP_JLE: isa.JMP_JGE,
+    isa.JMP_JSGT: isa.JMP_JSLT,
+    isa.JMP_JSGE: isa.JMP_JSLE,
+    isa.JMP_JSLT: isa.JMP_JSGT,
+    isa.JMP_JSLE: isa.JMP_JSGE,
+}
+
+
+@dataclass
+class Verifier:
+    """Verify one program; optionally retain per-instruction states.
+
+    ``ctx_size`` is the size in bytes of the context object r1 points to
+    at entry (kernel programs get a type-specific ctx; we use a flat
+    blob).
+    """
+
+    ctx_size: int = 64
+    collect_states: bool = False
+    #: entry abstract state per instruction index (populated when
+    #: ``collect_states`` is set) — used by differential tests.
+    states_at: Dict[int, AbstractState] = field(default_factory=dict)
+
+    # -- public API -----------------------------------------------------------
+
+    def verify(self, program: Program) -> VerificationResult:
+        try:
+            cfg = build_cfg(program)
+        except CFGError as exc:
+            err = VerifierError(0, f"bad control flow: {exc}")
+            return VerificationResult(False, [err])
+
+        order = cfg.reverse_post_order()
+        in_states: Dict[int, AbstractState] = {0: AbstractState.entry_state()}
+        processed = 0
+        try:
+            for block_id in order:
+                if block_id not in in_states:
+                    continue  # no feasible path in (dead branch)
+                state = in_states[block_id].copy()
+                block = cfg.blocks[block_id]
+                branch_states: Optional[Tuple[AbstractState, AbstractState]] = None
+                for idx in range(block.start, block.end + 1):
+                    insn = program.insns[idx]
+                    if self.collect_states:
+                        self._record(idx, state)
+                    processed += 1
+                    if insn.is_cond_jump() and idx == block.end:
+                        branch_states = self._branch(state, insn, idx)
+                    else:
+                        self._transfer(state, insn, idx)
+                self._propagate(cfg, block, state, branch_states, in_states)
+        except VerifierError as exc:
+            return VerificationResult(False, [exc], processed)
+        return VerificationResult(True, [], processed)
+
+    # -- state plumbing -----------------------------------------------------------
+
+    def _record(self, idx: int, state: AbstractState) -> None:
+        if idx in self.states_at:
+            self.states_at[idx] = self.states_at[idx].join(state)
+        else:
+            self.states_at[idx] = state.copy()
+
+    def _propagate(
+        self,
+        cfg,
+        block,
+        state: AbstractState,
+        branch_states: Optional[Tuple[AbstractState, AbstractState]],
+        in_states: Dict[int, AbstractState],
+    ) -> None:
+        last = cfg.program.insns[block.end]
+        if last.is_exit():
+            self._check_exit(state, block.end)
+            return
+        if branch_states is not None:
+            fall, taken = branch_states
+            targets = block.successors  # [fall-through, taken]
+            # Refinement can prove an edge infeasible (a register refined
+            # to ⊥); such edges are dead paths and must not be analyzed.
+            if self._feasible(fall):
+                self._merge_into(in_states, targets[0], fall)
+            if self._feasible(taken):
+                self._merge_into(in_states, targets[1], taken)
+            return
+        for succ in block.successors:
+            self._merge_into(in_states, succ, state)
+
+    @staticmethod
+    def _feasible(state: AbstractState) -> bool:
+        """A state with any ⊥ scalar register describes no execution."""
+        return not any(
+            r.is_scalar() and r.scalar.is_bottom() for r in state.regs
+        )
+
+    @staticmethod
+    def _merge_into(
+        in_states: Dict[int, AbstractState], block_id: int, state: AbstractState
+    ) -> None:
+        if block_id in in_states:
+            in_states[block_id] = in_states[block_id].join(state)
+        else:
+            in_states[block_id] = state.copy()
+
+    def _check_exit(self, state: AbstractState, idx: int) -> None:
+        r0 = state.regs[0]
+        if not r0.is_init():
+            raise VerifierError(idx, "exit with uninitialized r0")
+        if r0.is_ptr():
+            raise VerifierError(idx, "exit would leak a pointer in r0")
+
+    # -- instruction transfer ---------------------------------------------------------
+
+    def _transfer(self, state: AbstractState, insn: Instruction, idx: int) -> None:
+        cls = insn.cls()
+        if insn.is_exit():
+            return  # checked by _propagate at block exit
+        if insn.is_lddw():
+            state.regs[insn.dst] = RegState.const(insn.imm & U64)
+            return
+        if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+            self._alu(state, insn, idx, is64=(cls == isa.CLS_ALU64))
+            return
+        if cls == isa.CLS_LDX:
+            self._load(state, insn, idx)
+            return
+        if cls in (isa.CLS_ST, isa.CLS_STX):
+            self._store(state, insn, idx)
+            return
+        if insn.is_jump():
+            op = isa.BPF_OP(insn.opcode)
+            if op == isa.JMP_JA:
+                return
+            if op == isa.JMP_CALL:
+                self._call(state, insn, idx)
+                return
+        raise VerifierError(idx, f"unsupported opcode {insn.opcode:#04x}")
+
+    def _read_reg(self, state: AbstractState, reg: int, idx: int) -> RegState:
+        r = state.regs[reg]
+        if not r.is_init():
+            raise VerifierError(idx, f"read of uninitialized register r{reg}")
+        return r
+
+    def _write_reg(self, state: AbstractState, reg: int, value: RegState, idx: int) -> None:
+        if reg == isa.FP_REG:
+            raise VerifierError(idx, "write to read-only frame pointer r10")
+        state.regs[reg] = value
+
+    # -- ALU ------------------------------------------------------------------------
+
+    def _alu(self, state: AbstractState, insn: Instruction, idx: int, is64: bool) -> None:
+        op = isa.BPF_OP(insn.opcode)
+
+        if op == isa.ALU_MOV:
+            src = (
+                RegState.const(insn.imm & U64)
+                if insn.uses_imm()
+                else self._read_reg(state, insn.src, idx)
+            )
+            if not is64:
+                src = self._truncate32(src, idx)
+            self._write_reg(state, insn.dst, src, idx)
+            return
+
+        if op == isa.ALU_NEG:
+            dst = self._read_reg(state, insn.dst, idx)
+            if dst.is_ptr():
+                raise VerifierError(idx, "arithmetic negation of pointer")
+            result = RegState.from_scalar(dst.scalar.neg())
+            if not is64:
+                result = self._truncate32(result, idx)
+            self._write_reg(state, insn.dst, result, idx)
+            return
+
+        dst = self._read_reg(state, insn.dst, idx)
+        src = (
+            RegState.const(insn.imm & U64)
+            if insn.uses_imm()
+            else self._read_reg(state, insn.src, idx)
+        )
+
+        # Pointer arithmetic (64-bit only, kernel rule).
+        if dst.is_ptr() or src.is_ptr():
+            if not is64:
+                raise VerifierError(idx, "32-bit arithmetic on pointer")
+            self._pointer_alu(state, insn, idx, op, dst, src)
+            return
+
+        result = self._scalar_alu(op, dst.scalar, src.scalar, insn, idx)
+        reg = RegState.from_scalar(result)
+        if not is64:
+            reg = self._truncate32(reg, idx)
+        self._write_reg(state, insn.dst, reg, idx)
+
+    def _scalar_alu(
+        self,
+        op: int,
+        dst: ScalarValue,
+        src: ScalarValue,
+        insn: Instruction,
+        idx: int,
+    ) -> ScalarValue:
+        if op == isa.ALU_ADD:
+            return dst.add(src)
+        if op == isa.ALU_SUB:
+            return dst.sub(src)
+        if op == isa.ALU_MUL:
+            return dst.mul(src)
+        if op == isa.ALU_AND:
+            return dst.and_(src)
+        if op == isa.ALU_OR:
+            return dst.or_(src)
+        if op == isa.ALU_XOR:
+            return dst.xor(src)
+        if op == isa.ALU_DIV:
+            return dst.div(src)
+        if op == isa.ALU_MOD:
+            return dst.mod(src)
+        if op in (isa.ALU_LSH, isa.ALU_RSH, isa.ALU_ARSH):
+            method = {
+                isa.ALU_LSH: ScalarValue.lshift,
+                isa.ALU_RSH: ScalarValue.rshift,
+                isa.ALU_ARSH: ScalarValue.arshift,
+            }[op]
+            if src.is_const():
+                shift = src.const_value() & 63
+                return method(dst, shift)
+            # Unknown shift amount: join over feasible counts via tnums.
+            if src.umax() < 64:
+                results = [method(dst, s) for s in range(src.umin(), src.umax() + 1)]
+                out = results[0]
+                for r in results[1:]:
+                    out = out.join(r)
+                return out
+            return ScalarValue.top()
+        raise VerifierError(idx, f"unsupported ALU op {op:#04x}")
+
+    def _pointer_alu(
+        self,
+        state: AbstractState,
+        insn: Instruction,
+        idx: int,
+        op: int,
+        dst: RegState,
+        src: RegState,
+    ) -> None:
+        if op == isa.ALU_ADD:
+            if dst.is_ptr() and src.is_scalar():
+                result = RegState.pointer(dst.region, dst.offset.add(src.scalar))
+            elif dst.is_scalar() and src.is_ptr():
+                result = RegState.pointer(src.region, src.offset.add(dst.scalar))
+            else:
+                raise VerifierError(idx, "addition of two pointers")
+        elif op == isa.ALU_SUB:
+            if dst.is_ptr() and src.is_scalar():
+                result = RegState.pointer(dst.region, dst.offset.sub(src.scalar))
+            elif dst.is_ptr() and src.is_ptr():
+                if dst.region != src.region:
+                    raise VerifierError(idx, "subtraction of cross-region pointers")
+                result = RegState.from_scalar(dst.offset.sub(src.offset))
+            else:
+                raise VerifierError(idx, "cannot subtract pointer from scalar")
+        else:
+            raise VerifierError(
+                idx, f"pointer arithmetic only supports add/sub, got {op:#04x}"
+            )
+        self._write_reg(state, insn.dst, result, idx)
+
+    @staticmethod
+    def _truncate32(reg: RegState, idx: int) -> RegState:
+        if reg.is_ptr():
+            raise VerifierError(idx, "32-bit operation on pointer")
+        t32 = reg.scalar.tnum.cast(32).cast(64)
+        iv = reg.scalar.interval
+        if iv.umax <= 0xFFFF_FFFF:
+            return RegState.from_scalar(ScalarValue.make(t32, iv))
+        return RegState.from_scalar(ScalarValue.from_tnum(t32))
+
+    # -- memory ---------------------------------------------------------------------
+
+    def _load(self, state: AbstractState, insn: Instruction, idx: int) -> None:
+        ptr = self._read_reg(state, insn.src, idx)
+        size = insn.size_bytes()
+        check_mem_access(state, ptr, insn.off, size, idx, self.ctx_size)
+        if ptr.region == Region.STACK:
+            value = load_stack(state, ptr, insn.off, size, idx)
+        else:
+            value = RegState.unknown() if size == 8 else RegState.from_scalar(
+                ScalarValue.from_range(0, (1 << (8 * size)) - 1)
+            )
+        self._write_reg(state, insn.dst, value, idx)
+
+    def _store(self, state: AbstractState, insn: Instruction, idx: int) -> None:
+        ptr = self._read_reg(state, insn.dst, idx)
+        size = insn.size_bytes()
+        if insn.cls() == isa.CLS_STX:
+            value = self._read_reg(state, insn.src, idx)
+        else:
+            value = RegState.const(insn.imm & U64)
+        check_mem_access(state, ptr, insn.off, size, idx, self.ctx_size)
+        if ptr.region == Region.CTX and value.is_ptr():
+            raise VerifierError(idx, "pointer store to ctx would leak an address")
+        if ptr.region == Region.STACK:
+            store_stack(state, ptr, insn.off, size, value, idx)
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _call(self, state: AbstractState, insn: Instruction, idx: int) -> None:
+        # Helpers receive r1-r5 and return an unknown scalar in r0;
+        # caller-saved registers are clobbered (kernel ABI).
+        state.regs[0] = RegState.unknown()
+        for reg in range(1, 6):
+            state.regs[reg] = RegState.not_init()
+
+    # -- branches ------------------------------------------------------------------------
+
+    def _branch(
+        self, state: AbstractState, insn: Instruction, idx: int
+    ) -> Tuple[AbstractState, AbstractState]:
+        """Return (fall-through state, taken state) with refinements."""
+        dst = self._read_reg(state, insn.dst, idx)
+        src: Optional[RegState] = None
+        if insn.uses_imm():
+            src_val: Optional[int] = insn.imm & U64
+        else:
+            src = self._read_reg(state, insn.src, idx)
+            src_val = (
+                src.scalar.const_value()
+                if src.is_scalar() and src.scalar.is_const()
+                else None
+            )
+
+        fall = state.copy()
+        taken = state.copy()
+        if insn.cls() != isa.CLS_JMP:
+            # A 32-bit compare agrees with the 64-bit one when both the
+            # register and the bound provably sit in [0, 2^31): there the
+            # 32- and 64-bit views (signed or unsigned) all coincide, so
+            # the same refinement applies. Otherwise skip (sound).
+            fits = (
+                dst.is_scalar()
+                and dst.scalar.umax() <= 0x7FFF_FFFF
+                and src_val is not None
+                and src_val <= 0x7FFF_FFFF
+            )
+            if not fits:
+                return fall, taken
+
+        op = isa.BPF_OP(insn.opcode)
+        if dst.is_scalar() and src_val is not None:
+            taken_scalar, fall_scalar = self._refine(dst.scalar, op, src_val)
+            if taken_scalar is not None:
+                taken.regs[insn.dst] = RegState.from_scalar(taken_scalar)
+            if fall_scalar is not None:
+                fall.regs[insn.dst] = RegState.from_scalar(fall_scalar)
+        elif (
+            src is not None
+            and src.is_scalar()
+            and dst.is_scalar()
+            and dst.scalar.is_const()
+        ):
+            # Constant on the left: refine the register operand with the
+            # mirrored comparison (c < r ⇔ r > c, etc.).
+            mirrored = _MIRRORED_OPS.get(op)
+            if mirrored is not None:
+                bound = dst.scalar.const_value()
+                taken_scalar, fall_scalar = self._refine(
+                    src.scalar, mirrored, bound
+                )
+                if taken_scalar is not None:
+                    taken.regs[insn.src] = RegState.from_scalar(taken_scalar)
+                if fall_scalar is not None:
+                    fall.regs[insn.src] = RegState.from_scalar(fall_scalar)
+        return fall, taken
+
+    @staticmethod
+    def _refine(
+        value: ScalarValue, op: int, bound: int
+    ) -> Tuple[Optional[ScalarValue], Optional[ScalarValue]]:
+        """Refined (taken, fall-through) values for ``value <op> bound``."""
+        if op == isa.JMP_JEQ:
+            return value.refine_eq(bound), value.refine_ne(bound)
+        if op == isa.JMP_JNE:
+            return value.refine_ne(bound), value.refine_eq(bound)
+        if op == isa.JMP_JGT:
+            return value.refine_ugt(bound), value.refine_ule(bound)
+        if op == isa.JMP_JGE:
+            return value.refine_uge(bound), value.refine_ult(bound)
+        if op == isa.JMP_JLT:
+            return value.refine_ult(bound), value.refine_uge(bound)
+        if op == isa.JMP_JLE:
+            return value.refine_ule(bound), value.refine_ugt(bound)
+        if op == isa.JMP_JSET:
+            # Fall-through means (value & bound) == 0: those bits are 0.
+            cleared = tnum_meet(
+                value.tnum, Tnum(0, ~bound & U64, 64)
+            )
+            fall = ScalarValue.make(cleared, value.interval)
+            return None, fall
+        # Signed comparisons refine through the signed-interval domain and
+        # the kernel-style bounds deduction maps the result back onto the
+        # unsigned interval and the tnum.
+        if op in (isa.JMP_JSGT, isa.JMP_JSGE, isa.JMP_JSLT, isa.JMP_JSLE):
+            from repro.domains.signed_interval import (
+                SignedInterval,
+                deduce_bounds,
+            )
+
+            sbound = to_signed(bound, 64)
+            base = SignedInterval.from_unsigned(value.interval).meet(
+                SignedInterval.from_tnum(value.tnum)
+            )
+            taken_si, fall_si = {
+                isa.JMP_JSGT: (base.refine_sgt(sbound), base.refine_sle(sbound)),
+                isa.JMP_JSGE: (base.refine_sge(sbound), base.refine_slt(sbound)),
+                isa.JMP_JSLT: (base.refine_slt(sbound), base.refine_sge(sbound)),
+                isa.JMP_JSLE: (base.refine_sle(sbound), base.refine_sgt(sbound)),
+            }[op]
+
+            def rebuild(si: SignedInterval) -> ScalarValue:
+                if si.is_bottom():
+                    return ScalarValue.bottom()
+                t, iv, _ = deduce_bounds(value.tnum, value.interval, si)
+                return ScalarValue.make(t, iv)
+
+            return rebuild(taken_si), rebuild(fall_si)
+        return None, None
+
+
+def verify_program(program: Program, ctx_size: int = 64) -> VerificationResult:
+    """Convenience wrapper: verify with default settings."""
+    return Verifier(ctx_size=ctx_size).verify(program)

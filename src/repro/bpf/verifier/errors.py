@@ -1,0 +1,38 @@
+"""Verifier rejection reasons.
+
+Mirrors the Linux verifier's error taxonomy at the granularity our subset
+needs: every rejection carries the instruction index and a human-readable
+reason, so tests can assert on *why* a program was rejected, not just that
+it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["VerifierError", "VerificationResult"]
+
+
+class VerifierError(Exception):
+    """A safety violation that makes the program unloadable."""
+
+    def __init__(self, insn_index: int, reason: str) -> None:
+        super().__init__(f"insn {insn_index}: {reason}")
+        self.insn_index = insn_index
+        self.reason = reason
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying one program."""
+
+    ok: bool
+    errors: List[VerifierError] = field(default_factory=list)
+    insns_processed: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def error_messages(self) -> List[str]:
+        return [str(e) for e in self.errors]

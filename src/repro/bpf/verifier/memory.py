@@ -1,0 +1,193 @@
+"""Memory access checking — where tnum precision becomes safety.
+
+The verifier must prove every load/store lands inside a valid region with
+correct alignment *for all executions*.  Both checks consume the abstract
+scalar state:
+
+* **bounds**: the pointer's abstract byte offset contributes its
+  ``[umin, umax]`` interval; the whole access window must fall inside the
+  region;
+* **alignment**: the kernel checks alignment with ``tnum_is_aligned`` on
+  the offset's tnum — the tnum domain is what makes ``x & ~7`` provably
+  8-aligned even when ``x`` itself is unknown.  This is exactly the "x ≤ 8"
+  style inference the paper's introduction motivates.
+
+Stack layout convention: the frame pointer (r10) is the *top* of the
+frame; valid bytes are offsets ``[-STACK_SIZE, 0)`` relative to it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bpf import isa
+from repro.domains.product import ScalarValue
+
+from .errors import VerifierError
+from .state import AbstractState, RegState, Region, StackSlot
+
+__all__ = ["check_mem_access", "stack_window", "load_stack", "store_stack"]
+
+
+def stack_window(offset: ScalarValue, insn_index: int, size: int) -> Tuple[int, int]:
+    """Validate a stack access window and return its (umin, umax) offsets.
+
+    Offsets are signed (negative below the frame top), so interpret the
+    unsigned 64-bit abstract value through its signed bounds.
+    """
+    smin = offset.interval.smin()
+    smax = offset.interval.smax()
+    if smin < -isa.STACK_SIZE:
+        raise VerifierError(
+            insn_index,
+            f"stack access below frame: offset may be {smin} < -{isa.STACK_SIZE}",
+        )
+    if smax + size > 0:
+        raise VerifierError(
+            insn_index,
+            f"stack access above frame top: offset may reach {smax}+{size}",
+        )
+    return smin, smax
+
+
+def check_alignment(
+    offset: ScalarValue, size: int, insn_index: int, what: str
+) -> None:
+    """Reject accesses whose abstract offset may be misaligned.
+
+    This is the kernel's ``tnum_is_aligned(reg->var_off, size)`` check —
+    the tnum's low bits must be *known* zero modulo the access size.
+    """
+    if size == 1:
+        return
+    if not offset.tnum.is_aligned(size):
+        raise VerifierError(
+            insn_index,
+            f"misaligned {what} access: offset {offset.tnum} not {size}-byte aligned",
+        )
+
+
+def check_mem_access(
+    state: AbstractState,
+    ptr: RegState,
+    insn_offset: int,
+    size: int,
+    insn_index: int,
+    ctx_size: int,
+) -> None:
+    """Check one load/store against the pointed-to region.
+
+    ``insn_offset`` is the constant displacement encoded in the
+    instruction; the register's own abstract offset is added to it.
+    """
+    if not ptr.is_ptr():
+        raise VerifierError(insn_index, "memory access through non-pointer")
+    total = ptr.offset.add(ScalarValue.const(insn_offset))
+    if ptr.region == Region.STACK:
+        stack_window(total, insn_index, size)
+        check_alignment(total, size, insn_index, "stack")
+    elif ptr.region == Region.CTX:
+        umin, umax = total.umin(), total.umax()
+        smin = total.interval.smin()
+        if smin < 0:
+            raise VerifierError(
+                insn_index, f"ctx access below start: offset may be {smin}"
+            )
+        if umax + size > ctx_size:
+            raise VerifierError(
+                insn_index,
+                f"ctx access out of bounds: offset may reach "
+                f"{umax}+{size} > {ctx_size}",
+            )
+        check_alignment(total, size, insn_index, "ctx")
+    else:  # pragma: no cover - regions are exhaustive
+        raise VerifierError(insn_index, f"unknown region {ptr.region}")
+
+
+def _const_stack_offset(ptr: RegState, insn_offset: int, insn_index: int) -> int:
+    """Stack state tracking requires a constant slot address."""
+    total = ptr.offset.add(ScalarValue.const(insn_offset))
+    if not total.is_const():
+        # Variable-offset stack writes poison precision; the classic
+        # verifier rejects variable writes outright. We do the same.
+        raise VerifierError(
+            insn_index, "variable-offset stack write/read of tracked slot"
+        )
+    value = total.const_value()
+    # Interpret as signed (offsets are negative).
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def store_stack(
+    state: AbstractState,
+    ptr: RegState,
+    insn_offset: int,
+    size: int,
+    value: RegState,
+    insn_index: int,
+) -> None:
+    """Update stack-slot tracking for a store (bounds already checked)."""
+    off = _const_stack_offset(ptr, insn_offset, insn_index)
+    slot = (off // 8) * 8  # base of the containing 8-byte slot
+    if size == 8 and off % 8 == 0:
+        state.stack[slot] = StackSlot.spill(value)
+        return
+    if value.is_ptr():
+        raise VerifierError(
+            insn_index, "cannot spill pointer with partial-width store"
+        )
+    # Partial writes degrade every touched slot to MISC.
+    first = (off // 8) * 8
+    last = ((off + size - 1) // 8) * 8
+    for s in range(first, last + 8, 8):
+        state.stack[s] = StackSlot.misc()
+
+
+def load_stack(
+    state: AbstractState,
+    ptr: RegState,
+    insn_offset: int,
+    size: int,
+    insn_index: int,
+) -> RegState:
+    """Read back a tracked stack slot (bounds already checked).
+
+    Constant offsets read precisely (spilled registers come back exactly).
+    Variable offsets are permitted — this is where tnum alignment shines —
+    provided every slot the window may touch is initialized and holds no
+    pointer; the result is then an unknown scalar (kernel
+    ``check_stack_range_initialized`` behaviour).
+    """
+    total = ptr.offset.add(ScalarValue.const(insn_offset))
+    if total.is_const():
+        value = total.const_value()
+        off = value - (1 << 64) if value >= (1 << 63) else value
+        slot = (off // 8) * 8
+        entry = state.slot_for(slot)
+        if entry.kind == StackSlot.UNWRITTEN:
+            raise VerifierError(
+                insn_index, f"read of uninitialized stack at {off}"
+            )
+        if entry.kind == StackSlot.SPILL and size == 8 and off % 8 == 0:
+            return entry.value
+        if entry.kind == StackSlot.SPILL and entry.value.is_ptr():
+            raise VerifierError(insn_index, "partial read of spilled pointer")
+        return RegState.unknown()
+
+    smin = total.interval.smin()
+    smax = total.interval.smax()
+    first = (smin // 8) * 8
+    last = ((smax + size - 1) // 8) * 8
+    for slot in range(first, last + 8, 8):
+        entry = state.slot_for(slot)
+        if entry.kind == StackSlot.UNWRITTEN:
+            raise VerifierError(
+                insn_index,
+                f"variable-offset read may touch uninitialized stack at {slot}",
+            )
+        if entry.kind == StackSlot.SPILL and entry.value.is_ptr():
+            raise VerifierError(
+                insn_index,
+                f"variable-offset read may leak spilled pointer at {slot}",
+            )
+    return RegState.unknown()

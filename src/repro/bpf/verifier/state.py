@@ -1,0 +1,223 @@
+"""Abstract machine state for the BPF verifier.
+
+A register is one of:
+
+* ``NOT_INIT`` — never written; any read is rejected;
+* ``SCALAR`` — a :class:`~repro.domains.product.ScalarValue` (tnum ×
+  interval reduced product), the state where the paper's abstract
+  operators do their work;
+* ``PTR`` — a pointer into a memory region (stack frame or context) with
+  an abstract scalar byte offset.
+
+The stack is tracked in 8-byte slots, kernel-style: a slot is unwritten,
+holds a spilled register (pointer or scalar preserved exactly), or holds
+``MISC`` bytes (partially/odd-size written data, readable as an unknown
+scalar).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bpf import isa
+from repro.domains.product import ScalarValue
+
+__all__ = ["RegKind", "Region", "RegState", "StackSlot", "AbstractState"]
+
+
+class RegKind(enum.Enum):
+    NOT_INIT = "not_init"
+    SCALAR = "scalar"
+    PTR = "ptr"
+
+
+class Region(enum.Enum):
+    STACK = "stack"
+    CTX = "ctx"
+
+
+@dataclass(frozen=True)
+class RegState:
+    """One abstract register."""
+
+    kind: RegKind
+    scalar: Optional[ScalarValue] = None   # for SCALAR
+    region: Optional[Region] = None        # for PTR
+    offset: Optional[ScalarValue] = None   # for PTR: byte offset into region
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def not_init(cls) -> "RegState":
+        return cls(RegKind.NOT_INIT)
+
+    @classmethod
+    def from_scalar(cls, value: ScalarValue) -> "RegState":
+        return cls(RegKind.SCALAR, scalar=value)
+
+    @classmethod
+    def const(cls, value: int) -> "RegState":
+        return cls.from_scalar(ScalarValue.const(value))
+
+    @classmethod
+    def unknown(cls) -> "RegState":
+        return cls.from_scalar(ScalarValue.top())
+
+    @classmethod
+    def pointer(cls, region: Region, offset: ScalarValue) -> "RegState":
+        return cls(RegKind.PTR, region=region, offset=offset)
+
+    @classmethod
+    def stack_ptr(cls, offset: int = 0) -> "RegState":
+        """Pointer to the frame top plus ``offset`` (r10 has offset 0)."""
+        return cls.pointer(Region.STACK, ScalarValue.const(offset))
+
+    @classmethod
+    def ctx_ptr(cls) -> "RegState":
+        return cls.pointer(Region.CTX, ScalarValue.const(0))
+
+    # -- predicates ------------------------------------------------------------
+
+    def is_init(self) -> bool:
+        return self.kind != RegKind.NOT_INIT
+
+    def is_scalar(self) -> bool:
+        return self.kind == RegKind.SCALAR
+
+    def is_ptr(self) -> bool:
+        return self.kind == RegKind.PTR
+
+    # -- lattice ------------------------------------------------------------------
+
+    def join(self, other: "RegState") -> "RegState":
+        if self.kind != other.kind:
+            # Mixed kinds (scalar vs pointer, or either vs NOT_INIT) cannot
+            # be used safely after the merge; NOT_INIT rejects any use.
+            return RegState.not_init()
+        if self.kind == RegKind.NOT_INIT:
+            return self
+        if self.kind == RegKind.SCALAR:
+            return RegState.from_scalar(self.scalar.join(other.scalar))
+        if self.region != other.region:
+            # Pointers into different regions cannot be merged safely.
+            return RegState.not_init()
+        return RegState.pointer(self.region, self.offset.join(other.offset))
+
+    def leq(self, other: "RegState") -> bool:
+        if other.kind == RegKind.NOT_INIT:
+            return True  # NOT_INIT is ⊤ here: it forbids all uses
+        if self.kind != other.kind:
+            return False
+        if self.kind == RegKind.SCALAR:
+            return self.scalar.leq(other.scalar)
+        return self.region == other.region and self.offset.leq(other.offset)
+
+    def __str__(self) -> str:
+        if self.kind == RegKind.NOT_INIT:
+            return "?"
+        if self.kind == RegKind.SCALAR:
+            return f"scalar({self.scalar})"
+        return f"{self.region.value}+({self.offset})"
+
+
+class StackSlot:
+    """Kernel stack-slot types."""
+
+    UNWRITTEN = "unwritten"
+    SPILL = "spill"
+    MISC = "misc"
+
+    def __init__(self, kind: str, value: Optional[RegState] = None) -> None:
+        self.kind = kind
+        self.value = value
+
+    @classmethod
+    def unwritten(cls) -> "StackSlot":
+        return cls(cls.UNWRITTEN)
+
+    @classmethod
+    def spill(cls, value: RegState) -> "StackSlot":
+        return cls(cls.SPILL, value)
+
+    @classmethod
+    def misc(cls) -> "StackSlot":
+        return cls(cls.MISC)
+
+    def join(self, other: "StackSlot") -> "StackSlot":
+        if self.kind == other.kind == StackSlot.SPILL:
+            return StackSlot.spill(self.value.join(other.value))
+        if self.kind == other.kind:
+            return StackSlot(self.kind)
+        if StackSlot.UNWRITTEN in (self.kind, other.kind):
+            return StackSlot.unwritten()
+        return StackSlot.misc()
+
+    def leq(self, other: "StackSlot") -> bool:
+        if other.kind == StackSlot.UNWRITTEN:
+            return True
+        if self.kind == StackSlot.SPILL and other.kind == StackSlot.SPILL:
+            return self.value.leq(other.value)
+        if other.kind == StackSlot.MISC:
+            return self.kind in (StackSlot.MISC, StackSlot.SPILL)
+        return self.kind == other.kind
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StackSlot):
+            return NotImplemented
+        return self.kind == other.kind and self.value == other.value
+
+    def __str__(self) -> str:
+        if self.kind == StackSlot.SPILL:
+            return f"spill({self.value})"
+        return self.kind
+
+
+@dataclass
+class AbstractState:
+    """Registers plus stack: the verifier's per-program-point state."""
+
+    regs: List[RegState] = field(
+        default_factory=lambda: [RegState.not_init()] * isa.MAX_REG
+    )
+    stack: Dict[int, StackSlot] = field(default_factory=dict)
+    # Slot keys are negative frame offsets aligned to 8: -8, -16, ..., -512.
+
+    @classmethod
+    def entry_state(cls) -> "AbstractState":
+        """The state at program entry: r1 = ctx pointer, r10 = frame ptr."""
+        state = cls()
+        state.regs[1] = RegState.ctx_ptr()
+        state.regs[isa.FP_REG] = RegState.stack_ptr()
+        return state
+
+    def copy(self) -> "AbstractState":
+        return AbstractState(list(self.regs), dict(self.stack))
+
+    def slot_for(self, offset: int) -> StackSlot:
+        return self.stack.get(offset, StackSlot.unwritten())
+
+    def join(self, other: "AbstractState") -> "AbstractState":
+        regs = [a.join(b) for a, b in zip(self.regs, other.regs)]
+        stack: Dict[int, StackSlot] = {}
+        for key in set(self.stack) | set(other.stack):
+            merged = self.slot_for(key).join(other.slot_for(key))
+            if merged.kind != StackSlot.UNWRITTEN:
+                stack[key] = merged
+        return AbstractState(regs, stack)
+
+    def leq(self, other: "AbstractState") -> bool:
+        if not all(a.leq(b) for a, b in zip(self.regs, other.regs)):
+            return False
+        return all(
+            self.slot_for(k).leq(other.slot_for(k))
+            for k in set(self.stack) | set(other.stack)
+        )
+
+    def __str__(self) -> str:
+        regs = ", ".join(
+            f"r{i}={r}" for i, r in enumerate(self.regs) if r.is_init()
+        )
+        stack = ", ".join(f"[{k}]={v}" for k, v in sorted(self.stack.items()))
+        return f"{{{regs}}} stack{{{stack}}}"

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+-----------
+``verify FILE``
+    Assemble a BPF text file and run the miniature verifier.
+``run FILE``
+    Assemble and execute concretely; prints r0.
+``analyze FILE``
+    Verify and dump the abstract register state at every instruction.
+``asm FILE -o OUT`` / ``disasm FILE``
+    Assemble to kernel-format bytecode / disassemble it back.
+``check-op OP``
+    Bounded verification of one tnum operator (SAT, exhaustive, or
+    randomized).
+``eval {fig4,fig5,table1}``
+    Regenerate a paper artifact at a chosen scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tristate-number (tnum) abstract interpretation toolkit "
+        "— CGO 2022 reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_verify = sub.add_parser("verify", help="statically verify a BPF program")
+    p_verify.add_argument("file", help="assembly text file ('-' for stdin)")
+    p_verify.add_argument("--ctx-size", type=int, default=64,
+                          help="context size in bytes (default 64)")
+
+    p_run = sub.add_parser("run", help="execute a BPF program concretely")
+    p_run.add_argument("file")
+    p_run.add_argument("--ctx", default="",
+                       help="context bytes as hex (zero-padded to --ctx-size)")
+    p_run.add_argument("--ctx-size", type=int, default=64)
+    p_run.add_argument("--trace", action="store_true",
+                       help="print the executed instruction indices")
+
+    p_an = sub.add_parser("analyze",
+                          help="dump abstract states at every instruction")
+    p_an.add_argument("file")
+    p_an.add_argument("--ctx-size", type=int, default=64)
+
+    p_asm = sub.add_parser("asm", help="assemble to kernel-format bytecode")
+    p_asm.add_argument("file")
+    p_asm.add_argument("-o", "--output", required=True)
+
+    p_dis = sub.add_parser("disasm", help="disassemble kernel-format bytecode")
+    p_dis.add_argument("file")
+
+    p_chk = sub.add_parser("check-op",
+                           help="bounded verification of a tnum operator")
+    p_chk.add_argument("op", help="add, sub, mul, kern_mul, bitwise_mul, "
+                                  "and, or, xor, lsh, rsh, arsh, ...")
+    p_chk.add_argument("--width", type=int, default=8)
+    p_chk.add_argument("--method", choices=("sat", "exhaustive", "random"),
+                       default="sat")
+    p_chk.add_argument("--trials", type=int, default=10_000,
+                       help="trials for --method random")
+
+    p_eval = sub.add_parser("eval", help="regenerate a paper artifact")
+    p_eval.add_argument("artifact", choices=("fig4", "fig5", "table1"))
+    p_eval.add_argument("--width", type=int, default=5,
+                        help="tnum width for fig4/table1 (default 5)")
+    p_eval.add_argument("--pairs", type=int, default=2000,
+                        help="input pairs for fig5 (default 2000)")
+
+    return parser
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r") as handle:
+        return handle.read()
+
+
+def _cmd_verify(args) -> int:
+    from repro.bpf import assemble
+    from repro.bpf.verifier import Verifier
+
+    program = assemble(_read_text(args.file))
+    result = Verifier(ctx_size=args.ctx_size).verify(program)
+    if result.ok:
+        print(f"OK: {len(program)} instructions, "
+              f"{result.insns_processed} analyzed")
+        return 0
+    for message in result.error_messages():
+        print(f"REJECTED: {message}")
+    return 1
+
+
+def _cmd_run(args) -> int:
+    from repro.bpf import Machine, assemble
+
+    program = assemble(_read_text(args.file))
+    ctx = bytes.fromhex(args.ctx) if args.ctx else b""
+    ctx = ctx.ljust(args.ctx_size, b"\x00")
+    machine = Machine(ctx=ctx, record_trace=args.trace)
+    outcome = machine.run(program)
+    print(f"r0 = {outcome.return_value} ({outcome.return_value:#x}) "
+          f"in {outcome.steps} steps")
+    if args.trace:
+        print("trace:", " ".join(map(str, outcome.trace)))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.bpf import assemble
+    from repro.bpf.verifier import Verifier
+
+    program = assemble(_read_text(args.file))
+    verifier = Verifier(ctx_size=args.ctx_size, collect_states=True)
+    result = verifier.verify(program)
+    for idx, insn in enumerate(program):
+        state = verifier.states_at.get(idx)
+        print(f"{idx:>4}: {str(insn):<32} {state if state else '(unreached)'}")
+    if result.ok:
+        print("verdict: OK")
+        return 0
+    for message in result.error_messages():
+        print(f"verdict: REJECTED — {message}")
+    return 1
+
+
+def _cmd_asm(args) -> int:
+    from repro.bpf import assemble
+
+    program = assemble(_read_text(args.file))
+    data = program.to_bytes()
+    with open(args.output, "wb") as handle:
+        handle.write(data)
+    print(f"wrote {len(data)} bytes ({program.total_slots} slots) "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.bpf import Program
+
+    with open(args.file, "rb") as handle:
+        program = Program.from_bytes(handle.read())
+    sys.stdout.write(program.disassemble())
+    return 0
+
+
+def _cmd_check_op(args) -> int:
+    if args.method == "sat":
+        from repro.verify.sat import check_operator_soundness
+
+        report = check_operator_soundness(args.op, args.width)
+        print(report)
+        return 0 if report.sound else 1
+    if args.method == "exhaustive":
+        from repro.core.ops import BINARY_OPS, SHIFT_OPS, UNARY_OPS
+        from repro.verify.exhaustive import (
+            check_shift_soundness,
+            check_soundness,
+            check_unary_soundness,
+        )
+
+        if args.op in BINARY_OPS:
+            report = check_soundness(args.op, args.width)
+        elif args.op in UNARY_OPS:
+            report = check_unary_soundness(args.op, args.width)
+        elif args.op in SHIFT_OPS:
+            report = check_shift_soundness(args.op, args.width)
+        else:
+            print(f"unknown operator {args.op!r}", file=sys.stderr)
+            return 2
+        print(report)
+        return 0 if report.holds else 1
+    from repro.verify.random_check import random_check_operator
+
+    report = random_check_operator(
+        args.op, trials=args.trials, width=args.width
+    )
+    print(report)
+    return 0 if report.passed else 1
+
+
+def _cmd_eval(args) -> int:
+    if args.artifact == "fig5":
+        from repro.eval import (
+            generate_pairs,
+            render_fig5,
+            speedup_summary,
+            time_algorithms,
+        )
+
+        results = time_algorithms(generate_pairs(args.pairs), trials=3)
+        print(render_fig5(results))
+        for name, frac in speedup_summary(results).items():
+            print(f"our_mul vs {name}: {100 * frac:.1f}% faster")
+        return 0
+    if args.artifact == "fig4":
+        from repro.eval import compare_precision, precision_cdf, render_fig4
+
+        comparisons = {
+            name: compare_precision("our_mul", name, args.width)
+            for name in ("kern_mul", "bitwise_mul")
+        }
+        print(render_fig4(
+            {n: precision_cdf(c) for n, c in comparisons.items()}, args.width
+        ))
+        return 0
+    from repro.eval import precision_trend, render_table1
+
+    print(render_table1(precision_trend(range(5, args.width + 1))))
+    return 0
+
+
+_DISPATCH = {
+    "verify": _cmd_verify,
+    "run": _cmd_run,
+    "analyze": _cmd_analyze,
+    "asm": _cmd_asm,
+    "disasm": _cmd_disasm,
+    "check-op": _cmd_check_op,
+    "eval": _cmd_eval,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _DISPATCH[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Raw ``(value, mask)`` kernels for the hot loops.
+
+The kernel's ``tnum.c`` operates on bare ``u64`` pairs with no allocation;
+the multiplication algorithms' relative performance (Fig. 5) depends on
+that.  These helpers mirror that style for the inner loops of the three
+multiplication algorithms, so the Python reproduction preserves the
+paper's cost model (counting word operations, not object constructions).
+
+Each function takes and returns plain integers; ``limit`` is the all-ones
+mask for the working width.  Callers are responsible for passing
+well-formed inputs (``v & m == 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["add_raw", "sub_raw"]
+
+
+def add_raw(v1: int, m1: int, v2: int, m2: int, limit: int) -> Tuple[int, int]:
+    """Listing 1 (``tnum_add``) on bare value/mask words."""
+    sm = (m1 + m2) & limit
+    sv = (v1 + v2) & limit
+    sigma = (sv + sm) & limit
+    chi = sigma ^ sv
+    eta = chi | m1 | m2
+    return sv & ~eta & limit, eta
+
+
+def sub_raw(v1: int, m1: int, v2: int, m2: int, limit: int) -> Tuple[int, int]:
+    """Listing 6 (``tnum_sub``) on bare value/mask words."""
+    dv = (v1 - v2) & limit
+    alpha = (dv + m1) & limit
+    beta = (dv - m2) & limit
+    chi = alpha ^ beta
+    eta = chi | m1 | m2
+    return dv & ~eta & limit, eta

@@ -1,0 +1,64 @@
+"""Abstract addition, subtraction and negation over tnums.
+
+These are faithful ports of the Linux kernel's ``tnum_add`` (Listing 1 of
+the paper) and ``tnum_sub`` (Listing 6), which the paper proves sound *and
+optimal* (maximally precise) for unbounded bitwidths — remarkable because
+they run in O(1) machine operations despite carries rippling between bits.
+
+The intuition (§III-B): ``sv = P.v + Q.v`` produces the carry sequence with
+the *fewest* 1s over all concrete additions (minimum-carries lemma), and
+``Σ = (P.v + P.m) + (Q.v + Q.m)`` produces the one with the *most* 1s
+(maximum-carries lemma).  Bits where the two carry sequences differ are
+exactly the carries that depend on the choice of concrete operands, so they
+— together with the operands' own unknown bits — form the result's mask.
+"""
+
+from __future__ import annotations
+
+from ._raw import add_raw, sub_raw
+from .tnum import Tnum, mask_for_width
+
+__all__ = ["tnum_add", "tnum_sub", "tnum_neg"]
+
+
+def tnum_add(p: Tnum, q: Tnum) -> Tnum:
+    """Kernel tnum addition (Listing 1) — sound and optimal.
+
+    The word-level computation (``sv``, ``sm``, ``Σ``, ``χ``, ``η`` in the
+    paper's naming) lives in :func:`repro.core._raw.add_raw`.
+    """
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+    width = p.width
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(width)
+    v, m = add_raw(p.value, p.mask, q.value, q.mask, mask_for_width(width))
+    return Tnum(v, m, width)
+
+
+def tnum_sub(p: Tnum, q: Tnum) -> Tnum:
+    """Kernel tnum subtraction (Listing 6) — sound and optimal.
+
+    ``dv`` is the difference of values; ``α = dv + P.m`` realizes the
+    fewest borrows and ``β = dv - Q.m`` the most (min/max borrows lemmas,
+    Thm. 22), so ``α ⊕ β`` marks the borrow bits that vary across concrete
+    subtractions.  The word-level computation lives in
+    :func:`repro.core._raw.sub_raw`.
+    """
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+    width = p.width
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(width)
+    v, m = sub_raw(p.value, p.mask, q.value, q.mask, mask_for_width(width))
+    return Tnum(v, m, width)
+
+
+def tnum_neg(p: Tnum) -> Tnum:
+    """Abstract two's-complement negation, as ``0 - p``.
+
+    The kernel has no dedicated ``tnum_neg``; the verifier computes
+    ``BPF_NEG`` through subtraction from the constant zero, which is what
+    we do here.  Sound and optimal because :func:`tnum_sub` is.
+    """
+    return tnum_sub(Tnum.const(0, p.width), p)

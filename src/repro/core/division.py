@@ -1,0 +1,55 @@
+"""Conservative abstract division and modulo.
+
+The paper (§II-B) notes that for ``div`` and ``mod`` "defining a precise
+abstract operator is challenging.  In such cases, the BPF static analyzer
+conservatively and soundly sets all the output trits to unknown."  We do
+the same, with two sound refinements the conservative story permits:
+
+* constant ÷ constant folds exactly (both operands singletons);
+* BPF semantics define division by zero as 0 and modulo by zero as the
+  dividend, so a known-zero divisor also folds.
+
+Everything else returns ⊤, which is trivially sound.
+"""
+
+from __future__ import annotations
+
+from .tnum import Tnum
+
+__all__ = ["tnum_div", "tnum_mod", "concrete_div", "concrete_mod"]
+
+
+def concrete_div(x: int, y: int) -> int:
+    """BPF unsigned division: x / y, with x / 0 == 0."""
+    return 0 if y == 0 else x // y
+
+
+def concrete_mod(x: int, y: int) -> int:
+    """BPF unsigned modulo: x % y, with x % 0 == x."""
+    return x if y == 0 else x % y
+
+
+def tnum_div(p: Tnum, q: Tnum) -> Tnum:
+    """Abstract unsigned division (conservative, kernel-style)."""
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(p.width)
+    if p.is_const() and q.is_const():
+        return Tnum.const(concrete_div(p.value, q.value), p.width)
+    if q.is_const() and q.value == 0:
+        return Tnum.const(0, p.width)
+    return Tnum.unknown(p.width)
+
+
+def tnum_mod(p: Tnum, q: Tnum) -> Tnum:
+    """Abstract unsigned modulo (conservative, kernel-style)."""
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(p.width)
+    if p.is_const() and q.is_const():
+        return Tnum.const(concrete_mod(p.value, q.value), p.width)
+    if q.is_const() and q.value == 0:
+        return p
+    return Tnum.unknown(p.width)

@@ -1,0 +1,99 @@
+"""Abstraction (α) and concretization (γ) for the tnum domain.
+
+The Galois connection (Thm. 28 of the paper) between the concrete poset
+``(2^Zn, ⊆)`` and the abstract poset ``(Tn, ⊑A)``:
+
+* ``α(C) = (AND of C, AND of C ⊕ OR of C)`` — Eqn. 5.  The AND collects bits
+  set in every member; ``AND ⊕ OR`` marks bits that differ across members.
+* ``γ(P) = {c : c & ~P.mask == P.value}`` — Eqn. 7.
+
+``γ`` lives on :class:`~repro.core.tnum.Tnum` as :meth:`concretize`,
+:meth:`contains` and :meth:`cardinality`; this module provides ``α``, set
+helpers and the optimal ("best") abstract transformer ``α ∘ f ∘ γ`` used as
+the precision oracle in tests and the optimality checker.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Callable, Iterable, List, Set
+
+from .tnum import Tnum, mask_for_width
+
+__all__ = [
+    "abstract",
+    "concretize_set",
+    "gamma",
+    "best_transformer_unary",
+    "best_transformer_binary",
+    "is_exact_abstraction",
+]
+
+
+def abstract(values: Iterable[int], width: int) -> Tnum:
+    """The abstraction function α over a concrete set (Eqn. 5).
+
+    Returns ⊥ for the empty set.  Input values are reduced mod ``2**width``.
+    """
+    limit = mask_for_width(width)
+    all_and = None
+    all_or = 0
+    for raw in values:
+        c = raw & limit
+        all_and = c if all_and is None else all_and & c
+        all_or |= c
+    if all_and is None:
+        return Tnum.bottom(width)
+    mask = all_and ^ all_or
+    return Tnum(all_and & ~mask, mask, width)
+
+
+def gamma(t: Tnum) -> Set[int]:
+    """γ as an explicit Python set.  Only sensible for small widths."""
+    return set(t.concretize())
+
+
+def concretize_set(tnums: Iterable[Tnum]) -> Set[int]:
+    """Union of γ over several tnums."""
+    return reduce(lambda acc, t: acc | gamma(t), tnums, set())
+
+
+def best_transformer_unary(
+    op: Callable[[int], int], t: Tnum
+) -> Tnum:
+    """The optimal abstraction ``α ∘ op ∘ γ`` of a unary concrete operator.
+
+    Exponential in the number of unknown bits — use only at small widths.
+    This is the maximal-precision oracle from §II ("Optimality").
+    """
+    width = t.width
+    limit = mask_for_width(width)
+    return abstract((op(x) & limit for x in t.concretize()), width)
+
+
+def best_transformer_binary(
+    op: Callable[[int, int], int], p: Tnum, q: Tnum
+) -> Tnum:
+    """The optimal abstraction ``α ∘ op ∘ (γ × γ)`` of a binary operator.
+
+    The paper notes this is infeasible at scale (up to 2^2n concrete
+    evaluations); we use it as the ground-truth oracle for optimality
+    checks at small widths.
+    """
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+    width = p.width
+    limit = mask_for_width(width)
+    outputs: List[int] = []
+    for x in p.concretize():
+        for y in q.concretize():
+            outputs.append(op(x, y) & limit)
+    return abstract(outputs, width)
+
+
+def is_exact_abstraction(t: Tnum, values: Iterable[int]) -> bool:
+    """True iff ``γ(t)`` equals the given concrete set exactly.
+
+    Fig. 1's example: α({2,3}) = 1µ is exact, α({1,2,3}) = µµ is not.
+    """
+    return gamma(t) == {v & mask_for_width(t.width) for v in values}

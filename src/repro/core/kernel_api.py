@@ -1,0 +1,159 @@
+"""Drop-in facade matching the Linux kernel's ``tnum.h`` API.
+
+For readers coming from ``kernel/bpf/tnum.c``, this module exposes the
+exact kernel names and calling conventions on top of the library's
+operators, including the handful of utilities the paper does not discuss
+(``tnum_in``, ``tnum_strn``, subregister helpers).  Everything operates
+on 64-bit tnums, as in the kernel.
+
+======================  =========================================
+kernel                  here
+======================  =========================================
+``TNUM(v, m)``          :func:`TNUM`
+``tnum_const(v)``       :func:`tnum_const`
+``tnum_unknown``        :data:`tnum_unknown`
+``tnum_range(lo, hi)``  :func:`tnum_range`
+``tnum_add/sub/...``    re-exported from :mod:`repro.core`
+``tnum_intersect``      :func:`tnum_intersect` (lattice meet)
+``tnum_union``          :func:`tnum_union` (lattice join)
+``tnum_in(a, b)``       :func:`tnum_in` (b refines a?)
+``tnum_is_const``       :func:`tnum_is_const`
+``tnum_is_aligned``     :func:`tnum_is_aligned`
+``tnum_cast``           :func:`tnum_cast`
+``tnum_subreg``         :func:`tnum_subreg`
+``tnum_clear_subreg``   :func:`tnum_clear_subreg`
+``tnum_const_subreg``   :func:`tnum_const_subreg`
+``tnum_strn``           :func:`tnum_strn`
+======================  =========================================
+"""
+
+from __future__ import annotations
+
+from .arithmetic import tnum_add, tnum_neg, tnum_sub  # noqa: F401 (re-export)
+from .bitwise import tnum_and, tnum_or, tnum_xor  # noqa: F401
+from .lattice import join, leq, meet
+from .multiply import our_mul as tnum_mul  # noqa: F401 — the merged algorithm
+from .shifts import tnum_arshift, tnum_lshift, tnum_rshift  # noqa: F401
+from .tnum import Tnum, mask_for_width
+
+__all__ = [
+    "TNUM",
+    "tnum_const",
+    "tnum_unknown",
+    "tnum_range",
+    "tnum_intersect",
+    "tnum_union",
+    "tnum_in",
+    "tnum_is_const",
+    "tnum_is_aligned",
+    "tnum_cast",
+    "tnum_subreg",
+    "tnum_clear_subreg",
+    "tnum_const_subreg",
+    "tnum_strn",
+    # re-exported operators
+    "tnum_add",
+    "tnum_sub",
+    "tnum_neg",
+    "tnum_and",
+    "tnum_or",
+    "tnum_xor",
+    "tnum_mul",
+    "tnum_lshift",
+    "tnum_rshift",
+    "tnum_arshift",
+]
+
+_U64 = mask_for_width(64)
+
+
+def TNUM(value: int, mask: int) -> Tnum:
+    """The kernel's ``TNUM(value, mask)`` constructor macro (64-bit)."""
+    return Tnum(value & _U64, mask & _U64, 64)
+
+
+def tnum_const(value: int) -> Tnum:
+    """Kernel ``tnum_const``: exact abstraction of one u64."""
+    return Tnum.const(value, 64)
+
+
+#: Kernel ``tnum_unknown``: every bit unknown.
+tnum_unknown: Tnum = Tnum.unknown(64)
+
+
+def tnum_range(lo: int, hi: int) -> Tnum:
+    """Kernel ``tnum_range``: tightest tnum covering ``[lo, hi]``."""
+    return Tnum.range(lo & _U64, hi & _U64, 64)
+
+
+def tnum_intersect(a: Tnum, b: Tnum) -> Tnum:
+    """Kernel ``tnum_intersect``: greatest lower bound.
+
+    Unlike the raw kernel code, a contradictory intersection canonicalizes
+    to ⊥ instead of returning an ill-formed pair.
+    """
+    return meet(a, b)
+
+
+def tnum_union(a: Tnum, b: Tnum) -> Tnum:
+    """Kernel ``tnum_union``: least upper bound."""
+    return join(a, b)
+
+
+def tnum_in(a: Tnum, b: Tnum) -> bool:
+    """Kernel ``tnum_in(a, b)``: does ``b`` refine ``a`` (``b ⊑ a``)?
+
+    The kernel uses this to decide whether a tracked register state is
+    subsumed by a previously-verified one (state pruning).
+    """
+    return leq(b, a)
+
+
+def tnum_is_const(a: Tnum) -> bool:
+    """Kernel ``tnum_is_const``: no unknown bits."""
+    return a.is_const()
+
+
+def tnum_is_aligned(a: Tnum, size: int) -> bool:
+    """Kernel ``tnum_is_aligned``: provably ``size``-aligned everywhere."""
+    return a.is_aligned(size)
+
+
+def tnum_cast(a: Tnum, size: int) -> Tnum:
+    """Kernel ``tnum_cast``: truncate to ``size`` *bytes*, zero-extend.
+
+    Note the kernel API takes bytes (1, 2, 4, 8), not bits.
+    """
+    if size not in (1, 2, 4, 8):
+        raise ValueError(f"size {size} bytes unsupported (kernel uses 1/2/4/8)")
+    return a.cast(8 * size).cast(64)
+
+
+def tnum_subreg(a: Tnum) -> Tnum:
+    """Kernel ``tnum_subreg``: the low 32 bits, zero-extended."""
+    return a.subreg()
+
+
+def tnum_clear_subreg(a: Tnum) -> Tnum:
+    """Kernel ``tnum_clear_subreg``: zero the low 32 bits."""
+    high_v = a.value & ~0xFFFF_FFFF & _U64
+    high_m = a.mask & ~0xFFFF_FFFF & _U64
+    return Tnum(high_v, high_m, 64)
+
+
+def tnum_const_subreg(a: Tnum, value: int) -> Tnum:
+    """Kernel ``tnum_const_subreg``: set the low 32 bits to a constant."""
+    cleared = tnum_clear_subreg(a)
+    return Tnum(
+        cleared.value | (value & 0xFFFF_FFFF), cleared.mask, 64
+    )
+
+
+def tnum_strn(a: Tnum, length: int = 64) -> str:
+    """Kernel ``tnum_strn``: render as a trit string of up to ``length``.
+
+    The kernel prints msb-first with 'x' for unknown trits; we keep that
+    convention here (``µ`` rendering lives on ``Tnum.__str__``).
+    """
+    full = a.to_trits().replace("µ", "x")
+    return full[-length:] if length < 64 else full

@@ -1,0 +1,157 @@
+"""Lattice structure of the tnum abstract domain.
+
+The abstract poset is ``(Tn, ⊑A)`` where ``P ⊑A Q`` iff every trit that is
+certain in ``Q`` is identical in ``P``, and every µ trit of ``P`` is µ in
+``Q`` (Eqn. 2 of the paper).  Equivalently, on the ``(value, mask)``
+implementation: ``P``'s unknown bits are a subset of ``Q``'s and they agree
+on ``Q``'s known bits.
+
+This module supplies the order relation, the least upper bound (join — the
+kernel's ``tnum_union``), the greatest lower bound (meet — the kernel's
+``tnum_intersect``), and comparability helpers used by the precision
+experiments (§IV.A of the paper compares multiplication outputs under ⊑A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .tnum import Tnum, mask_for_width
+
+__all__ = [
+    "leq",
+    "lt",
+    "comparable",
+    "join",
+    "meet",
+    "join_all",
+    "is_more_precise",
+    "enumerate_tnums",
+]
+
+
+def _check_widths(p: Tnum, q: Tnum) -> None:
+    if p.width != q.width:
+        raise ValueError(f"width mismatch: {p.width} vs {q.width}")
+
+
+def leq(p: Tnum, q: Tnum) -> bool:
+    """The abstract order ``p ⊑A q`` (``γ(p) ⊆ γ(q)``).
+
+    Bottom is below everything; top is above everything.
+    """
+    _check_widths(p, q)
+    if p.is_bottom():
+        return True
+    if q.is_bottom():
+        return False
+    # p's unknowns must be a subset of q's unknowns...
+    if p.mask & ~q.mask:
+        return False
+    # ...and p must agree with q wherever q is certain.
+    known_q = ~q.mask & mask_for_width(q.width)
+    return (p.value & known_q) == q.value
+
+
+def lt(p: Tnum, q: Tnum) -> bool:
+    """Strict order ``p ⊏A q``."""
+    return p != q and leq(p, q)
+
+
+def comparable(p: Tnum, q: Tnum) -> bool:
+    """True iff ``p ⊑A q`` or ``q ⊑A p``.
+
+    The paper observes (§IV.A) that at bitwidth 8 the outputs of the three
+    multiplication algorithms are always pairwise comparable, but gives a
+    width-9 counterexample; this predicate is what that study uses.
+    """
+    return leq(p, q) or leq(q, p)
+
+
+def join(p: Tnum, q: Tnum) -> Tnum:
+    """Least upper bound ``p ⊔ q`` (kernel ``tnum_union``).
+
+    The result's unknown bits are those unknown in either input plus those
+    where the inputs' known values disagree.
+    """
+    _check_widths(p, q)
+    if p.is_bottom():
+        return q
+    if q.is_bottom():
+        return p
+    v = p.value ^ q.value
+    mu = p.mask | q.mask | v
+    return Tnum(p.value & ~mu & mask_for_width(p.width), mu, p.width)
+
+
+def meet(p: Tnum, q: Tnum) -> Tnum:
+    """Greatest lower bound ``p ⊓ q`` (kernel ``tnum_intersect``).
+
+    Bits known in either input become known in the result.  If the inputs
+    disagree on a known bit, the meet is bottom (empty intersection) —
+    note the kernel's own ``tnum_intersect`` does *not* detect this and can
+    return an ill-formed tnum; we canonicalize to ⊥.
+    """
+    _check_widths(p, q)
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(p.width)
+    # Conflict: a bit known 1 in one and known 0 in the other.
+    known_both = ~p.mask & ~q.mask & mask_for_width(p.width)
+    if (p.value ^ q.value) & known_both:
+        return Tnum.bottom(p.width)
+    v = p.value | q.value
+    mu = p.mask & q.mask
+    # Bits known in only one input adopt that input's value; v already
+    # collects all known-1 bits and mu keeps only bits unknown in both.
+    return Tnum(v & ~mu & mask_for_width(p.width), mu, p.width)
+
+
+def join_all(tnums: Iterable[Tnum], width: Optional[int] = None) -> Tnum:
+    """Join of an iterable of tnums; ⊥ for an empty iterable.
+
+    ``width`` is required when the iterable may be empty.
+    """
+    result: Optional[Tnum] = None
+    for t in tnums:
+        result = t if result is None else join(result, t)
+    if result is None:
+        if width is None:
+            raise ValueError("width required for empty join")
+        return Tnum.bottom(width)
+    return result
+
+
+def is_more_precise(p: Tnum, q: Tnum) -> bool:
+    """True iff ``p`` is strictly more precise than ``q`` (``p ⊏A q``).
+
+    This is the relation used in §IV.A: ``R1`` is more precise than ``R2``
+    when ``R1 != R2`` and ``γ(R1) ⊆ γ(R2)``.
+    """
+    return lt(p, q)
+
+
+def enumerate_tnums(width: int, include_bottom: bool = False) -> List[Tnum]:
+    """All well-formed tnums of the given width (3^width of them).
+
+    The precision experiments (Fig. 4, Table I) iterate over all pairs from
+    this list.  Order: lexicographic over trits with lsb varying fastest,
+    which is deterministic across runs.
+    """
+    result: List[Tnum] = []
+    if include_bottom:
+        result.append(Tnum.bottom(width))
+    # Each trit independently ranges over {0, 1, µ}; encode in base 3.
+    total = 3 ** width
+    for code in range(total):
+        value = 0
+        mask = 0
+        c = code
+        for bit in range(width):
+            trit = c % 3
+            c //= 3
+            if trit == 1:
+                value |= 1 << bit
+            elif trit == 2:
+                mask |= 1 << bit
+        result.append(Tnum(value, mask, width))
+    return result

@@ -1,0 +1,122 @@
+"""Abstract shift operators over tnums.
+
+Constant-amount shifts are bit-parallel on ``(value, mask)`` and are sound
+and optimal (Miné 2012); the paper verified the kernel's versions to 64
+bits.  Arithmetic right shift follows the kernel's ``tnum_arshift``:
+shifting the value and the mask as *signed* quantities propagates a known
+sign bit into the vacated positions of the value, and an unknown sign bit
+into the vacated positions of the mask — both are exactly what soundness
+requires.
+
+BPF shift instructions take a register shift amount, which the analyzer
+sees as a tnum.  The ``*_tnum`` variants here join the results over every
+feasible effective shift amount (there are at most ``width`` of them, since
+hardware masks the count), matching how an analyzer can stay precise for
+partially-known shift counts.
+"""
+
+from __future__ import annotations
+
+from .lattice import join_all
+from .tnum import Tnum, mask_for_width
+
+__all__ = [
+    "tnum_lshift",
+    "tnum_rshift",
+    "tnum_arshift",
+    "tnum_lshift_tnum",
+    "tnum_rshift_tnum",
+    "tnum_arshift_tnum",
+    "effective_shift_amounts",
+]
+
+
+def _check_shift(p: Tnum, shift: int) -> None:
+    if shift < 0:
+        raise ValueError(f"negative shift {shift}")
+    if shift >= p.width:
+        raise ValueError(
+            f"shift {shift} out of range for width {p.width}; "
+            "mask the amount first (BPF semantics: count mod width)"
+        )
+
+
+def tnum_lshift(p: Tnum, shift: int) -> Tnum:
+    """Kernel ``tnum_lshift``: shift value and mask left, truncate."""
+    _check_shift(p, shift)
+    if p.is_bottom():
+        return p
+    limit = mask_for_width(p.width)
+    return Tnum((p.value << shift) & limit, (p.mask << shift) & limit, p.width)
+
+
+def tnum_rshift(p: Tnum, shift: int) -> Tnum:
+    """Kernel ``tnum_rshift``: logical right shift of value and mask."""
+    _check_shift(p, shift)
+    if p.is_bottom():
+        return p
+    return Tnum(p.value >> shift, p.mask >> shift, p.width)
+
+
+def _as_signed(x: int, width: int) -> int:
+    """Reinterpret an unsigned ``width``-bit pattern as two's complement."""
+    sign = 1 << (width - 1)
+    return x - (1 << width) if x & sign else x
+
+
+def tnum_arshift(p: Tnum, shift: int) -> Tnum:
+    """Kernel ``tnum_arshift``: arithmetic right shift.
+
+    Value and mask are each shifted as signed numbers.  A known-1 sign bit
+    replicates into the value (result bits known 1); an unknown sign bit
+    replicates into the mask (result bits unknown).
+    """
+    _check_shift(p, shift)
+    if p.is_bottom():
+        return p
+    limit = mask_for_width(p.width)
+    v = (_as_signed(p.value, p.width) >> shift) & limit
+    m = (_as_signed(p.mask, p.width) >> shift) & limit
+    # If the sign bit is unknown, replicated mask bits overlap the
+    # (zero) replicated value bits, staying well-formed; if the sign is a
+    # known 1, replicated value bits overlap zero mask bits. Either way
+    # v & m == 0 holds, but guard for safety via the Tnum constructor.
+    return Tnum(v & ~m, m, p.width)
+
+
+def effective_shift_amounts(shift: Tnum) -> set:
+    """All feasible effective shift counts for a tnum-valued amount.
+
+    Hardware (and BPF) reduce the count modulo the width, so only the low
+    ``log2(width)`` bits matter.  ``width`` must be a power of two.
+    """
+    width = shift.width
+    if width & (width - 1):
+        raise ValueError("effective shifts require power-of-two width")
+    bits = width.bit_length() - 1
+    low = shift.cast(max(bits, 1))
+    return set(low.concretize())
+
+
+def _shift_by_tnum(p: Tnum, shift: Tnum, op) -> Tnum:
+    if p.width != shift.width:
+        raise ValueError(f"width mismatch: {p.width} vs {shift.width}")
+    if p.is_bottom() or shift.is_bottom():
+        return Tnum.bottom(p.width)
+    amounts = effective_shift_amounts(shift)
+    return join_all((op(p, a) for a in amounts), width=p.width)
+
+
+def tnum_lshift_tnum(p: Tnum, shift: Tnum) -> Tnum:
+    """Left shift by a tnum amount: join over feasible counts."""
+    return _shift_by_tnum(p, shift, tnum_lshift)
+
+
+def tnum_rshift_tnum(p: Tnum, shift: Tnum) -> Tnum:
+    """Logical right shift by a tnum amount: join over feasible counts."""
+    return _shift_by_tnum(p, shift, tnum_rshift)
+
+
+def tnum_arshift_tnum(p: Tnum, shift: Tnum) -> Tnum:
+    """Arithmetic right shift by a tnum amount: join over feasible counts."""
+    return _shift_by_tnum(p, shift, tnum_arshift)

@@ -1,0 +1,23 @@
+"""Companion abstract domains used by the BPF verifier substrate.
+
+* :class:`Interval` — unsigned range domain (kernel ``umin``/``umax``).
+* :class:`KnownBits` — LLVM-style encoding, isomorphic to tnums.
+* :class:`ScalarValue` — reduced product tnum × interval, the verifier's
+  per-register scalar state.
+"""
+
+from .interval import Interval, signed_bounds, to_signed, to_unsigned
+from .known_bits import KnownBits
+from .product import ScalarValue
+from .signed_interval import SignedInterval, deduce_bounds
+
+__all__ = [
+    "Interval",
+    "KnownBits",
+    "ScalarValue",
+    "SignedInterval",
+    "deduce_bounds",
+    "signed_bounds",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,255 @@
+"""Unsigned and signed interval domains, kernel `bpf_reg_state`-style.
+
+The Linux BPF verifier tracks, alongside the tnum, unsigned bounds
+``[umin, umax]`` and signed bounds ``[smin, smax]`` for every scalar
+register.  The tnum domain alone cannot represent contiguous ranges
+precisely (e.g. ``[3, 5]`` abstracts to ``0µµ`` ⊇ {0..7} over 3 bits), so
+the two domains cooperate (see :mod:`repro.domains.product`).
+
+This module implements the unsigned interval lattice with the abstract
+transformers the verifier needs: add/sub/mul with overflow-aware widening
+to ⊤, bitwise ops bounded via tnum conversion, and branch refinement for
+the BPF conditional jumps (``<``, ``<=``, ``>``, ``>=``, ``==``, ``!=`` in
+both signednesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.tnum import Tnum, mask_for_width
+
+__all__ = ["Interval", "signed_bounds", "to_signed", "to_unsigned"]
+
+
+def to_signed(x: int, width: int) -> int:
+    """Reinterpret an unsigned width-bit pattern as two's complement."""
+    sign = 1 << (width - 1)
+    return x - (1 << width) if x & sign else x
+
+
+def to_unsigned(x: int, width: int) -> int:
+    """Reduce a signed value into its unsigned width-bit pattern."""
+    return x & mask_for_width(width)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An unsigned interval ``[umin, umax]`` over width-bit words.
+
+    ``umin > umax`` is normalized to the canonical bottom (empty) interval.
+    The signed view is derived on demand (:meth:`smin` / :meth:`smax`),
+    mirroring how the kernel keeps both bound families in sync.
+    """
+
+    umin: int
+    umax: int
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        limit = mask_for_width(self.width)
+        if not (0 <= self.umin <= limit and 0 <= self.umax <= limit):
+            if self.umin <= self.umax:  # genuine out-of-range, not bottom
+                raise ValueError(
+                    f"bounds [{self.umin}, {self.umax}] out of width-{self.width} range"
+                )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def top(cls, width: int = 64) -> "Interval":
+        return cls(0, mask_for_width(width), width)
+
+    @classmethod
+    def bottom(cls, width: int = 64) -> "Interval":
+        return cls(1, 0, width)
+
+    @classmethod
+    def const(cls, value: int, width: int = 64) -> "Interval":
+        v = value & mask_for_width(width)
+        return cls(v, v, width)
+
+    @classmethod
+    def from_tnum(cls, t: Tnum) -> "Interval":
+        """Tightest interval containing γ(t): ``[t.value, t.value|t.mask]``."""
+        if t.is_bottom():
+            return cls.bottom(t.width)
+        return cls(t.min_value(), t.max_value(), t.width)
+
+    # -- predicates ----------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        return self.umin > self.umax
+
+    def is_top(self) -> bool:
+        return self.umin == 0 and self.umax == mask_for_width(self.width)
+
+    def is_const(self) -> bool:
+        return self.umin == self.umax
+
+    def contains(self, value: int) -> bool:
+        value &= mask_for_width(self.width)
+        return self.umin <= value <= self.umax
+
+    def cardinality(self) -> int:
+        if self.is_bottom():
+            return 0
+        return self.umax - self.umin + 1
+
+    # -- signed view -----------------------------------------------------------
+
+    def smin(self) -> int:
+        """Best signed lower bound derivable from the unsigned bounds."""
+        lo, hi = signed_bounds(self.umin, self.umax, self.width)
+        return lo
+
+    def smax(self) -> int:
+        """Best signed upper bound derivable from the unsigned bounds."""
+        lo, hi = signed_bounds(self.umin, self.umax, self.width)
+        return hi
+
+    # -- lattice -----------------------------------------------------------
+
+    def leq(self, other: "Interval") -> bool:
+        self._check(other)
+        if self.is_bottom():
+            return True
+        if other.is_bottom():
+            return False
+        return other.umin <= self.umin and self.umax <= other.umax
+
+    def join(self, other: "Interval") -> "Interval":
+        self._check(other)
+        if self.is_bottom():
+            return other
+        if other.is_bottom():
+            return self
+        return Interval(
+            min(self.umin, other.umin), max(self.umax, other.umax), self.width
+        )
+
+    def meet(self, other: "Interval") -> "Interval":
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        lo = max(self.umin, other.umin)
+        hi = min(self.umax, other.umax)
+        if lo > hi:
+            return Interval.bottom(self.width)
+        return Interval(lo, hi, self.width)
+
+    def _check(self, other: "Interval") -> None:
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+
+    # -- transformers --------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        """Abstract addition; widens to ⊤ on possible unsigned overflow."""
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        limit = mask_for_width(self.width)
+        lo = self.umin + other.umin
+        hi = self.umax + other.umax
+        if hi > limit:
+            return Interval.top(self.width)
+        return Interval(lo, hi, self.width)
+
+    def sub(self, other: "Interval") -> "Interval":
+        """Abstract subtraction; widens to ⊤ on possible underflow."""
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        lo = self.umin - other.umax
+        if lo < 0:
+            return Interval.top(self.width)
+        return Interval(lo, self.umax - other.umin, self.width)
+
+    def mul(self, other: "Interval") -> "Interval":
+        """Abstract multiplication; widens to ⊤ on possible overflow."""
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        limit = mask_for_width(self.width)
+        hi = self.umax * other.umax
+        if hi > limit:
+            return Interval.top(self.width)
+        return Interval(self.umin * other.umin, hi, self.width)
+
+    def neg(self) -> "Interval":
+        """Abstract negation (exact only for constants; else ⊤)."""
+        if self.is_bottom():
+            return self
+        if self.is_const():
+            return Interval.const(-self.umin, self.width)
+        return Interval.top(self.width)
+
+    # -- branch refinement -----------------------------------------------------
+
+    def refine_ult(self, bound: int) -> "Interval":
+        """Assume ``self < bound`` (unsigned)."""
+        if bound == 0:
+            return Interval.bottom(self.width)
+        return self.meet(Interval(0, bound - 1, self.width))
+
+    def refine_ule(self, bound: int) -> "Interval":
+        """Assume ``self <= bound`` (unsigned)."""
+        return self.meet(Interval(0, bound, self.width))
+
+    def refine_ugt(self, bound: int) -> "Interval":
+        """Assume ``self > bound`` (unsigned)."""
+        limit = mask_for_width(self.width)
+        if bound == limit:
+            return Interval.bottom(self.width)
+        return self.meet(Interval(bound + 1, limit, self.width))
+
+    def refine_uge(self, bound: int) -> "Interval":
+        """Assume ``self >= bound`` (unsigned)."""
+        return self.meet(Interval(bound, mask_for_width(self.width), self.width))
+
+    def refine_eq(self, bound: int) -> "Interval":
+        """Assume ``self == bound``."""
+        return self.meet(Interval.const(bound, self.width))
+
+    def refine_ne(self, bound: int) -> "Interval":
+        """Assume ``self != bound`` — shrinks only at the edges."""
+        if self.is_bottom():
+            return self
+        b = bound & mask_for_width(self.width)
+        if self.is_const() and self.umin == b:
+            return Interval.bottom(self.width)
+        if self.umin == b:
+            return Interval(self.umin + 1, self.umax, self.width)
+        if self.umax == b:
+            return Interval(self.umin, self.umax - 1, self.width)
+        return self
+
+    # -- conversion -----------------------------------------------------------
+
+    def to_tnum(self) -> Tnum:
+        """The tightest tnum covering this range (kernel ``tnum_range``)."""
+        if self.is_bottom():
+            return Tnum.bottom(self.width)
+        return Tnum.range(self.umin, self.umax, self.width)
+
+    def __str__(self) -> str:
+        if self.is_bottom():
+            return "⊥"
+        return f"[{self.umin}, {self.umax}]u{self.width}"
+
+
+def signed_bounds(umin: int, umax: int, width: int) -> Tuple[int, int]:
+    """Best signed bounds for the unsigned range ``[umin, umax]``.
+
+    If the range stays within one sign half it maps directly; if it
+    straddles the sign boundary the signed range covers the full signed
+    span of the straddled region.
+    """
+    sign = 1 << (width - 1)
+    if umax < sign or umin >= sign:
+        # All non-negative, or all negative: order-preserving.
+        return to_signed(umin, width), to_signed(umax, width)
+    # Straddles: contains both 2^{w-1}-1 (max signed) and -2^{w-1}.
+    return -(1 << (width - 1)), (1 << (width - 1)) - 1

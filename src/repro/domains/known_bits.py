@@ -1,0 +1,138 @@
+"""LLVM-style KnownBits domain and conversions to/from tnums.
+
+LLVM's dataflow analyses (ValueTracking, GlobalISel) track the same
+information as tnums but encode it as two masks: ``zeros`` (bits known to
+be 0) and ``ones`` (bits known to be 1); a bit unknown in both masks is µ.
+The paper (§V) notes its results transfer to this domain.  This module
+provides the encoding, the isomorphism with tnums, and KnownBits-native
+transformers implemented *via* that isomorphism — demonstrating that the
+two domains are interchangeable representations of the same lattice.
+
+======================  =====================
+KnownBits               tnum
+======================  =====================
+``ones``                ``value``
+``~(zeros | ones)``     ``mask``
+``zeros & ones != 0``   ill-formed (⊥)
+======================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    our_mul,
+    tnum_add,
+    tnum_and,
+    tnum_or,
+    tnum_sub,
+    tnum_xor,
+)
+from repro.core.tnum import Tnum, mask_for_width
+
+__all__ = ["KnownBits"]
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """LLVM-style known-bits: disjoint known-zero / known-one masks."""
+
+    zeros: int
+    ones: int
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        limit = mask_for_width(self.width)
+        if not (0 <= self.zeros <= limit and 0 <= self.ones <= limit):
+            raise ValueError("masks out of range for width")
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def from_tnum(cls, t: Tnum) -> "KnownBits":
+        """Encode a tnum; ⊥ maps to the (conflicting) all-known pattern."""
+        limit = mask_for_width(t.width)
+        if t.is_bottom():
+            return cls(limit, limit, t.width)
+        zeros = ~(t.value | t.mask) & limit
+        return cls(zeros, t.value, t.width)
+
+    def to_tnum(self) -> Tnum:
+        """Decode to a tnum; conflicting bits collapse to ⊥."""
+        limit = mask_for_width(self.width)
+        if self.zeros & self.ones:
+            return Tnum.bottom(self.width)
+        mask = ~(self.zeros | self.ones) & limit
+        return Tnum(self.ones, mask, self.width)
+
+    @classmethod
+    def const(cls, value: int, width: int = 64) -> "KnownBits":
+        v = value & mask_for_width(width)
+        return cls(~v & mask_for_width(width), v, width)
+
+    @classmethod
+    def unknown(cls, width: int = 64) -> "KnownBits":
+        return cls(0, 0, width)
+
+    # -- queries (LLVM API names) ----------------------------------------------
+
+    def is_constant(self) -> bool:
+        """LLVM ``KnownBits::isConstant`` — every bit known."""
+        return (self.zeros | self.ones) == mask_for_width(self.width)
+
+    def get_constant(self) -> int:
+        if not self.is_constant():
+            raise ValueError("not a constant")
+        return self.ones
+
+    def has_conflict(self) -> bool:
+        """LLVM ``KnownBits::hasConflict`` — a bit both known-0 and known-1."""
+        return bool(self.zeros & self.ones)
+
+    def count_min_leading_zeros(self) -> int:
+        """Minimum number of leading zero bits over all concrete values."""
+        known_zero_prefix = 0
+        for i in reversed(range(self.width)):
+            if (self.zeros >> i) & 1:
+                known_zero_prefix += 1
+            else:
+                break
+        return known_zero_prefix
+
+    def count_max_active_bits(self) -> int:
+        """Max possible position of the highest set bit, plus one."""
+        return self.width - self.count_min_leading_zeros()
+
+    def unknown_bits(self) -> int:
+        return ~(self.zeros | self.ones) & mask_for_width(self.width)
+
+    # -- transformers (via the tnum isomorphism) --------------------------------
+
+    def _lift2(self, other: "KnownBits", op) -> "KnownBits":
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+        return KnownBits.from_tnum(op(self.to_tnum(), other.to_tnum()))
+
+    def add(self, other: "KnownBits") -> "KnownBits":
+        """Abstract addition — inherits soundness/optimality from tnum_add."""
+        return self._lift2(other, tnum_add)
+
+    def sub(self, other: "KnownBits") -> "KnownBits":
+        return self._lift2(other, tnum_sub)
+
+    def mul(self, other: "KnownBits") -> "KnownBits":
+        """Abstract multiplication via the paper's ``our_mul``."""
+        return self._lift2(other, our_mul)
+
+    def and_(self, other: "KnownBits") -> "KnownBits":
+        return self._lift2(other, tnum_and)
+
+    def or_(self, other: "KnownBits") -> "KnownBits":
+        return self._lift2(other, tnum_or)
+
+    def xor(self, other: "KnownBits") -> "KnownBits":
+        return self._lift2(other, tnum_xor)
+
+    def __str__(self) -> str:
+        return str(self.to_tnum())

@@ -1,0 +1,226 @@
+"""Reduced product of the tnum and interval domains.
+
+The BPF verifier's scalar register state is (essentially) a reduced
+product: a tnum plus unsigned/signed ranges that are repeatedly *synced*
+against each other (kernel ``reg_bounds_sync`` / ``__update_reg_bounds`` /
+``__reg_deduce_bounds``).  Each domain sharpens the other:
+
+* the tnum bounds the range: any concrete value lies in
+  ``[t.value, t.value | t.mask]``;
+* the range bounds the tnum: the shared high-order prefix of ``umin`` and
+  ``umax`` is known, so ``tnum_range(umin, umax)`` can be intersected in.
+
+This mutual refinement is what lets the verifier prove facts like
+``x & 0xf <= 15`` *and* ``x - x == 0`` that neither domain proves alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import (
+    our_mul,
+    tnum_add,
+    tnum_and,
+    tnum_arshift,
+    tnum_div,
+    tnum_lshift,
+    tnum_mod,
+    tnum_neg,
+    tnum_or,
+    tnum_rshift,
+    tnum_sub,
+    tnum_xor,
+)
+from repro.core.lattice import join as tnum_join
+from repro.core.lattice import leq as tnum_leq
+from repro.core.lattice import meet as tnum_meet
+from repro.core.tnum import Tnum
+
+from .interval import Interval
+
+__all__ = ["ScalarValue"]
+
+
+@dataclass(frozen=True)
+class ScalarValue:
+    """A scalar abstract value: tnum × unsigned interval, kept in sync.
+
+    Construct via :meth:`make` (which reduces) or the ``const`` / ``top`` /
+    ``bottom`` helpers.  All transformer methods return reduced products.
+    """
+
+    tnum: Tnum
+    interval: Interval
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def make(cls, tnum: Tnum, interval: Interval) -> "ScalarValue":
+        """Build and mutually reduce the two components."""
+        return cls(tnum, interval)._reduce()
+
+    @classmethod
+    def const(cls, value: int, width: int = 64) -> "ScalarValue":
+        return cls(Tnum.const(value, width), Interval.const(value, width))
+
+    @classmethod
+    def top(cls, width: int = 64) -> "ScalarValue":
+        return cls(Tnum.unknown(width), Interval.top(width))
+
+    @classmethod
+    def bottom(cls, width: int = 64) -> "ScalarValue":
+        return cls(Tnum.bottom(width), Interval.bottom(width))
+
+    @classmethod
+    def from_tnum(cls, t: Tnum) -> "ScalarValue":
+        return cls.make(t, Interval.from_tnum(t))
+
+    @classmethod
+    def from_range(cls, lo: int, hi: int, width: int = 64) -> "ScalarValue":
+        iv = Interval(lo, hi, width)
+        return cls.make(iv.to_tnum(), iv)
+
+    # -- reduction (kernel reg_bounds_sync) ---------------------------------
+
+    def _reduce(self) -> "ScalarValue":
+        t, iv = self.tnum, self.interval
+        if t.is_bottom() or iv.is_bottom():
+            return ScalarValue.bottom(self.width)
+        # Range → tnum: intersect with the range's prefix tnum.
+        t2 = tnum_meet(t, iv.to_tnum())
+        if t2.is_bottom():
+            return ScalarValue.bottom(self.width)
+        # Tnum → range: clamp bounds to the tnum's min/max.
+        iv2 = iv.meet(Interval(t2.min_value(), t2.max_value(), self.width))
+        if iv2.is_bottom():
+            return ScalarValue.bottom(self.width)
+        return ScalarValue(t2, iv2)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.tnum.width
+
+    def is_bottom(self) -> bool:
+        return self.tnum.is_bottom() or self.interval.is_bottom()
+
+    def is_const(self) -> bool:
+        return self.tnum.is_const() or self.interval.is_const()
+
+    def const_value(self) -> int:
+        if self.tnum.is_const():
+            return self.tnum.value
+        if self.interval.is_const():
+            return self.interval.umin
+        raise ValueError("not a constant")
+
+    def contains(self, value: int) -> bool:
+        return self.tnum.contains(value) and self.interval.contains(value)
+
+    def umin(self) -> int:
+        return self.interval.umin
+
+    def umax(self) -> int:
+        return self.interval.umax
+
+    # -- lattice --------------------------------------------------------------
+
+    def leq(self, other: "ScalarValue") -> bool:
+        return tnum_leq(self.tnum, other.tnum) and self.interval.leq(other.interval)
+
+    def join(self, other: "ScalarValue") -> "ScalarValue":
+        return ScalarValue.make(
+            tnum_join(self.tnum, other.tnum), self.interval.join(other.interval)
+        )
+
+    def meet(self, other: "ScalarValue") -> "ScalarValue":
+        return ScalarValue.make(
+            tnum_meet(self.tnum, other.tnum), self.interval.meet(other.interval)
+        )
+
+    # -- transformers -----------------------------------------------------------
+
+    def _binary(self, other: "ScalarValue", t_op, iv_op) -> "ScalarValue":
+        if self.is_bottom() or other.is_bottom():
+            return ScalarValue.bottom(self.width)
+        return ScalarValue.make(
+            t_op(self.tnum, other.tnum), iv_op(self.interval, other.interval)
+        )
+
+    def add(self, other: "ScalarValue") -> "ScalarValue":
+        return self._binary(other, tnum_add, Interval.add)
+
+    def sub(self, other: "ScalarValue") -> "ScalarValue":
+        return self._binary(other, tnum_sub, Interval.sub)
+
+    def mul(self, other: "ScalarValue") -> "ScalarValue":
+        return self._binary(other, our_mul, Interval.mul)
+
+    def and_(self, other: "ScalarValue") -> "ScalarValue":
+        # Bitwise ops: tnum is the precise domain; interval falls back to
+        # the tnum-derived bounds (kernel does exactly this).
+        t = tnum_and(self.tnum, other.tnum)
+        return ScalarValue.make(t, Interval.from_tnum(t))
+
+    def or_(self, other: "ScalarValue") -> "ScalarValue":
+        t = tnum_or(self.tnum, other.tnum)
+        return ScalarValue.make(t, Interval.from_tnum(t))
+
+    def xor(self, other: "ScalarValue") -> "ScalarValue":
+        t = tnum_xor(self.tnum, other.tnum)
+        return ScalarValue.make(t, Interval.from_tnum(t))
+
+    def div(self, other: "ScalarValue") -> "ScalarValue":
+        t = tnum_div(self.tnum, other.tnum)
+        return ScalarValue.make(t, Interval.from_tnum(t))
+
+    def mod(self, other: "ScalarValue") -> "ScalarValue":
+        t = tnum_mod(self.tnum, other.tnum)
+        return ScalarValue.make(t, Interval.from_tnum(t))
+
+    def neg(self) -> "ScalarValue":
+        t = tnum_neg(self.tnum)
+        return ScalarValue.make(t, self.interval.neg().meet(Interval.from_tnum(t)))
+
+    def lshift(self, shift: int) -> "ScalarValue":
+        t = tnum_lshift(self.tnum, shift)
+        return ScalarValue.make(t, Interval.from_tnum(t))
+
+    def rshift(self, shift: int) -> "ScalarValue":
+        t = tnum_rshift(self.tnum, shift)
+        iv = Interval(self.interval.umin >> shift, self.interval.umax >> shift,
+                      self.width) if not self.interval.is_bottom() else \
+            Interval.bottom(self.width)
+        return ScalarValue.make(t, iv.meet(Interval.from_tnum(t)))
+
+    def arshift(self, shift: int) -> "ScalarValue":
+        t = tnum_arshift(self.tnum, shift)
+        return ScalarValue.make(t, Interval.from_tnum(t))
+
+    # -- branch refinement --------------------------------------------------------
+
+    def refine_ult(self, bound: int) -> "ScalarValue":
+        return ScalarValue.make(self.tnum, self.interval.refine_ult(bound))
+
+    def refine_ule(self, bound: int) -> "ScalarValue":
+        return ScalarValue.make(self.tnum, self.interval.refine_ule(bound))
+
+    def refine_ugt(self, bound: int) -> "ScalarValue":
+        return ScalarValue.make(self.tnum, self.interval.refine_ugt(bound))
+
+    def refine_uge(self, bound: int) -> "ScalarValue":
+        return ScalarValue.make(self.tnum, self.interval.refine_uge(bound))
+
+    def refine_eq(self, bound: int) -> "ScalarValue":
+        return ScalarValue.make(
+            tnum_meet(self.tnum, Tnum.const(bound, self.width)),
+            self.interval.refine_eq(bound),
+        )
+
+    def refine_ne(self, bound: int) -> "ScalarValue":
+        return ScalarValue.make(self.tnum, self.interval.refine_ne(bound))
+
+    def __str__(self) -> str:
+        return f"{self.tnum} ∩ {self.interval}"

@@ -1,0 +1,278 @@
+"""Signed interval domain and kernel-style bounds deduction.
+
+The BPF verifier tracks *both* unsigned (``umin``/``umax``) and signed
+(``smin``/``smax``) bounds per register, because each comparison family
+refines only its own view: ``jlt`` narrows unsigned bounds, ``jslt``
+signed ones.  The kernel's ``__reg_deduce_bounds`` then propagates
+information between the two views and the tnum.
+
+This module provides the signed lattice (over two's-complement
+``width``-bit values) with sound transformers and refinements, plus
+:func:`deduce_bounds`, which mirrors the kernel's mutual refinement:
+
+* when a signed range lies entirely within one sign half, it maps to an
+  unsigned range (and vice versa) — each can tighten the other;
+* a tnum bounds both views through its min/max values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.tnum import Tnum, mask_for_width
+
+from .interval import Interval, to_signed, to_unsigned
+
+__all__ = ["SignedInterval", "deduce_bounds"]
+
+
+@dataclass(frozen=True)
+class SignedInterval:
+    """A signed interval ``[smin, smax]`` over two's-complement words."""
+
+    smin: int
+    smax: int
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        lo = -(1 << (self.width - 1))
+        hi = (1 << (self.width - 1)) - 1
+        if self.smin <= self.smax and not (lo <= self.smin and self.smax <= hi):
+            raise ValueError(
+                f"bounds [{self.smin}, {self.smax}] exceed s{self.width}"
+            )
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def top(cls, width: int = 64) -> "SignedInterval":
+        return cls(-(1 << (width - 1)), (1 << (width - 1)) - 1, width)
+
+    @classmethod
+    def bottom(cls, width: int = 64) -> "SignedInterval":
+        return cls(1, 0, width)
+
+    @classmethod
+    def const(cls, value: int, width: int = 64) -> "SignedInterval":
+        signed = to_signed(to_unsigned(value, width), width)
+        return cls(signed, signed, width)
+
+    @classmethod
+    def from_tnum(cls, t: Tnum) -> "SignedInterval":
+        """Tightest signed interval containing γ(t).
+
+        If the sign bit is known, γ(t) sits in one sign half and the
+        unsigned min/max map monotonically; with an unknown sign bit both
+        halves are populated and the extremes come from fixing the sign
+        bit each way.
+        """
+        if t.is_bottom():
+            return cls.bottom(t.width)
+        sign = 1 << (t.width - 1)
+        if not t.mask & sign:
+            # Sign bit known: order-preserving mapping.
+            return cls(
+                to_signed(t.min_value(), t.width),
+                to_signed(t.max_value(), t.width),
+                t.width,
+            )
+        # Sign bit unknown: most negative has sign=1, others minimal;
+        # most positive has sign=0, others maximal.
+        lo = to_signed(t.min_value() | sign, t.width)
+        hi = to_signed(t.max_value() & ~sign, t.width)
+        return cls(lo, hi, t.width)
+
+    # -- predicates ----------------------------------------------------------------
+
+    def is_bottom(self) -> bool:
+        return self.smin > self.smax
+
+    def is_const(self) -> bool:
+        return self.smin == self.smax
+
+    def contains(self, value: int) -> bool:
+        signed = to_signed(to_unsigned(value, self.width), self.width)
+        return self.smin <= signed <= self.smax
+
+    def cardinality(self) -> int:
+        return 0 if self.is_bottom() else self.smax - self.smin + 1
+
+    # -- lattice ----------------------------------------------------------------------
+
+    def _check(self, other: "SignedInterval") -> None:
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+
+    def leq(self, other: "SignedInterval") -> bool:
+        self._check(other)
+        if self.is_bottom():
+            return True
+        if other.is_bottom():
+            return False
+        return other.smin <= self.smin and self.smax <= other.smax
+
+    def join(self, other: "SignedInterval") -> "SignedInterval":
+        self._check(other)
+        if self.is_bottom():
+            return other
+        if other.is_bottom():
+            return self
+        return SignedInterval(
+            min(self.smin, other.smin), max(self.smax, other.smax), self.width
+        )
+
+    def meet(self, other: "SignedInterval") -> "SignedInterval":
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return SignedInterval.bottom(self.width)
+        lo = max(self.smin, other.smin)
+        hi = min(self.smax, other.smax)
+        if lo > hi:
+            return SignedInterval.bottom(self.width)
+        return SignedInterval(lo, hi, self.width)
+
+    # -- transformers --------------------------------------------------------------------
+
+    def add(self, other: "SignedInterval") -> "SignedInterval":
+        """Abstract addition; widens to ⊤ on possible signed overflow."""
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return SignedInterval.bottom(self.width)
+        lo = self.smin + other.smin
+        hi = self.smax + other.smax
+        bound = 1 << (self.width - 1)
+        if lo < -bound or hi >= bound:
+            return SignedInterval.top(self.width)
+        return SignedInterval(lo, hi, self.width)
+
+    def sub(self, other: "SignedInterval") -> "SignedInterval":
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return SignedInterval.bottom(self.width)
+        lo = self.smin - other.smax
+        hi = self.smax - other.smin
+        bound = 1 << (self.width - 1)
+        if lo < -bound or hi >= bound:
+            return SignedInterval.top(self.width)
+        return SignedInterval(lo, hi, self.width)
+
+    def neg(self) -> "SignedInterval":
+        if self.is_bottom():
+            return self
+        bound = 1 << (self.width - 1)
+        if self.smin == -bound:
+            # -INT_MIN overflows back to INT_MIN.
+            return SignedInterval.top(self.width)
+        return SignedInterval(-self.smax, -self.smin, self.width)
+
+    def arshift(self, shift: int) -> "SignedInterval":
+        """Arithmetic right shift preserves order (floor division)."""
+        if self.is_bottom():
+            return self
+        return SignedInterval(self.smin >> shift, self.smax >> shift, self.width)
+
+    # -- refinement ------------------------------------------------------------------------
+
+    def refine_slt(self, bound: int) -> "SignedInterval":
+        """Assume ``self < bound`` (signed)."""
+        return self.meet(SignedInterval(
+            -(1 << (self.width - 1)), bound - 1, self.width
+        )) if bound > -(1 << (self.width - 1)) else SignedInterval.bottom(self.width)
+
+    def refine_sle(self, bound: int) -> "SignedInterval":
+        return self.meet(SignedInterval(
+            -(1 << (self.width - 1)), bound, self.width
+        ))
+
+    def refine_sgt(self, bound: int) -> "SignedInterval":
+        hi = (1 << (self.width - 1)) - 1
+        if bound >= hi:
+            return SignedInterval.bottom(self.width)
+        return self.meet(SignedInterval(bound + 1, hi, self.width))
+
+    def refine_sge(self, bound: int) -> "SignedInterval":
+        return self.meet(SignedInterval(
+            bound, (1 << (self.width - 1)) - 1, self.width
+        ))
+
+    # -- conversions ------------------------------------------------------------------------
+
+    def to_unsigned(self) -> Interval:
+        """Best unsigned interval (kernel's signed→unsigned deduction).
+
+        If the range stays within one sign half, the mapping is exact;
+        straddling zero forces the full unsigned range.
+        """
+        if self.is_bottom():
+            return Interval.bottom(self.width)
+        if self.smin >= 0 or self.smax < 0:
+            return Interval(
+                to_unsigned(self.smin, self.width),
+                to_unsigned(self.smax, self.width),
+                self.width,
+            )
+        return Interval.top(self.width)
+
+    @classmethod
+    def from_unsigned(cls, iv: Interval) -> "SignedInterval":
+        """Best signed interval for an unsigned range."""
+        if iv.is_bottom():
+            return cls.bottom(iv.width)
+        return cls(iv.smin(), iv.smax(), iv.width)
+
+    def __str__(self) -> str:
+        if self.is_bottom():
+            return "⊥"
+        return f"[{self.smin}, {self.smax}]s{self.width}"
+
+
+def deduce_bounds(
+    t: Tnum, unsigned: Interval, signed: SignedInterval
+) -> Tuple[Tnum, Interval, SignedInterval]:
+    """Mutual refinement of tnum × unsigned × signed views.
+
+    The kernel's ``__update_reg_bounds`` / ``__reg_deduce_bounds`` cycle:
+
+    1. tnum tightens both interval views;
+    2. each interval view maps into the other where the sign-half
+       condition allows;
+    3. the unsigned view tightens the tnum via its shared-prefix range.
+
+    Iterates once (the kernel does the same; a fixpoint would need at
+    most a couple of rounds and one round already recovers the cases the
+    verifier relies on).
+    """
+    from repro.core.lattice import meet as tnum_meet
+
+    width = t.width
+    if t.is_bottom() or unsigned.is_bottom() or signed.is_bottom():
+        return (
+            Tnum.bottom(width),
+            Interval.bottom(width),
+            SignedInterval.bottom(width),
+        )
+
+    # 1. tnum -> intervals.
+    unsigned = unsigned.meet(Interval.from_tnum(t))
+    signed = signed.meet(SignedInterval.from_tnum(t))
+
+    # 2. cross-view exchange.
+    signed = signed.meet(SignedInterval.from_unsigned(unsigned))
+    unsigned = unsigned.meet(signed.to_unsigned())
+
+    # 3. intervals -> tnum.
+    if unsigned.is_bottom() or signed.is_bottom():
+        return (
+            Tnum.bottom(width),
+            Interval.bottom(width),
+            SignedInterval.bottom(width),
+        )
+    t = tnum_meet(t, unsigned.to_tnum())
+    if t.is_bottom():
+        return (
+            Tnum.bottom(width),
+            Interval.bottom(width),
+            SignedInterval.bottom(width),
+        )
+    return t, unsigned, signed

@@ -1,0 +1,49 @@
+"""Evaluation harnesses reproducing §IV: precision (Fig. 4, Table I) and
+performance (Fig. 5), plus text renderers for paper-style output."""
+
+from .performance import (
+    PERF_ALGORITHMS,
+    TimingResult,
+    generate_pairs,
+    speedup_summary,
+    time_algorithms,
+)
+from .precision import (
+    MUL_ALGORITHMS,
+    PrecisionComparison,
+    TrendRow,
+    compare_precision,
+    precision_cdf,
+    precision_trend,
+)
+from .report import (
+    render_cdf_ascii,
+    render_comparison,
+    render_fig4,
+    render_fig5,
+    render_table1,
+)
+from .stats import cdf_points, log2_ratio, percentile, summarize
+
+__all__ = [
+    "compare_precision",
+    "precision_cdf",
+    "precision_trend",
+    "PrecisionComparison",
+    "TrendRow",
+    "MUL_ALGORITHMS",
+    "time_algorithms",
+    "generate_pairs",
+    "speedup_summary",
+    "TimingResult",
+    "PERF_ALGORITHMS",
+    "render_table1",
+    "render_fig4",
+    "render_fig5",
+    "render_cdf_ascii",
+    "render_comparison",
+    "cdf_points",
+    "percentile",
+    "summarize",
+    "log2_ratio",
+]

@@ -1,0 +1,171 @@
+"""Precision evaluation: Figure 4 and Table I of the paper.
+
+Figure 4 compares, over every pair of width-n tnums where the outputs of
+two multiplication algorithms differ, the ratio of concretized-set sizes
+``|γ(R_other)| / |γ(R_our)|`` on a log2 axis.  Table I tracks, per width,
+how often outputs are equal / different / comparable, and which algorithm
+is more precise when they differ.
+
+The paper runs n=8 for Figure 4 and n=5..10 for Table I on a 20-core
+Skylake; pure Python is ~two orders of magnitude slower, so the default
+widths here are smaller (the trends in the paper's own Table I are stable
+across widths — see DESIGN.md's substitution notes).  All entry points
+take a ``width`` argument, so the paper's exact configuration can be
+requested when time permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.baselines import bitwise_mul_opt, kern_mul
+from repro.core.lattice import enumerate_tnums, leq
+from repro.core.multiply import our_mul
+from repro.core.tnum import Tnum
+
+from .stats import cdf_points, log2_ratio
+
+__all__ = [
+    "PrecisionComparison",
+    "TrendRow",
+    "compare_precision",
+    "precision_cdf",
+    "precision_trend",
+    "MUL_ALGORITHMS",
+]
+
+MulFn = Callable[[Tnum, Tnum], Tnum]
+
+#: The three multiplication algorithms of §IV.
+MUL_ALGORITHMS: Dict[str, MulFn] = {
+    "our_mul": our_mul,
+    "kern_mul": kern_mul,
+    "bitwise_mul": bitwise_mul_opt,
+}
+
+
+@dataclass
+class PrecisionComparison:
+    """Pairwise precision comparison of two algorithms at one width.
+
+    Field names follow Table I's columns.
+    """
+
+    name_a: str
+    name_b: str
+    width: int
+    total_pairs: int = 0
+    equal: int = 0
+    different: int = 0
+    comparable: int = 0
+    a_more_precise: int = 0
+    b_more_precise: int = 0
+    #: log2(|γ(R_b)| / |γ(R_a)|) for every differing-comparable pair —
+    #: positive values mean algorithm A won (Figure 4's x-axis).
+    log2_ratios: List[float] = field(default_factory=list)
+
+    def pct(self, count: int, base: Optional[int] = None) -> float:
+        base = base if base is not None else self.total_pairs
+        return 100.0 * count / base if base else 0.0
+
+
+def compare_precision(
+    name_a: str,
+    name_b: str,
+    width: int,
+    pairs: Optional[Iterable[Tuple[Tnum, Tnum]]] = None,
+) -> PrecisionComparison:
+    """Run algorithm A and B over tnum pairs and tally Table-I statistics.
+
+    ``pairs`` defaults to *all* pairs at ``width`` (the paper's setup);
+    pass a sample for quicker runs at large widths.
+    """
+    fn_a = MUL_ALGORITHMS[name_a]
+    fn_b = MUL_ALGORITHMS[name_b]
+    result = PrecisionComparison(name_a, name_b, width)
+
+    if pairs is None:
+        tnums = enumerate_tnums(width)
+        pairs = ((p, q) for p in tnums for q in tnums)
+
+    for p, q in pairs:
+        result.total_pairs += 1
+        ra = fn_a(p, q)
+        rb = fn_b(p, q)
+        if ra == rb:
+            result.equal += 1
+            continue
+        result.different += 1
+        a_le = leq(ra, rb)
+        b_le = leq(rb, ra)
+        if not (a_le or b_le):
+            continue  # incomparable (appears only at width >= 9, per paper)
+        result.comparable += 1
+        if a_le:
+            result.a_more_precise += 1
+        else:
+            result.b_more_precise += 1
+        result.log2_ratios.append(
+            log2_ratio(rb.cardinality(), ra.cardinality())
+        )
+    return result
+
+
+def precision_cdf(
+    comparison: PrecisionComparison, max_points: int = 200
+) -> List[Tuple[float, float]]:
+    """Figure 4's CDF series for one algorithm pairing."""
+    return cdf_points(comparison.log2_ratios, max_points)
+
+
+@dataclass
+class TrendRow:
+    """One row of Table I."""
+
+    width: int
+    total_pairs: int
+    equal: int
+    different: int
+    comparable: int
+    kern_more_precise: int
+    our_more_precise: int
+
+    @property
+    def equal_pct(self) -> float:
+        return 100.0 * self.equal / self.total_pairs
+
+    @property
+    def different_pct(self) -> float:
+        return 100.0 * self.different / self.total_pairs
+
+    @property
+    def comparable_pct(self) -> float:
+        return 100.0 * self.comparable / self.different if self.different else 100.0
+
+    @property
+    def kern_pct(self) -> float:
+        return 100.0 * self.kern_more_precise / self.comparable if self.comparable else 0.0
+
+    @property
+    def our_pct(self) -> float:
+        return 100.0 * self.our_more_precise / self.comparable if self.comparable else 0.0
+
+
+def precision_trend(widths: Iterable[int]) -> List[TrendRow]:
+    """Table I: our_mul vs kern_mul across widths."""
+    rows: List[TrendRow] = []
+    for width in widths:
+        cmp_result = compare_precision("our_mul", "kern_mul", width)
+        rows.append(
+            TrendRow(
+                width=width,
+                total_pairs=cmp_result.total_pairs,
+                equal=cmp_result.equal,
+                different=cmp_result.different,
+                comparable=cmp_result.comparable,
+                kern_more_precise=cmp_result.b_more_precise,
+                our_more_precise=cmp_result.a_more_precise,
+            )
+        )
+    return rows

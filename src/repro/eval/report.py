@@ -1,0 +1,128 @@
+"""Text rendering of the paper's tables and figures.
+
+Produces paper-style artifacts on stdout: Table I rows with the same
+columns, ASCII CDFs standing in for Figures 4 and 5, and verification
+summaries for the §III-A table.  Benchmarks tee these into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .performance import TimingResult
+from .precision import PrecisionComparison, TrendRow
+
+__all__ = [
+    "render_table1",
+    "render_cdf_ascii",
+    "render_fig4",
+    "render_fig5",
+    "render_comparison",
+]
+
+
+def render_table1(rows: Sequence[TrendRow]) -> str:
+    """Table I with the paper's columns."""
+    header = (
+        f"{'bitwidth':>8} | {'total pairs':>12} | {'equal %':>8} | "
+        f"{'differ %':>8} | {'comparable %':>12} | {'kern more %':>11} | "
+        f"{'our more %':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.width:>8} | {row.total_pairs:>12} | {row.equal_pct:>8.3f} | "
+            f"{row.different_pct:>8.3f} | {row.comparable_pct:>12.3f} | "
+            f"{row.kern_pct:>11.3f} | {row.our_pct:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_cdf_ascii(
+    points: Sequence[Tuple[float, float]],
+    title: str,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+) -> str:
+    """A terminal CDF plot (x: value, y: cumulative fraction)."""
+    if not points:
+        return f"{title}\n  (no data)"
+    xs = [p[0] for p in points]
+    lo, hi = min(xs), max(xs)
+    span = hi - lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, frac in points:
+        col = min(width - 1, int((x - lo) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - frac) * (height - 1)))
+        grid[row][col] = "*"
+    lines = [title]
+    for i, row in enumerate(grid):
+        frac = 1.0 - i / (height - 1)
+        lines.append(f"{frac:>5.2f} |" + "".join(row))
+    lines.append(" " * 6 + "+" + "-" * width)
+    lines.append(f"{'':6}{lo:<12.3g}{'':{max(0, width - 24)}}{hi:>12.3g}")
+    if x_label:
+        lines.append(f"{'':6}{x_label:^{width}}")
+    return "\n".join(lines)
+
+
+def render_fig4(
+    comparisons: Dict[str, Sequence[Tuple[float, float]]], width_bits: int
+) -> str:
+    """Figure 4: precision-ratio CDFs, one per pairing."""
+    sections = [
+        f"Figure 4 reproduction (bitwidth {width_bits}): CDF of "
+        "log2(|γ(other)|/|γ(our_mul)|) over differing outputs"
+    ]
+    for name, points in comparisons.items():
+        sections.append("")
+        sections.append(
+            render_cdf_ascii(
+                points,
+                f"  ({name}) vs our_mul",
+                x_label="log2 set-size ratio (right of 0 → our_mul more precise)",
+            )
+        )
+    return "\n".join(sections)
+
+
+def render_fig5(results: Dict[str, TimingResult]) -> str:
+    """Figure 5: per-algorithm timing CDFs plus the summary table."""
+    sections = ["Figure 5 reproduction: CDF of per-multiply time (ns, min of trials)"]
+    for name, result in results.items():
+        sections.append("")
+        sections.append(
+            render_cdf_ascii(result.cdf(), f"  {name}", x_label="nanoseconds")
+        )
+    sections.append("")
+    sections.append(f"{'algorithm':>20} | {'mean ns':>10} | {'p50':>8} | {'p99':>8}")
+    sections.append("-" * 56)
+    for name, result in results.items():
+        s = result.summary()
+        sections.append(
+            f"{name:>20} | {s['mean']:>10.0f} | {s['p50']:>8.0f} | {s['p99']:>8.0f}"
+        )
+    return "\n".join(sections)
+
+
+def render_comparison(comparison: PrecisionComparison) -> str:
+    """One pairing's headline numbers (§IV.A prose)."""
+    c = comparison
+    lines = [
+        f"{c.name_a} vs {c.name_b} @ width {c.width}: "
+        f"{c.total_pairs} pairs",
+        f"  equal outputs:      {c.equal} ({c.pct(c.equal):.3f}%)",
+        f"  differing outputs:  {c.different} ({c.pct(c.different):.3f}%)",
+    ]
+    if c.different:
+        lines += [
+            f"  comparable:         {c.comparable} "
+            f"({100.0 * c.comparable / c.different:.3f}% of differing)",
+            f"  {c.name_a} more precise: {c.a_more_precise} "
+            f"({100.0 * c.a_more_precise / max(c.comparable, 1):.3f}% of comparable)",
+            f"  {c.name_b} more precise: {c.b_more_precise} "
+            f"({100.0 * c.b_more_precise / max(c.comparable, 1):.3f}% of comparable)",
+        ]
+    return "\n".join(lines)

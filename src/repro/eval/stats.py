@@ -1,0 +1,63 @@
+"""Small statistics helpers for the evaluation harnesses.
+
+CDF construction and percentile summaries used when rendering the paper's
+Figure 4 (precision-ratio CDF) and Figure 5 (cycle-count CDF).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["cdf_points", "percentile", "summarize", "log2_ratio"]
+
+
+def cdf_points(values: Sequence[float], max_points: int = 200) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs, downsampled to ``max_points``."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    step = max(1, n // max_points)
+    for i in range(0, n, step):
+        points.append((ordered[i], (i + 1) / n))
+    if points[-1][0] != ordered[-1]:
+        points.append((ordered[-1], 1.0))
+    return points
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (pct in [0, 100])."""
+    if not values:
+        raise ValueError("empty sample")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(pct / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean plus the percentiles the paper quotes."""
+    if not values:
+        raise ValueError("empty sample")
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "p25": percentile(values, 25),
+        "p50": percentile(values, 50),
+        "p75": percentile(values, 75),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }
+
+
+def log2_ratio(numerator: int, denominator: int) -> float:
+    """log2(numerator/denominator); Figure 4's x-axis unit.
+
+    Each unit step corresponds to exactly one extra unknown trit in the
+    less precise output.
+    """
+    if numerator <= 0 or denominator <= 0:
+        raise ValueError("ratios require positive cardinalities")
+    return math.log2(numerator / denominator)

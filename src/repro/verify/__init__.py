@@ -1,0 +1,63 @@
+"""Verification substrate: the reproduction of §III-A.
+
+Three independent pipelines check the soundness of every tnum operator:
+
+* :mod:`repro.verify.exhaustive` — brute-force over all tnum pairs at
+  small widths (also checks *optimality* of add/sub);
+* :mod:`repro.verify.sat` — the paper's SMT methodology, rebuilt on an
+  in-repo CDCL SAT solver with bit-blasting;
+* :mod:`repro.verify.random_check` — randomized testing at the kernel's
+  full 64-bit width.
+"""
+
+from .exhaustive import (
+    ExhaustiveReport,
+    check_optimality,
+    check_shift_soundness,
+    check_soundness,
+    check_unary_soundness,
+    verify_all_operators,
+)
+from .properties import (
+    Witness,
+    find_nonassociative_add,
+    find_noncommutative_mul,
+    find_noninverse_add_sub,
+    is_optimal_on,
+    is_sound_on,
+)
+from .random_check import (
+    RandomCheckReport,
+    random_check_all,
+    random_check_operator,
+    random_member,
+    random_tnum,
+)
+from .sat import (
+    SUPPORTED_OPERATORS,
+    SoundnessReport,
+    check_operator_soundness,
+)
+
+__all__ = [
+    "check_soundness",
+    "check_optimality",
+    "check_unary_soundness",
+    "check_shift_soundness",
+    "verify_all_operators",
+    "ExhaustiveReport",
+    "is_sound_on",
+    "is_optimal_on",
+    "find_nonassociative_add",
+    "find_noninverse_add_sub",
+    "find_noncommutative_mul",
+    "Witness",
+    "random_tnum",
+    "random_member",
+    "random_check_operator",
+    "random_check_all",
+    "RandomCheckReport",
+    "check_operator_soundness",
+    "SoundnessReport",
+    "SUPPORTED_OPERATORS",
+]

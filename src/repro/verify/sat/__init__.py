@@ -1,0 +1,28 @@
+"""SAT-based bounded verification substrate (the offline Z3 stand-in).
+
+Layers: :class:`CNFBuilder` (Tseitin gates) → :class:`BitVecBuilder`
+(bit-blasted words) → :class:`Solver` (CDCL) → :func:`check_operator_soundness`
+(the paper's Eqn. 11 soundness queries).
+"""
+
+from .bitvector import BitVec, BitVecBuilder
+from .cnf import CNFBuilder
+from .encode import (
+    SUPPORTED_OPERATORS,
+    SoundnessReport,
+    SymTnum,
+    check_operator_soundness,
+)
+from .solver import SatResult, Solver
+
+__all__ = [
+    "CNFBuilder",
+    "BitVec",
+    "BitVecBuilder",
+    "Solver",
+    "SatResult",
+    "SymTnum",
+    "SoundnessReport",
+    "check_operator_soundness",
+    "SUPPORTED_OPERATORS",
+]

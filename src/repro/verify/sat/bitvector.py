@@ -1,0 +1,170 @@
+"""Bit-vector circuits over CNF: the bit-blasting layer.
+
+A :class:`BitVec` is a list of CNF literals, least-significant bit first.
+The builders here construct the word-level operations needed to encode
+tnum operators and the paper's soundness formula: ripple-carry add/sub,
+shift-and-add multiply, bitwise logic, constant shifts, and equality /
+comparison predicates.
+
+The combination (CNFBuilder → BitVec → Solver) is this reproduction's
+replacement for Z3's ``QF_BV``: everything the paper encodes in SMT
+(§III-A, Supplementary D) can be expressed here and discharged by the
+CDCL solver.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .cnf import CNFBuilder
+
+__all__ = ["BitVec", "BitVecBuilder"]
+
+BitVec = List[int]  # literals, lsb first
+
+
+class BitVecBuilder:
+    """Constructs bit-vector circuits inside a :class:`CNFBuilder`."""
+
+    def __init__(self, cnf: CNFBuilder, width: int) -> None:
+        self.cnf = cnf
+        self.width = width
+
+    # -- construction -------------------------------------------------------------
+
+    def var(self) -> BitVec:
+        """A fresh symbolic bit-vector."""
+        return self.cnf.new_vars(self.width)
+
+    def const(self, value: int) -> BitVec:
+        """A constant bit-vector."""
+        return [
+            self.cnf.true_lit if (value >> i) & 1 else self.cnf.false_lit
+            for i in range(self.width)
+        ]
+
+    # -- bitwise ---------------------------------------------------------------------
+
+    def and_(self, a: BitVec, b: BitVec) -> BitVec:
+        return [self.cnf.gate_and(x, y) for x, y in zip(a, b)]
+
+    def or_(self, a: BitVec, b: BitVec) -> BitVec:
+        return [self.cnf.gate_or(x, y) for x, y in zip(a, b)]
+
+    def xor(self, a: BitVec, b: BitVec) -> BitVec:
+        return [self.cnf.gate_xor(x, y) for x, y in zip(a, b)]
+
+    def not_(self, a: BitVec) -> BitVec:
+        return [-x for x in a]
+
+    def ite(self, cond: int, then_bv: BitVec, else_bv: BitVec) -> BitVec:
+        return [
+            self.cnf.gate_ite(cond, t, e) for t, e in zip(then_bv, else_bv)
+        ]
+
+    # -- arithmetic --------------------------------------------------------------------
+
+    def add(self, a: BitVec, b: BitVec) -> BitVec:
+        """Ripple-carry addition (modular; final carry dropped)."""
+        out: BitVec = []
+        carry = self.cnf.false_lit
+        for x, y in zip(a, b):
+            xy = self.cnf.gate_xor(x, y)
+            out.append(self.cnf.gate_xor(xy, carry))
+            carry = self.cnf.gate_or(
+                self.cnf.gate_and(x, y), self.cnf.gate_and(carry, xy)
+            )
+        return out
+
+    def add_with_carries(self, a: BitVec, b: BitVec) -> Tuple[BitVec, BitVec]:
+        """Addition returning (sum, carry-in sequence) — used to encode the
+        paper's carry lemmas directly."""
+        out: BitVec = []
+        carries: BitVec = [self.cnf.false_lit]  # carry-in at bit 0
+        carry = self.cnf.false_lit
+        for x, y in zip(a, b):
+            xy = self.cnf.gate_xor(x, y)
+            out.append(self.cnf.gate_xor(xy, carry))
+            carry = self.cnf.gate_or(
+                self.cnf.gate_and(x, y), self.cnf.gate_and(carry, xy)
+            )
+            carries.append(carry)
+        return out, carries[: self.width]
+
+    def sub(self, a: BitVec, b: BitVec) -> BitVec:
+        """Two's-complement subtraction: a + ~b + 1."""
+        out: BitVec = []
+        carry = self.cnf.true_lit
+        for x, y in zip(a, b):
+            ny = -y
+            xy = self.cnf.gate_xor(x, ny)
+            out.append(self.cnf.gate_xor(xy, carry))
+            carry = self.cnf.gate_or(
+                self.cnf.gate_and(x, ny), self.cnf.gate_and(carry, xy)
+            )
+        return out
+
+    def neg(self, a: BitVec) -> BitVec:
+        return self.sub(self.const(0), a)
+
+    def mul(self, a: BitVec, b: BitVec) -> BitVec:
+        """Shift-and-add multiplication (modular)."""
+        acc = self.const(0)
+        for i in range(self.width):
+            shifted = self.shl_const(a, i)
+            gated = [self.cnf.gate_and(b[i], bit) for bit in shifted]
+            acc = self.add(acc, gated)
+        return acc
+
+    # -- shifts (constant amounts) ---------------------------------------------------------
+
+    def shl_const(self, a: BitVec, amount: int) -> BitVec:
+        if amount == 0:
+            return list(a)
+        pad = [self.cnf.false_lit] * min(amount, self.width)
+        return (pad + list(a))[: self.width]
+
+    def shr_const(self, a: BitVec, amount: int) -> BitVec:
+        if amount == 0:
+            return list(a)
+        body = list(a[amount:])
+        return body + [self.cnf.false_lit] * (self.width - len(body))
+
+    def ashr_const(self, a: BitVec, amount: int) -> BitVec:
+        if amount == 0:
+            return list(a)
+        sign = a[-1]
+        body = list(a[amount:])
+        return body + [sign] * (self.width - len(body))
+
+    # -- predicates (return a single literal) -------------------------------------------------
+
+    def eq(self, a: BitVec, b: BitVec) -> int:
+        return self.cnf.gate_and_many(
+            [self.cnf.gate_iff(x, y) for x, y in zip(a, b)]
+        )
+
+    def is_zero(self, a: BitVec) -> int:
+        return self.cnf.gate_and_many([-x for x in a])
+
+    def ult(self, a: BitVec, b: BitVec) -> int:
+        """Unsigned a < b."""
+        lt = self.cnf.false_lit
+        for x, y in zip(a, b):  # lsb to msb; msb comparison dominates
+            bit_lt = self.cnf.gate_and(-x, y)
+            bit_eq = self.cnf.gate_iff(x, y)
+            lt = self.cnf.gate_or(bit_lt, self.cnf.gate_and(bit_eq, lt))
+        return lt
+
+    # -- evaluation -------------------------------------------------------------------------------
+
+    def value_of(self, bv: BitVec, model) -> int:
+        """Read a concrete integer out of a SAT model."""
+        result = 0
+        for i, lit in enumerate(bv):
+            if self.cnf.is_const(lit):
+                bit = 1 if self.cnf.const_value(lit) else 0
+            else:
+                bit = 1 if model.value(abs(lit)) == (lit > 0) else 0
+            result |= bit << i
+        return result

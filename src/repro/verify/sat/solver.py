@@ -1,0 +1,289 @@
+"""A CDCL SAT solver.
+
+Conflict-driven clause learning with two-watched-literal propagation,
+first-UIP conflict analysis, VSIDS-style activity decisions, phase saving,
+and Luby restarts.  It is deliberately a clean, dependency-free
+implementation — the reproduction's stand-in for Z3 (unavailable offline)
+when discharging the paper's soundness formulas after bit-blasting.
+
+Performance is adequate for the bounded-verification workloads in this
+repository (tnum operator soundness up to widths 8-12 for linear
+operators, 6-8 for multiplication); it is not intended to compete with
+industrial solvers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Solver", "SatResult"]
+
+
+class SatResult:
+    """Outcome of a solve call: satisfiable flag plus model if SAT."""
+
+    def __init__(self, sat: bool, model: Optional[Dict[int, bool]] = None) -> None:
+        self.sat = sat
+        self.model = model or {}
+
+    def __bool__(self) -> bool:
+        return self.sat
+
+    def value(self, var: int) -> bool:
+        return self.model.get(var, False)
+
+
+def _luby(x: int) -> int:
+    """The Luby restart sequence (0-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+
+    MiniSat's formulation: find the finite subsequence containing index
+    ``x`` and the position within it.
+    """
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL solver over clauses of signed-integer literals."""
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]]) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        # assignment[v] is None/True/False; trail is assignment order.
+        self.assign: List[Optional[bool]] = [None] * (num_vars + 1)
+        self.level: List[int] = [0] * (num_vars + 1)
+        self.reason: List[Optional[List[int]]] = [None] * (num_vars + 1)
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.watches: Dict[int, List[List[int]]] = {}
+        self.activity: List[float] = [0.0] * (num_vars + 1)
+        self.phase: List[bool] = [False] * (num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self._unsat = False
+        for clause in clauses:
+            self._add_clause(list(clause), learned=False)
+
+    # -- clause management --------------------------------------------------------
+
+    def _add_clause(self, clause: List[int], learned: bool) -> None:
+        clause = list(dict.fromkeys(clause))  # dedupe, keep order
+        if any(-lit in clause for lit in clause):
+            return  # tautology
+        if not clause:
+            self._unsat = True
+            return
+        if len(clause) == 1:
+            lit = clause[0]
+            value = self._lit_value(lit)
+            if value is False and self.level[abs(lit)] == 0:
+                self._unsat = True
+            elif value is None:
+                self._enqueue(lit, None)
+            return
+        self.clauses.append(clause)
+        for lit in clause[:2]:
+            self.watches.setdefault(-lit, []).append(clause)
+
+    # -- assignment helpers ----------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> Optional[bool]:
+        v = self.assign[abs(lit)]
+        if v is None:
+            return None
+        return v if lit > 0 else not v
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # -- propagation --------------------------------------------------------------------
+
+    def _propagate(self, head: int) -> Optional[List[int]]:
+        """Unit propagation from trail position ``head``; returns a
+        conflicting clause or None."""
+        while head < len(self.trail):
+            lit = self.trail[head]
+            head += 1
+            watch_list = self.watches.get(lit, [])
+            i = 0
+            while i < len(watch_list):
+                clause = watch_list[i]
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    i += 1
+                    continue
+                # Find a new literal to watch.
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._lit_value(clause[j]) is not False:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches.setdefault(-clause[1], []).append(clause)
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit or conflicting.
+                if self._lit_value(first) is False:
+                    return clause  # conflict
+                self._enqueue(first, clause)
+                i += 1
+        self._prop_head = len(self.trail)
+        return None
+
+    # -- conflict analysis --------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: List[int]) -> tuple:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        learned: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause = conflict
+        trail_idx = len(self.trail) - 1
+        current = self._decision_level()
+
+        while True:
+            for q in clause:
+                # Skip the literal being resolved on (the reason clause
+                # contains the propagated literal itself).
+                if lit is not None and abs(q) == abs(lit):
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] == current:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            # Pick the next trail literal at the current level.
+            while not seen[abs(self.trail[trail_idx])]:
+                trail_idx -= 1
+            p = self.trail[trail_idx]
+            lit = -p
+            seen[abs(p)] = False
+            counter -= 1
+            trail_idx -= 1
+            if counter == 0:
+                break
+            clause = self.reason[abs(p)] or []
+        learned.insert(0, lit)
+
+        if len(learned) == 1:
+            return learned, 0
+        backjump = max(self.level[abs(q)] for q in learned[1:])
+        # Put a literal of backjump level in watch position 1.
+        for j in range(1, len(learned)):
+            if self.level[abs(learned[j])] == backjump:
+                learned[1], learned[j] = learned[j], learned[1]
+                break
+        return learned, backjump
+
+    def _backtrack(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            self.phase[var] = self.assign[var]  # phase saving
+            self.assign[var] = None
+            self.reason[var] = None
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+
+    # -- decisions ----------------------------------------------------------------------
+
+    def _decide(self) -> Optional[int]:
+        best = None
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] is None and self.activity[var] > best_act:
+                best = var
+                best_act = self.activity[var]
+        if best is None:
+            return None
+        return best if self.phase[best] else -best
+
+    # -- main loop -------------------------------------------------------------------------
+
+    def solve(self, max_conflicts: Optional[int] = None) -> SatResult:
+        """Solve; returns :class:`SatResult`.
+
+        ``max_conflicts`` bounds total work (raises ``TimeoutError`` when
+        exceeded) so callers can budget verification runs.
+        """
+        if self._unsat:
+            return SatResult(False)
+        conflict_budget = max_conflicts if max_conflicts is not None else float("inf")
+        conflicts_total = 0
+        restart_idx = 0
+        head = 0
+
+        while True:
+            restart_limit = 64 * _luby(restart_idx)
+            restart_idx += 1
+            conflicts_here = 0
+            while True:
+                conflict = self._propagate(head)
+                head = len(self.trail)
+                if conflict is not None:
+                    conflicts_total += 1
+                    conflicts_here += 1
+                    if conflicts_total > conflict_budget:
+                        raise TimeoutError(
+                            f"SAT solver exceeded {max_conflicts} conflicts"
+                        )
+                    if self._decision_level() == 0:
+                        return SatResult(False)
+                    learned, backjump = self._analyze(conflict)
+                    self._backtrack(backjump)
+                    head = len(self.trail)
+                    if len(learned) == 1:
+                        self._enqueue(learned[0], None)
+                    else:
+                        self.clauses.append(learned)
+                        for lit in learned[:2]:
+                            self.watches.setdefault(-lit, []).append(learned)
+                        self._enqueue(learned[0], learned)
+                    self.var_inc /= self.var_decay
+                    continue
+                if conflicts_here >= restart_limit:
+                    self._backtrack(0)
+                    head = len(self.trail)
+                    break  # restart
+                decision = self._decide()
+                if decision is None:
+                    model = {
+                        v: bool(self.assign[v])
+                        for v in range(1, self.num_vars + 1)
+                        if self.assign[v] is not None
+                    }
+                    return SatResult(True, model)
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(decision, None)

@@ -1,0 +1,135 @@
+"""Tests for the ripple-carry O(n) baseline.
+
+The paper (§II) describes the Regehr–Duongsaa transformers as *sound but
+not optimal*; the kernel's O(1) operators are optimal.  So the ripple
+results must always over-approximate the kernel's (never be more
+precise), and there exist inputs where they are strictly worse.
+"""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.ripple import (
+    ripple_add,
+    ripple_sub,
+    trit_and,
+    trit_not,
+    trit_or,
+    trit_xor,
+)
+from repro.core.arithmetic import tnum_add, tnum_sub
+from repro.core.lattice import enumerate_tnums, leq, lt
+from repro.core.tnum import Tnum, mask_for_width
+from tests.conftest import tnums
+
+W = 8
+
+ZERO, ONE, MU = (0, 0), (1, 0), (0, 1)
+TRITS = [ZERO, ONE, MU]
+
+
+class TestTritOps:
+    def test_xor_truth_table(self):
+        assert trit_xor(ZERO, ZERO) == ZERO
+        assert trit_xor(ONE, ZERO) == ONE
+        assert trit_xor(ONE, ONE) == ZERO
+        assert trit_xor(MU, ZERO) == MU
+        assert trit_xor(MU, ONE) == MU
+        assert trit_xor(MU, MU) == MU
+
+    def test_and_truth_table(self):
+        assert trit_and(ZERO, MU) == ZERO  # known 0 annihilates
+        assert trit_and(ONE, ONE) == ONE
+        assert trit_and(ONE, MU) == MU
+        assert trit_and(MU, MU) == MU
+
+    def test_or_truth_table(self):
+        assert trit_or(ONE, MU) == ONE  # known 1 absorbs
+        assert trit_or(ZERO, ZERO) == ZERO
+        assert trit_or(ZERO, MU) == MU
+        assert trit_or(MU, MU) == MU
+
+    def test_not_truth_table(self):
+        assert trit_not(ZERO) == ONE
+        assert trit_not(ONE) == ZERO
+        assert trit_not(MU) == MU
+
+    def test_ops_closed_over_trits(self):
+        for a in TRITS:
+            for b in TRITS:
+                assert trit_xor(a, b) in TRITS
+                assert trit_and(a, b) in TRITS
+                assert trit_or(a, b) in TRITS
+
+
+class TestSoundness:
+    def test_add_sound_exhaustive_width4(self):
+        for p in enumerate_tnums(4):
+            gp = list(p.concretize())
+            for q in enumerate_tnums(4):
+                r = ripple_add(p, q)
+                for x in gp:
+                    for y in q.concretize():
+                        assert r.contains((x + y) & 0xF), (p, q)
+
+    def test_sub_sound_exhaustive_width4(self):
+        for p in enumerate_tnums(4):
+            gp = list(p.concretize())
+            for q in enumerate_tnums(4):
+                r = ripple_sub(p, q)
+                for x in gp:
+                    for y in q.concretize():
+                        assert r.contains((x - y) & 0xF), (p, q)
+
+
+class TestRelationToKernelOps:
+    """Ripple is sound but not optimal: always ⊒ tnum_add, sometimes ⊐."""
+
+    @given(tnums(W), tnums(W))
+    def test_add_never_more_precise_than_kernel(self, p, q):
+        assert leq(tnum_add(p, q), ripple_add(p, q))
+
+    @given(tnums(W), tnums(W))
+    def test_sub_never_more_precise_than_kernel(self, p, q):
+        assert leq(tnum_sub(p, q), ripple_sub(p, q))
+
+    def test_strictly_less_precise_witness(self):
+        # 011 + 0µ1: concrete sums are {4, 6} = 1µ0; the composed
+        # three-valued carry majority cannot see maj(1, µ, 1) = 1 and
+        # reports µµ0.
+        p = Tnum.from_trits("011")
+        q = Tnum.from_trits("0µ1")
+        assert tnum_add(p, q) == Tnum.from_trits("1µ0")
+        assert ripple_add(p, q) == Tnum.from_trits("µµ0")
+        assert lt(tnum_add(p, q), ripple_add(p, q))
+
+    def test_agreement_on_constants(self):
+        for x in (0, 1, 7, 15):
+            for y in (0, 3, 15):
+                p, q = Tnum.const(x, 4), Tnum.const(y, 4)
+                assert ripple_add(p, q) == tnum_add(p, q)
+                assert ripple_sub(p, q) == tnum_sub(p, q)
+
+
+class TestEdgeCases:
+    def test_bottom(self):
+        assert ripple_add(Tnum.bottom(W), Tnum.const(0, W)).is_bottom()
+        assert ripple_sub(Tnum.const(0, W), Tnum.bottom(W)).is_bottom()
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ripple_add(Tnum.const(0, 4), Tnum.const(0, 8))
+        with pytest.raises(ValueError):
+            ripple_sub(Tnum.const(0, 4), Tnum.const(0, 8))
+
+    def test_carry_chain_full_length(self):
+        # 1111 + 0001 carries through every position.
+        assert ripple_add(Tnum.const(0xFF, W), Tnum.const(1, W)) == Tnum.const(0, W)
+
+    def test_uncertain_carry_propagates(self):
+        # 111µ + 0001: the µ decides whether the carry ripples, so all
+        # bits of the result become unknown except none are certain.
+        p = Tnum.from_trits("111µ", width=4)
+        r = ripple_add(p, Tnum.const(1, 4))
+        assert r == tnum_add(p, Tnum.const(1, 4))
+        assert r.unknown_count() == 4

@@ -1,0 +1,201 @@
+"""Assembler and disassembler tests, including full round-trips."""
+
+import pytest
+
+from repro.bpf import isa
+from repro.bpf.assembler import AssemblyError, assemble
+from repro.bpf.disassembler import format_instruction, format_program
+
+
+class TestBasicAssembly:
+    def test_mov_imm(self):
+        prog = assemble("mov r1, 42\nexit")
+        insn = prog[0]
+        assert insn.opcode == isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_K
+        assert insn.dst == 1 and insn.imm == 42
+
+    def test_mov_reg(self):
+        insn = assemble("mov r1, r2\nexit")[0]
+        assert insn.opcode == isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_X
+        assert (insn.dst, insn.src) == (1, 2)
+
+    def test_mov32(self):
+        insn = assemble("mov32 r1, 5\nexit")[0]
+        assert insn.cls() == isa.CLS_ALU
+
+    def test_all_alu_mnemonics(self):
+        text = "\n".join(
+            f"{name} r1, 3" for name in
+            ("add", "sub", "mul", "div", "or", "and", "lsh", "rsh",
+             "mod", "xor", "arsh")
+        ) + "\nneg r1\nexit"
+        prog = assemble(text)
+        assert len(prog) == 13
+
+    def test_hex_and_negative_immediates(self):
+        prog = assemble("mov r1, 0xff\nmov r2, -5\nexit")
+        assert prog[0].imm == 255
+        assert prog[1].imm == -5
+
+    def test_lddw(self):
+        insn = assemble("lddw r3, 0x1122334455667788\nexit")[0]
+        assert insn.is_lddw() and insn.imm == 0x1122334455667788
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        ; leading comment
+        mov r0, 1   ; trailing
+        # hash comment
+        exit
+        """)
+        assert len(prog) == 2
+
+
+class TestMemoryOps:
+    def test_load(self):
+        insn = assemble("ldxdw r1, [r10-8]\nexit")[0]
+        assert insn.cls() == isa.CLS_LDX
+        assert (insn.dst, insn.src, insn.off) == (1, 10, -8)
+        assert insn.size_bytes() == 8
+
+    def test_all_sizes(self):
+        for suffix, size in (("b", 1), ("h", 2), ("w", 4), ("dw", 8)):
+            insn = assemble(f"ldx{suffix} r1, [r2+0]\nexit")[0]
+            assert insn.size_bytes() == size
+
+    def test_store_reg(self):
+        insn = assemble("stxw [r10-4], r2\nexit")[0]
+        assert insn.cls() == isa.CLS_STX
+        assert (insn.dst, insn.src, insn.off) == (10, 2, -4)
+
+    def test_store_imm(self):
+        insn = assemble("stdw [r10-16], 99\nexit")[0]
+        assert insn.cls() == isa.CLS_ST
+        assert insn.imm == 99
+
+    def test_spaces_in_memory_operand(self):
+        insn = assemble("ldxdw r1, [ r10 - 8 ]\nexit")[0]
+        assert insn.off == -8
+
+
+class TestJumps:
+    def test_label_forward(self):
+        prog = assemble("""
+            jeq r1, 0, done
+            mov r0, 1
+        done:
+            exit
+        """)
+        assert prog[0].off == 1  # skip one insn
+
+    def test_label_backward_rejected_by_cfg_but_assembles(self):
+        prog = assemble("""
+        top:
+            mov r0, 0
+            ja top
+        """)
+        assert prog[1].off == -2
+
+    def test_relative_offsets(self):
+        prog = assemble("jne r1, r2, +1\nexit\nexit")
+        assert prog[0].off == 1
+
+    def test_lddw_occupies_two_slots_for_labels(self):
+        prog = assemble("""
+            ja end
+            lddw r1, 5
+        end:
+            exit
+        """)
+        # end is at slot 3 (ja=0, lddw=1-2), so offset = 3 - 1 = 2.
+        assert prog[0].off == 2
+
+    def test_jump32(self):
+        insn = assemble("jeq32 r1, 5, +1\nexit\nexit")[0]
+        assert insn.cls() == isa.CLS_JMP32
+
+    def test_call_and_exit(self):
+        prog = assemble("call 7\nexit")
+        assert isa.BPF_OP(prog[0].opcode) == isa.JMP_CALL
+        assert prog[0].imm == 7
+        assert prog[1].is_exit()
+
+    def test_signed_jumps(self):
+        for name in ("jsgt", "jsge", "jslt", "jsle", "jset"):
+            prog = assemble(f"{name} r1, 0, +1\nexit\nexit")
+            assert prog[0].is_cond_jump()
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("ja nowhere\nexit")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\nexit\na:\nexit")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("mov r11, 0\nexit")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects 2"):
+            assemble("mov r1\nexit")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblyError, match="expected integer"):
+            assemble("mov r1, xyz\nexit")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("mov r0, 0\nbogus r1\nexit")
+        except AssemblyError as e:
+            assert e.line_no == 2
+        else:
+            pytest.fail("expected AssemblyError")
+
+
+ROUNDTRIP_PROGRAM = """
+entry:
+    mov r0, 0
+    mov32 r2, 10
+    lddw r3, 0xdeadbeefcafebabe
+    add r2, r3
+    neg r2
+    stxdw [r10-8], r2
+    ldxdw r4, [r10-8]
+    stb [r10-9], 1
+    jset r4, 4, entry2
+    ja end
+entry2:
+    arsh r4, 2
+    jsge32 r4, r2, end
+    mov r0, 1
+end:
+    exit
+"""
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_assemble(self):
+        prog1 = assemble(ROUNDTRIP_PROGRAM)
+        text = format_program(prog1)
+        prog2 = assemble(text)
+        assert prog1.insns == prog2.insns
+
+    def test_bytes_roundtrip(self):
+        prog1 = assemble(ROUNDTRIP_PROGRAM)
+        from repro.bpf.program import Program
+
+        prog2 = Program.from_bytes(prog1.to_bytes())
+        assert prog1.insns == prog2.insns
+
+    def test_format_instruction_str(self):
+        insn = assemble("add r1, r2\nexit")[0]
+        assert format_instruction(insn) == "add r1, r2"
+        assert str(insn) == "add r1, r2"

@@ -1,0 +1,133 @@
+"""Tests for the programmatic ProgramBuilder API."""
+
+import pytest
+
+from repro.bpf import Machine, assemble
+from repro.bpf.builder import ProgramBuilder
+from repro.bpf.verifier import verify_program
+
+
+class TestBuilding:
+    def test_docstring_example(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 0)
+        b.ldx(2, 1, 0, size=1)
+        b.alu_imm("and", 2, 7)
+        b.jmp_imm("jeq", 2, 0, "done")
+        b.alu_imm("add", 0, 1)
+        b.label("done")
+        b.exit_()
+        program = b.build()
+        assert len(program) == 6
+        assert verify_program(program).ok
+
+    def test_chaining(self):
+        program = (
+            ProgramBuilder()
+            .mov_imm(0, 41)
+            .alu_imm("add", 0, 1)
+            .exit_()
+            .build()
+        )
+        assert Machine().run(program).return_value == 42
+
+    def test_forward_and_backward_labels(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 0)
+        b.ja("end")          # forward
+        b.label("mid")
+        b.mov_imm(0, 9)
+        b.label("end")
+        b.exit_()
+        program = b.build()
+        assert Machine().run(program).return_value == 0
+
+    def test_matches_assembler_output(self):
+        text = """
+            mov r0, 0
+            ldxb r2, [r1+0]
+            and r2, 7
+            jeq r2, 0, done
+            add r0, 1
+        done:
+            exit
+        """
+        built = (
+            ProgramBuilder()
+            .mov_imm(0, 0)
+            .ldx(2, 1, 0, size=1)
+            .alu_imm("and", 2, 7)
+            .jmp_imm("jeq", 2, 0, "done")
+            .alu_imm("add", 0, 1)
+            .label("done")
+            .exit_()
+            .build()
+        )
+        assert built.insns == assemble(text).insns
+
+    def test_ld_imm64_slots(self):
+        b = ProgramBuilder()
+        b.ld_imm64(1, 1 << 40)
+        b.ja("end")
+        b.label("end")
+        b.exit_()
+        program = b.build()
+        # lddw occupies slots 0-1, ja at slot 2, exit at slot 3.
+        assert program.jump_target_slot(1) == 3
+
+    def test_memory_ops(self):
+        program = (
+            ProgramBuilder()
+            .mov_imm(2, 0x55)
+            .stx(10, -8, 2, size=8)
+            .st_imm(10, -16, 7, size=4)
+            .ldx(0, 10, -8, size=8)
+            .exit_()
+            .build()
+        )
+        assert Machine().run(program).return_value == 0x55
+        assert verify_program(program).ok
+
+    def test_register_jump_and_call(self):
+        program = (
+            ProgramBuilder()
+            .mov_imm(2, 5)
+            .mov_imm(3, 5)
+            .mov_imm(0, 0)
+            .jmp_reg("jeq", 2, 3, "same")
+            .exit_()
+            .label("same")
+            .mov_imm(0, 1)
+            .exit_()
+            .build()
+        )
+        assert Machine().run(program).return_value == 1
+
+    def test_alu32_forms(self):
+        program = (
+            ProgramBuilder()
+            .ld_imm64(2, 0xFFFF_FFFF_0000_0001)
+            .alu_imm("add", 2, 1, is64=False)
+            .mov_reg(0, 2)
+            .exit_()
+            .build()
+        )
+        assert Machine().run(program).return_value == 2
+
+
+class TestErrors:
+    def test_undefined_label(self):
+        b = ProgramBuilder().ja("nowhere").exit_()
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        b.exit_()
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_unknown_alu_op(self):
+        with pytest.raises(KeyError):
+            ProgramBuilder().alu_imm("frob", 0, 1)

@@ -1,0 +1,138 @@
+"""Instruction representation and binary encode/decode tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bpf import isa
+from repro.bpf.insn import (
+    Instruction,
+    decode,
+    decode_program,
+    encode,
+    encode_program,
+)
+
+
+class TestValidation:
+    def test_bad_registers_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_K, dst=11)
+        with pytest.raises(ValueError):
+            Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_X, dst=0, src=11)
+
+    def test_bad_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(isa.CLS_JMP | isa.JMP_JA, off=1 << 15)
+
+    def test_bad_imm_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_K, imm=1 << 32)
+
+    def test_lddw_allows_64bit_imm(self):
+        insn = Instruction(
+            isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM, dst=1,
+            imm=0xDEAD_BEEF_1234_5678,
+        )
+        assert insn.is_lddw()
+        assert insn.slots() == 2
+
+    def test_bad_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(0x100)
+
+
+class TestClassification:
+    def test_alu_classes(self):
+        a64 = Instruction(isa.CLS_ALU64 | isa.ALU_ADD | isa.SRC_K, imm=1)
+        a32 = Instruction(isa.CLS_ALU | isa.ALU_ADD | isa.SRC_K, imm=1)
+        assert a64.is_alu() and a64.is_alu64()
+        assert a32.is_alu() and not a32.is_alu64()
+
+    def test_jump_kinds(self):
+        exit_ = Instruction(isa.CLS_JMP | isa.JMP_EXIT)
+        ja = Instruction(isa.CLS_JMP | isa.JMP_JA, off=2)
+        jeq = Instruction(isa.CLS_JMP | isa.JMP_JEQ | isa.SRC_K, imm=1, off=1)
+        assert exit_.is_exit() and not exit_.is_cond_jump()
+        assert ja.is_ja() and not ja.is_cond_jump()
+        assert jeq.is_cond_jump()
+
+    def test_memory_kinds(self):
+        ld = Instruction(isa.CLS_LDX | isa.SZ_DW | isa.MODE_MEM, dst=1, src=10, off=-8)
+        stx = Instruction(isa.CLS_STX | isa.SZ_W | isa.MODE_MEM, dst=10, src=1, off=-4)
+        st = Instruction(isa.CLS_ST | isa.SZ_B | isa.MODE_MEM, dst=10, off=-1, imm=7)
+        assert ld.is_load() and ld.size_bytes() == 8
+        assert stx.is_store() and stx.size_bytes() == 4
+        assert st.is_store() and st.size_bytes() == 1
+
+
+class TestEncoding:
+    def test_regular_insn_is_8_bytes(self):
+        insn = Instruction(isa.CLS_ALU64 | isa.ALU_ADD | isa.SRC_K, dst=2, imm=5)
+        assert len(encode(insn)) == 8
+
+    def test_lddw_is_16_bytes(self):
+        insn = Instruction(isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM, dst=1, imm=1 << 40)
+        assert len(encode(insn)) == 16
+
+    def test_known_encoding_matches_kernel_layout(self):
+        # mov r1, 7 => opcode b7, regs 01, off 0000, imm 07000000 (LE).
+        insn = Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_K, dst=1, imm=7)
+        assert encode(insn) == bytes.fromhex("b701000007000000")
+
+    def test_src_reg_packing(self):
+        insn = Instruction(isa.CLS_ALU64 | isa.ALU_ADD | isa.SRC_X, dst=2, src=3)
+        raw = encode(insn)
+        assert raw[1] == 0x32  # src in high nibble, dst in low
+
+    def test_roundtrip_lddw(self):
+        insn = Instruction(
+            isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM, dst=5,
+            imm=0xAABB_CCDD_EEFF_0011,
+        )
+        assert decode(encode(insn)) == insn
+
+    def test_truncated_lddw_rejected(self):
+        insn = Instruction(isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM, dst=1, imm=1 << 40)
+        with pytest.raises(ValueError):
+            decode(encode(insn)[:8])
+
+    def test_program_roundtrip(self):
+        insns = [
+            Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_K, dst=0, imm=0),
+            Instruction(isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM, dst=1, imm=1 << 50),
+            Instruction(isa.CLS_ALU64 | isa.ALU_ADD | isa.SRC_X, dst=0, src=1),
+            Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+        ]
+        assert decode_program(encode_program(insns)) == insns
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_program(b"\x00" * 7)
+
+
+@st.composite
+def simple_instructions(draw):
+    kind = draw(st.sampled_from(["alu_k", "alu_x", "jmp", "ld", "st"]))
+    dst = draw(st.integers(0, 10))
+    src = draw(st.integers(0, 10))
+    off = draw(st.integers(-(1 << 15), (1 << 15) - 1))
+    imm = draw(st.integers(-(1 << 31), (1 << 31) - 1))
+    if kind == "alu_k":
+        op = draw(st.sampled_from(sorted(isa.ALU_OP_NAMES)))
+        return Instruction(isa.CLS_ALU64 | op | isa.SRC_K, dst=dst, imm=imm)
+    if kind == "alu_x":
+        op = draw(st.sampled_from(sorted(isa.ALU_OP_NAMES)))
+        return Instruction(isa.CLS_ALU64 | op | isa.SRC_X, dst=dst, src=src)
+    if kind == "jmp":
+        op = draw(st.sampled_from(sorted(isa.JMP_OP_NAMES)))
+        return Instruction(isa.CLS_JMP | op | isa.SRC_K, dst=dst, off=off, imm=imm)
+    size = draw(st.sampled_from([isa.SZ_B, isa.SZ_H, isa.SZ_W, isa.SZ_DW]))
+    if kind == "ld":
+        return Instruction(isa.CLS_LDX | size | isa.MODE_MEM, dst=dst, src=src, off=off)
+    return Instruction(isa.CLS_ST | size | isa.MODE_MEM, dst=dst, off=off, imm=imm)
+
+
+@given(simple_instructions())
+def test_encode_decode_roundtrip(insn):
+    assert decode(encode(insn)) == insn

@@ -1,0 +1,158 @@
+"""Program container and CFG construction tests."""
+
+import pytest
+
+from repro.bpf.assembler import assemble
+from repro.bpf.cfg import CFGError, build_cfg
+from repro.bpf.program import Program, ProgramError
+from repro.bpf.insn import Instruction
+from repro.bpf import isa
+
+
+class TestProgram:
+    def test_slot_accounting_with_lddw(self):
+        prog = assemble("mov r0, 0\nlddw r1, 5\nexit")
+        assert prog.slot_of(0) == 0
+        assert prog.slot_of(1) == 1
+        assert prog.slot_of(2) == 3  # lddw took slots 1-2
+        assert prog.total_slots == 4
+
+    def test_index_at_mid_lddw_rejected(self):
+        prog = assemble("lddw r1, 5\nexit")
+        with pytest.raises(ProgramError):
+            prog.index_at_slot(1)
+
+    def test_jump_target_validation(self):
+        bad = [
+            Instruction(isa.CLS_JMP | isa.JMP_JA, off=5),
+            Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+        ]
+        with pytest.raises(ProgramError, match="jump target"):
+            Program(bad)
+
+    def test_size_limit(self):
+        insns = [
+            Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_K, dst=0, imm=0)
+        ] * (isa.MAX_INSNS + 1)
+        with pytest.raises(ProgramError, match="too large"):
+            Program(insns)
+
+    def test_label_at(self):
+        prog = assemble("start:\nmov r0, 0\nexit")
+        assert prog.label_at(0) == "start"
+        assert prog.label_at(1) is None
+
+    def test_len_iter_getitem(self):
+        prog = assemble("mov r0, 0\nexit")
+        assert len(prog) == 2
+        assert prog[1].is_exit()
+        assert [i.opcode for i in prog]
+
+
+class TestCFG:
+    def test_straight_line_is_one_block(self):
+        prog = assemble("mov r0, 0\nadd r0, 1\nexit")
+        cfg = build_cfg(prog)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_diamond(self):
+        prog = assemble("""
+            mov r0, 0
+            jeq r1, 0, left
+            mov r0, 1
+            ja end
+        left:
+            mov r0, 2
+        end:
+            exit
+        """)
+        cfg = build_cfg(prog)
+        # entry, fall-through, taken, merge.
+        assert len(cfg.blocks) == 4
+        entry = cfg.blocks[0]
+        assert len(entry.successors) == 2
+        merge = cfg.blocks[-1]
+        assert sorted(merge.predecessors) == sorted(
+            [b.block_id for b in cfg.blocks if merge.block_id in b.successors]
+        )
+
+    def test_loop_rejected(self):
+        prog = assemble("""
+        top:
+            add r0, 1
+            jne r0, 10, top
+            exit
+        """)
+        with pytest.raises(CFGError, match="back-edge"):
+            build_cfg(prog)
+
+    def test_self_loop_rejected(self):
+        prog = assemble("""
+        top:
+            ja top
+        """)
+        with pytest.raises(CFGError, match="back-edge"):
+            build_cfg(prog)
+
+    def test_unreachable_rejected(self):
+        prog = assemble("""
+            mov r0, 0
+            exit
+            mov r1, 1
+            exit
+        """)
+        with pytest.raises(CFGError, match="unreachable"):
+            build_cfg(prog)
+
+    def test_fall_off_end_rejected(self):
+        prog = assemble("mov r0, 0\nadd r0, 1")
+        with pytest.raises(CFGError):
+            build_cfg(prog)
+
+    def test_cond_jump_last_insn_rejected(self):
+        # Conditional jump whose fall-through runs off the end.
+        prog = assemble("""
+            jeq r1, 0, end
+        end:
+            exit
+        """)
+        # This one is fine (fall-through is `exit`)...
+        build_cfg(prog)
+        from repro.bpf.insn import Instruction
+        from repro.bpf import isa
+        from repro.bpf.program import Program
+
+        bad = Program([
+            Instruction(isa.CLS_JMP | isa.JMP_JEQ | isa.SRC_K, dst=1, imm=0, off=-1),
+        ])
+        with pytest.raises(CFGError):
+            build_cfg(bad)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(CFGError, match="empty"):
+            build_cfg(Program([]))
+
+    def test_reverse_post_order_starts_at_entry(self):
+        prog = assemble("""
+            jeq r1, 0, a
+            ja b
+        a:
+            ja b
+        b:
+            exit
+        """)
+        cfg = build_cfg(prog)
+        order = cfg.reverse_post_order()
+        assert order[0] == 0
+        # every block appears exactly once
+        assert sorted(order) == [b.block_id for b in cfg.blocks]
+        # merge block comes after both predecessors
+        merge = cfg.block_containing(len(prog) - 1).block_id
+        assert order.index(merge) == len(order) - 1
+
+    def test_block_containing(self):
+        prog = assemble("mov r0, 0\nmov r1, 1\nexit")
+        cfg = build_cfg(prog)
+        assert cfg.block_containing(0) is cfg.blocks[0]
+        assert cfg.block_containing(2) is cfg.blocks[0]

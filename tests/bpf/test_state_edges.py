@@ -1,0 +1,131 @@
+"""Edge-path tests for verifier state machinery (slots, joins, errors)."""
+
+import pytest
+
+from repro.bpf import assemble
+from repro.bpf.verifier import Verifier
+from repro.bpf.verifier.state import (
+    AbstractState,
+    RegKind,
+    RegState,
+    Region,
+    StackSlot,
+)
+from repro.domains.product import ScalarValue
+
+
+def verify(text: str):
+    return Verifier(ctx_size=64).verify(assemble(text))
+
+
+class TestRegStateJoin:
+    def test_scalar_join_scalar(self):
+        a = RegState.const(3)
+        b = RegState.const(12)
+        j = a.join(b)
+        assert j.is_scalar()
+        assert j.scalar.contains(3) and j.scalar.contains(12)
+
+    def test_scalar_join_pointer_is_unusable(self):
+        j = RegState.const(0).join(RegState.stack_ptr())
+        assert j.kind == RegKind.NOT_INIT
+
+    def test_pointer_join_different_regions_unusable(self):
+        j = RegState.stack_ptr().join(RegState.ctx_ptr())
+        assert j.kind == RegKind.NOT_INIT
+
+    def test_pointer_join_same_region_joins_offsets(self):
+        a = RegState.stack_ptr(-8)
+        b = RegState.stack_ptr(-16)
+        j = a.join(b)
+        assert j.is_ptr() and j.region == Region.STACK
+        assert j.offset.contains((-8) & ((1 << 64) - 1))
+        assert j.offset.contains((-16) & ((1 << 64) - 1))
+
+    def test_not_init_join_anything(self):
+        assert RegState.not_init().join(RegState.const(1)).kind == RegKind.NOT_INIT
+
+    def test_leq_not_init_is_top(self):
+        assert RegState.const(5).leq(RegState.not_init())
+        assert not RegState.not_init().leq(RegState.const(5))
+
+    def test_str_forms(self):
+        assert str(RegState.not_init()) == "?"
+        assert "scalar" in str(RegState.const(1))
+        assert "stack" in str(RegState.stack_ptr())
+
+
+class TestStackSlotLattice:
+    def test_spill_join_spill(self):
+        a = StackSlot.spill(RegState.const(1))
+        b = StackSlot.spill(RegState.const(3))
+        j = a.join(b)
+        assert j.kind == StackSlot.SPILL
+        assert j.value.scalar.contains(1) and j.value.scalar.contains(3)
+
+    def test_unwritten_dominates_join(self):
+        # Joining with unwritten must stay unwritten (a path on which the
+        # slot was never written forbids reads after the merge).
+        j = StackSlot.spill(RegState.const(1)).join(StackSlot.unwritten())
+        assert j.kind == StackSlot.UNWRITTEN
+
+    def test_spill_join_misc(self):
+        j = StackSlot.spill(RegState.const(1)).join(StackSlot.misc())
+        assert j.kind == StackSlot.MISC
+
+    def test_leq(self):
+        spill = StackSlot.spill(RegState.const(1))
+        assert spill.leq(StackSlot.misc())
+        assert spill.leq(StackSlot.unwritten())
+        assert not StackSlot.misc().leq(spill)
+
+    def test_str(self):
+        assert "spill" in str(StackSlot.spill(RegState.const(1)))
+        assert str(StackSlot.misc()) == "misc"
+
+
+class TestStateJoinThroughVerifier:
+    def test_merge_of_pointer_and_scalar_register_rejected_on_use(self):
+        res = verify("""
+            ldxb r3, [r1+0]
+            jeq r3, 0, other
+            mov r2, r10
+            ja merge
+        other:
+            mov r2, 5
+        merge:
+            mov r0, r2       ; r2 unusable after mixed-kind merge
+            exit
+        """)
+        assert not res.ok
+        assert "uninitialized" in res.errors[0].reason
+
+    def test_merge_of_slot_written_on_one_path_only(self):
+        res = verify("""
+            ldxb r3, [r1+0]
+            mov r0, 0
+            jeq r3, 0, skip
+            stdw [r10-8], 1
+        skip:
+            ldxdw r0, [r10-8]
+            exit
+        """)
+        assert not res.ok
+        assert "uninitialized stack" in res.errors[0].reason
+
+    def test_pointer_spill_partial_store_rejected(self):
+        # A 4-byte store of a *pointer* value cannot be tracked.
+        res = verify("""
+            stxw [r10-8], r1
+            mov r0, 0
+            exit
+        """)
+        assert not res.ok
+        assert "partial-width" in res.errors[0].reason or "pointer" in res.errors[0].reason
+
+
+class TestAbstractStateStr:
+    def test_renders_initialized_regs(self):
+        state = AbstractState.entry_state()
+        text = str(state)
+        assert "r1" in text and "r10" in text and "r5" not in text

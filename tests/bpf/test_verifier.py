@@ -1,0 +1,445 @@
+"""Verifier accept/reject tests: the safety policy in action."""
+
+import pytest
+
+from repro.bpf import assemble
+from repro.bpf.verifier import Verifier, verify_program
+
+
+def verify(text: str, ctx_size: int = 64):
+    return Verifier(ctx_size=ctx_size).verify(assemble(text))
+
+
+class TestAccepts:
+    def test_trivial(self):
+        assert verify("mov r0, 0\nexit").ok
+
+    def test_arithmetic_chain(self):
+        assert verify("""
+            mov r0, 1
+            add r0, 2
+            mul r0, 3
+            sub r0, 4
+            exit
+        """).ok
+
+    def test_stack_spill_fill(self):
+        assert verify("""
+            mov r2, 7
+            stxdw [r10-8], r2
+            ldxdw r0, [r10-8]
+            exit
+        """).ok
+
+    def test_ctx_read_write(self):
+        assert verify("""
+            ldxw r2, [r1+0]
+            stxw [r1+4], r2
+            mov r0, 0
+            exit
+        """).ok
+
+    def test_branching_merge(self):
+        assert verify("""
+            ldxw r2, [r1+0]
+            mov r0, 0
+            jeq r2, 0, end
+            mov r0, 1
+        end:
+            exit
+        """).ok
+
+    def test_bounds_refinement_enables_ctx_access(self):
+        # r2 < 8 on the taken path makes [r1 + r2*4] provably in-bounds.
+        assert verify("""
+            ldxw r2, [r1+0]
+            jge r2, 8, out
+            lsh r2, 2
+            add r1, r2
+            ldxw r0, [r1+0]
+            exit
+        out:
+            mov r0, 0
+            exit
+        """).ok
+
+    def test_masking_enables_access_without_branch(self):
+        # The paper's intro idiom: x & 7 bounds x without a branch.
+        assert verify("""
+            ldxw r2, [r1+0]
+            and r2, 7
+            lsh r2, 3
+            mov r3, r10
+            add r3, -64
+            add r3, r2
+            stdw [r10-8],  0
+            stdw [r10-16], 0
+            stdw [r10-24], 0
+            stdw [r10-32], 0
+            stdw [r10-40], 0
+            stdw [r10-48], 0
+            stdw [r10-56], 0
+            stdw [r10-64], 0
+            ldxdw r0, [r3+0]
+            exit
+        """).ok
+
+    def test_pointer_spill_and_reload(self):
+        assert verify("""
+            stxdw [r10-8], r1
+            ldxdw r2, [r10-8]
+            ldxw r0, [r2+0]
+            exit
+        """).ok
+
+    def test_helper_call(self):
+        assert verify("""
+            mov r1, 1
+            call 1
+            exit
+        """).ok
+
+    def test_dead_branch_not_analyzed(self):
+        # The taken edge contradicts itself (r2 == 0 and r2 == 1); only
+        # the feasible path must verify.
+        assert verify("""
+            mov r2, 0
+            jne r2, 0, dead
+            mov r0, 0
+            exit
+        dead:
+            ldxdw r0, [r10-8]
+            exit
+        """).ok
+
+
+class TestRejects:
+    def test_uninitialized_register_read(self):
+        res = verify("mov r0, r5\nexit")
+        assert not res.ok
+        assert "uninitialized register r5" in res.errors[0].reason
+
+    def test_uninitialized_r0_at_exit(self):
+        res = verify("""
+            ldxw r2, [r1+0]
+            jeq r2, 0, end
+            mov r0, 1
+        end:
+            exit
+        """)
+        assert not res.ok
+        assert "r0" in res.errors[0].reason
+
+    def test_pointer_leak_via_r0(self):
+        res = verify("mov r0, r10\nexit")
+        assert not res.ok
+        assert "leak" in res.errors[0].reason
+
+    def test_pointer_store_to_ctx(self):
+        res = verify("""
+            stxdw [r1+0], r10
+            mov r0, 0
+            exit
+        """)
+        assert not res.ok
+        assert "leak" in res.errors[0].reason
+
+    def test_stack_oob_constant(self):
+        res = verify("ldxdw r0, [r10-520]\nexit")
+        assert not res.ok
+        assert "stack" in res.errors[0].reason
+
+    def test_stack_above_frame(self):
+        res = verify("ldxdw r0, [r10+8]\nexit")
+        assert not res.ok
+
+    def test_ctx_oob(self):
+        res = verify("ldxdw r0, [r1+60]\nexit")
+        assert not res.ok
+        assert "ctx" in res.errors[0].reason
+
+    def test_unbounded_ctx_index(self):
+        res = verify("""
+            ldxw r2, [r1+0]
+            add r1, r2
+            ldxw r0, [r1+0]
+            exit
+        """)
+        assert not res.ok
+
+    def test_misaligned_variable_stack_access(self):
+        res = verify("""
+            stdw [r10-8],  0
+            stdw [r10-16], 0
+            ldxw r2, [r1+0]
+            and r2, 7
+            mov r3, r10
+            add r3, -16
+            add r3, r2
+            ldxdw r0, [r3+0]
+            exit
+        """)
+        assert not res.ok
+        assert "misaligned" in res.errors[0].reason
+
+    def test_read_uninitialized_stack(self):
+        res = verify("ldxdw r0, [r10-8]\nexit")
+        assert not res.ok
+        assert "uninitialized stack" in res.errors[0].reason
+
+    def test_variable_read_touching_uninitialized_slot(self):
+        res = verify("""
+            stdw [r10-8], 0
+            ldxw r2, [r1+0]
+            and r2, 15
+            mov r3, r10
+            add r3, -16
+            add r3, r2
+            ldxb r0, [r3+0]
+            exit
+        """)
+        assert not res.ok
+
+    def test_write_to_frame_pointer(self):
+        res = verify("mov r10, 0\nmov r0, 0\nexit")
+        assert not res.ok
+        assert "r10" in res.errors[0].reason
+
+    def test_pointer_addition_of_two_pointers(self):
+        res = verify("""
+            mov r2, r10
+            add r2, r1
+            mov r0, 0
+            exit
+        """)
+        assert not res.ok
+
+    def test_32bit_op_on_pointer(self):
+        res = verify("""
+            mov r2, r10
+            add32 r2, 4
+            mov r0, 0
+            exit
+        """)
+        assert not res.ok
+
+    def test_mul_on_pointer(self):
+        res = verify("""
+            mov r2, r10
+            mul r2, 2
+            mov r0, 0
+            exit
+        """)
+        assert not res.ok
+
+    def test_loop_rejected(self):
+        res = verify("""
+        top:
+            add r0, 1
+            jne r0, 10, top
+            exit
+        """)
+        assert not res.ok
+        assert "control flow" in res.errors[0].reason
+
+    def test_partial_overwrite_of_spilled_pointer(self):
+        res = verify("""
+            stxdw [r10-8], r1
+            stb [r10-8], 0
+            ldxdw r2, [r10-8]
+            ldxw r0, [r2+0]
+            exit
+        """)
+        assert not res.ok
+
+    def test_cross_region_pointer_subtraction(self):
+        res = verify("""
+            mov r2, r10
+            sub r2, r1
+            mov r0, 0
+            exit
+        """)
+        assert not res.ok
+
+
+class TestRefinementPrecision:
+    def test_jlt_bounds_are_used(self):
+        assert verify("""
+            ldxw r2, [r1+0]
+            jlt r2, 56, small
+            mov r0, 0
+            exit
+        small:
+            and r2, -8
+            mov r3, r10
+            add r3, -64
+            add r3, r2
+            stdw [r10-8],  0
+            stdw [r10-16], 0
+            stdw [r10-24], 0
+            stdw [r10-32], 0
+            stdw [r10-40], 0
+            stdw [r10-48], 0
+            stdw [r10-56], 0
+            stdw [r10-64], 0
+            ldxdw r0, [r3+0]
+            exit
+        """).ok
+
+    def test_jeq_makes_register_constant(self):
+        assert verify("""
+            ldxw r2, [r1+0]
+            jeq r2, 4, known
+            mov r0, 0
+            exit
+        known:
+            add r1, r2
+            ldxw r0, [r1+0]
+            exit
+        """).ok
+
+    def test_same_program_without_refinement_rejected(self):
+        res = verify("""
+            ldxw r2, [r1+0]
+            add r1, r2
+            ldxw r0, [r1+0]
+            exit
+        """)
+        assert not res.ok
+
+    def test_jset_fallthrough_clears_bits(self):
+        # !(r2 & ~7) means r2 <= 7: enough to bound a stack index.
+        assert verify("""
+            ldxw r2, [r1+0]
+            jset r2, -8, out
+            lsh r2, 3
+            mov r3, r10
+            add r3, -64
+            add r3, r2
+            stdw [r10-8],  0
+            stdw [r10-16], 0
+            stdw [r10-24], 0
+            stdw [r10-32], 0
+            stdw [r10-40], 0
+            stdw [r10-48], 0
+            stdw [r10-56], 0
+            stdw [r10-64], 0
+            ldxdw r0, [r3+0]
+            exit
+        out:
+            mov r0, 0
+            exit
+        """).ok
+
+
+class TestMirroredRefinement:
+    def test_const_on_left_refines_register(self):
+        # `jgt r2, r3, ...` with r2 == 8 constant means on the taken edge
+        # 8 > r3, i.e. r3 < 8 — enough to bound the ctx access.
+        assert verify("""
+            mov r2, 8
+            ldxw r3, [r1+0]
+            jgt r2, r3, small
+            mov r0, 0
+            exit
+        small:
+            add r1, r3
+            ldxb r0, [r1+0]
+            exit
+        """).ok
+
+    def test_const_left_jle_fallthrough(self):
+        # Fall-through of `jle r2(=55), r3` means 55 > r3, so r3 <= 55
+        # and the ctx window [r3, r3+4) fits in 64 bytes... wait 55+4=59.
+        assert verify("""
+            mov r2, 55
+            ldxw r3, [r1+0]
+            jle r2, r3, big
+            add r1, r3
+            ldxb r0, [r1+0]
+            exit
+        big:
+            mov r0, 0
+            exit
+        """).ok
+
+
+class TestSignedRefinement:
+    def test_signed_window_bounds_index(self):
+        # jsge 0 + jslt 8 on a 64-bit scalar pins it to [0, 7] even though
+        # the unsigned view alone couldn't use the signed lower bound.
+        assert verify("""
+            ldxdw r2, [r1+0]
+            jsge r2, 0, nonneg
+            mov r0, 0
+            exit
+        nonneg:
+            jsge r2, 8, out
+            lsh r2, 3
+            mov r3, r10
+            add r3, -64
+            add r3, r2
+            stdw [r10-8],  0
+            stdw [r10-16], 0
+            stdw [r10-24], 0
+            stdw [r10-32], 0
+            stdw [r10-40], 0
+            stdw [r10-48], 0
+            stdw [r10-56], 0
+            stdw [r10-64], 0
+            ldxdw r0, [r3+0]
+            exit
+        out:
+            mov r0, 0
+            exit
+        """).ok
+
+    def test_signed_refinement_infeasible_edge_pruned(self):
+        # r2 == 5 then jslt r2, 0 can never be taken; the dead edge must
+        # not poison the analysis.
+        assert verify("""
+            mov r2, 5
+            jslt r2, 0, dead
+            mov r0, 0
+            exit
+        dead:
+            ldxdw r0, [r10-8]
+            exit
+        """).ok
+
+    def test_signed_upper_bound_alone_insufficient(self):
+        # Only jslt (no lower bound): r2 may be negative -> huge unsigned.
+        res = verify("""
+            ldxdw r2, [r1+0]
+            jsge r2, 8, out
+            lsh r2, 3
+            mov r3, r10
+            add r3, -64
+            add r3, r2
+            stdw [r10-64], 0
+            ldxdw r0, [r3+0]
+            exit
+        out:
+            mov r0, 0
+            exit
+        """)
+        assert not res.ok
+
+
+class TestStateCollection:
+    def test_states_recorded(self):
+        v = Verifier(ctx_size=64, collect_states=True)
+        res = v.verify(assemble("""
+            mov r2, 5
+            and r2, 3
+            mov r0, 0
+            exit
+        """))
+        assert res.ok
+        # After `mov r2, 5`, entry of insn 1 should know r2 == 5.
+        state = v.states_at[1]
+        assert state.regs[2].scalar.const_value() == 5
+
+    def test_insns_processed_counted(self):
+        res = verify_program(assemble("mov r0, 0\nexit"))
+        assert res.insns_processed == 2

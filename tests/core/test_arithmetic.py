@@ -1,0 +1,155 @@
+"""Tests for kernel tnum_add / tnum_sub / neg — soundness AND optimality.
+
+The paper's central claim for these operators (Theorems 6 and 22) is that
+the O(1) kernel algorithms are sound *and* maximally precise.  We check
+both exhaustively at small widths and property-based at width 8.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.arithmetic import tnum_add, tnum_neg, tnum_sub
+from repro.core.galois import abstract, best_transformer_binary, gamma
+from repro.core.lattice import enumerate_tnums
+from repro.core.tnum import Tnum, mask_for_width
+from tests.conftest import tnums
+
+W = 8
+LIMIT = mask_for_width(W)
+
+
+class TestPaperExamples:
+    def test_figure2_addition(self):
+        # Fig. 2: 10µ0 + 10µ1 = 10µµ1 over 5 bits; γ(R) = {17,19,21,23}.
+        p = Tnum.from_trits("10µ0", width=5)
+        q = Tnum.from_trits("10µ1", width=5)
+        r = tnum_add(p, q)
+        assert r == Tnum.from_trits("10µµ1", width=5)
+        assert gamma(r) == {17, 19, 21, 23}
+
+    def test_intro_all_bits_unknown_example(self):
+        # §I: a = 11...1, b ∈ {0, 1}: one unknown input bit, but a+b is
+        # either all-ones or all-zeros, so every output bit is unknown.
+        a = Tnum.const(LIMIT, W)
+        b = Tnum.from_trits("µ", width=W)
+        r = tnum_add(a, b)
+        assert r == Tnum.unknown(W)
+
+
+class TestAdd:
+    @given(tnums(W), tnums(W))
+    def test_sound(self, p, q):
+        r = tnum_add(p, q)
+        for x in list(p.concretize())[:8]:
+            for y in list(q.concretize())[:8]:
+                assert r.contains((x + y) & LIMIT)
+
+    def test_optimal_exhaustive_width3(self):
+        # Theorem 6: tnum_add == α ∘ + ∘ γ, checked over all pairs.
+        for p in enumerate_tnums(3):
+            for q in enumerate_tnums(3):
+                expected = best_transformer_binary(
+                    lambda x, y: (x + y) & 7, p, q
+                )
+                assert tnum_add(p, q) == expected
+
+    def test_constants_fold_exactly(self):
+        assert tnum_add(Tnum.const(100, W), Tnum.const(55, W)) == Tnum.const(155, W)
+
+    def test_wraps_modulo_width(self):
+        assert tnum_add(Tnum.const(200, W), Tnum.const(100, W)) == Tnum.const(44, W)
+
+    def test_bottom_propagates(self):
+        assert tnum_add(Tnum.bottom(W), Tnum.const(1, W)).is_bottom()
+        assert tnum_add(Tnum.const(1, W), Tnum.bottom(W)).is_bottom()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tnum_add(Tnum.const(0, 4), Tnum.const(0, 8))
+
+    def test_not_associative_as_paper_observes(self):
+        # §III-A observation (1). Witness checked here concretely.
+        found = False
+        ts = enumerate_tnums(3)
+        for a in ts:
+            for b in ts:
+                for c in ts:
+                    if tnum_add(tnum_add(a, b), c) != tnum_add(a, tnum_add(b, c)):
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                break
+        assert found
+
+    @given(tnums(W), tnums(W))
+    def test_commutative(self, p, q):
+        # Addition *is* commutative (unlike multiplication).
+        assert tnum_add(p, q) == tnum_add(q, p)
+
+    @given(tnums(W))
+    def test_zero_identity(self, p):
+        assert tnum_add(p, Tnum.const(0, W)) == p
+
+
+class TestSub:
+    @given(tnums(W), tnums(W))
+    def test_sound(self, p, q):
+        r = tnum_sub(p, q)
+        for x in list(p.concretize())[:8]:
+            for y in list(q.concretize())[:8]:
+                assert r.contains((x - y) & LIMIT)
+
+    def test_optimal_exhaustive_width3(self):
+        # Theorem 22.
+        for p in enumerate_tnums(3):
+            for q in enumerate_tnums(3):
+                expected = best_transformer_binary(
+                    lambda x, y: (x - y) & 7, p, q
+                )
+                assert tnum_sub(p, q) == expected
+
+    def test_constants_fold(self):
+        assert tnum_sub(Tnum.const(100, W), Tnum.const(58, W)) == Tnum.const(42, W)
+
+    def test_underflow_wraps(self):
+        assert tnum_sub(Tnum.const(0, W), Tnum.const(1, W)) == Tnum.const(255, W)
+
+    def test_x_minus_x_is_not_zero(self):
+        # §III-A observation (2): the domain is non-relational, so even
+        # P - P must cover 0 but may not be exactly 0.
+        p = Tnum.from_trits("µ0", width=W)
+        r = tnum_sub(p, p)
+        assert r.contains(0)
+        assert not r.is_const()
+
+    def test_add_sub_not_inverses(self):
+        ts = enumerate_tnums(2)
+        assert any(
+            tnum_sub(tnum_add(a, b), b) != a for a in ts for b in ts
+        )
+
+    def test_bottom_propagates(self):
+        assert tnum_sub(Tnum.bottom(W), Tnum.const(1, W)).is_bottom()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tnum_sub(Tnum.const(0, 4), Tnum.const(0, 8))
+
+
+class TestNeg:
+    @given(tnums(W))
+    def test_sound(self, p):
+        r = tnum_neg(p)
+        for x in list(p.concretize())[:16]:
+            assert r.contains((-x) & LIMIT)
+
+    def test_constant(self):
+        assert tnum_neg(Tnum.const(1, W)) == Tnum.const(255, W)
+        assert tnum_neg(Tnum.const(0, W)) == Tnum.const(0, W)
+
+    def test_optimal_exhaustive_width3(self):
+        for p in enumerate_tnums(3):
+            outputs = [(-x) & 7 for x in p.concretize()]
+            assert tnum_neg(p) == abstract(outputs, 3)

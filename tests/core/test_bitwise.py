@@ -1,0 +1,122 @@
+"""Tests for abstract bitwise and/or/xor/not (sound and optimal)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.bitwise import tnum_and, tnum_not, tnum_or, tnum_xor
+from repro.core.galois import best_transformer_binary, abstract
+from repro.core.lattice import enumerate_tnums
+from repro.core.tnum import Tnum, mask_for_width
+from tests.conftest import tnums
+
+W = 8
+LIMIT = mask_for_width(W)
+
+OPS = {
+    "and": (tnum_and, lambda x, y: x & y),
+    "or": (tnum_or, lambda x, y: x | y),
+    "xor": (tnum_xor, lambda x, y: x ^ y),
+}
+
+
+@pytest.mark.parametrize("name", sorted(OPS))
+class TestBinaryBitwise:
+    def test_optimal_exhaustive_width3(self, name):
+        fn, cop = OPS[name]
+        for p in enumerate_tnums(3):
+            for q in enumerate_tnums(3):
+                assert fn(p, q) == best_transformer_binary(
+                    lambda x, y: cop(x, y) & 7, p, q
+                )
+
+    def test_bottom_propagates(self, name):
+        fn, _ = OPS[name]
+        assert fn(Tnum.bottom(W), Tnum.unknown(W)).is_bottom()
+        assert fn(Tnum.unknown(W), Tnum.bottom(W)).is_bottom()
+
+    def test_width_mismatch(self, name):
+        fn, _ = OPS[name]
+        with pytest.raises(ValueError):
+            fn(Tnum.const(0, 4), Tnum.const(0, 8))
+
+    def test_constants_fold(self, name):
+        fn, cop = OPS[name]
+        assert fn(Tnum.const(0b1100, W), Tnum.const(0b1010, W)) == Tnum.const(
+            cop(0b1100, 0b1010), W
+        )
+
+
+@given(tnums(W), tnums(W))
+def test_and_sound(p, q):
+    r = tnum_and(p, q)
+    for x in list(p.concretize())[:6]:
+        for y in list(q.concretize())[:6]:
+            assert r.contains(x & y)
+
+
+@given(tnums(W), tnums(W))
+def test_or_sound(p, q):
+    r = tnum_or(p, q)
+    for x in list(p.concretize())[:6]:
+        for y in list(q.concretize())[:6]:
+            assert r.contains(x | y)
+
+
+@given(tnums(W), tnums(W))
+def test_xor_sound(p, q):
+    r = tnum_xor(p, q)
+    for x in list(p.concretize())[:6]:
+        for y in list(q.concretize())[:6]:
+            assert r.contains(x ^ y)
+
+
+class TestIdioms:
+    """The masking idioms the verifier relies on."""
+
+    def test_and_with_constant_bounds_value(self):
+        masked = tnum_and(Tnum.unknown(W), Tnum.const(0x0F, W))
+        assert masked.max_value() == 0x0F
+        assert masked.mask == 0x0F
+
+    def test_known_zero_annihilates_unknown(self):
+        r = tnum_and(Tnum.from_trits("µ"), Tnum.const(0, 1))
+        assert r == Tnum.const(0, 1)
+
+    def test_known_one_absorbs_unknown_in_or(self):
+        r = tnum_or(Tnum.from_trits("µ"), Tnum.const(1, 1))
+        assert r == Tnum.const(1, 1)
+
+    def test_xor_with_self_not_zero(self):
+        # Non-relational: P ^ P covers 0 but isn't exactly 0 when P has µ.
+        p = Tnum.from_trits("µ1", width=W)
+        r = tnum_xor(p, p)
+        assert r.contains(0)
+        assert not r.is_const()
+
+    def test_align_down_idiom(self):
+        # x & ~7 is provably 8-aligned for unknown x.
+        aligned = tnum_and(Tnum.unknown(W), Tnum.const(~7 & LIMIT, W))
+        assert aligned.is_aligned(8)
+
+
+class TestNot:
+    @given(tnums(W))
+    def test_sound(self, p):
+        r = tnum_not(p)
+        for x in list(p.concretize())[:16]:
+            assert r.contains(~x & LIMIT)
+
+    @given(tnums(W))
+    def test_involution(self, p):
+        assert tnum_not(tnum_not(p)) == p
+
+    @given(tnums(W))
+    def test_equals_xor_all_ones(self, p):
+        assert tnum_not(p) == tnum_xor(p, Tnum.const(LIMIT, W))
+
+    def test_optimal_exhaustive_width3(self):
+        for p in enumerate_tnums(3):
+            assert tnum_not(p) == abstract([~x & 7 for x in p.concretize()], 3)
+
+    def test_bottom(self):
+        assert tnum_not(Tnum.bottom(W)).is_bottom()

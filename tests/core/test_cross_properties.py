@@ -1,0 +1,154 @@
+"""Cross-operator algebraic properties of the tnum domain.
+
+These are hypothesis-driven invariants that connect *different*
+operators: soundness of composite expressions, De Morgan duality,
+shift/multiply agreement, and the monotonicity every abstract
+transformer must satisfy (x ⊑ y ⇒ f(x) ⊑ f(y)) — the property that lets
+a verifier prune states soundly.
+"""
+
+from hypothesis import given, settings
+
+from repro.core import (
+    Tnum,
+    join,
+    leq,
+    our_mul,
+    tnum_add,
+    tnum_and,
+    tnum_lshift,
+    tnum_neg,
+    tnum_not,
+    tnum_or,
+    tnum_sub,
+    tnum_xor,
+)
+from repro.core.tnum import mask_for_width
+from tests.conftest import tnums
+
+W = 8
+LIMIT = mask_for_width(W)
+
+
+class TestMonotonicity:
+    """x ⊑ y ⇒ f(x, z) ⊑ f(y, z) for every binary transformer."""
+
+    @given(tnums(W), tnums(W), tnums(W))
+    def test_add_monotone(self, a, b, c):
+        wider = join(a, b)  # a ⊑ wider by construction
+        assert leq(tnum_add(a, c), tnum_add(wider, c))
+
+    @given(tnums(W), tnums(W), tnums(W))
+    def test_sub_monotone(self, a, b, c):
+        wider = join(a, b)
+        assert leq(tnum_sub(a, c), tnum_sub(wider, c))
+        assert leq(tnum_sub(c, a), tnum_sub(c, wider))
+
+    @given(tnums(W), tnums(W), tnums(W))
+    def test_mul_monotone(self, a, b, c):
+        wider = join(a, b)
+        assert leq(our_mul(a, c), our_mul(wider, c))
+
+    @given(tnums(W), tnums(W), tnums(W))
+    def test_bitwise_monotone(self, a, b, c):
+        wider = join(a, b)
+        assert leq(tnum_and(a, c), tnum_and(wider, c))
+        assert leq(tnum_or(a, c), tnum_or(wider, c))
+        assert leq(tnum_xor(a, c), tnum_xor(wider, c))
+
+
+class TestDeMorgan:
+    @given(tnums(W), tnums(W))
+    def test_not_and_equals_or_of_nots(self, a, b):
+        # These are all optimal per-bit transformers, so the classical
+        # identities hold *exactly*, not just as over-approximations.
+        assert tnum_not(tnum_and(a, b)) == tnum_or(tnum_not(a), tnum_not(b))
+
+    @given(tnums(W), tnums(W))
+    def test_not_or_equals_and_of_nots(self, a, b):
+        assert tnum_not(tnum_or(a, b)) == tnum_and(tnum_not(a), tnum_not(b))
+
+    @given(tnums(W), tnums(W))
+    def test_xor_via_and_or_composition_sound(self, a, b):
+        # Rewriting x ^ y as (x | y) & ~(x & y) composes three sound
+        # transformers, so it must remain sound (it may be looser than
+        # the dedicated xor — compositions lose relational information).
+        composed = tnum_and(tnum_or(a, b), tnum_not(tnum_and(a, b)))
+        for x in list(a.concretize())[:4]:
+            for y in list(b.concretize())[:4]:
+                assert composed.contains(x ^ y)
+
+
+class TestArithmeticIdentities:
+    @given(tnums(W))
+    def test_neg_as_not_plus_one(self, a):
+        # Two's complement: -x == ~x + 1. Both sides are sound; the
+        # composed form may be looser but must contain the direct one.
+        direct = tnum_neg(a)
+        composed = tnum_add(tnum_not(a), Tnum.const(1, W))
+        assert leq(direct, composed)
+
+    @given(tnums(W))
+    def test_sub_as_add_neg(self, a):
+        b = Tnum.const(13, W)
+        direct = tnum_sub(a, b)
+        composed = tnum_add(a, tnum_neg(b))
+        # With a constant operand both routes are exact and equal.
+        assert direct == composed
+
+    @given(tnums(W))
+    def test_double_is_shift(self, a):
+        # x * 2 and x << 1: multiplication by a constant power of two is
+        # exactly the shift (both sound; shift is optimal here).
+        assert our_mul(a, Tnum.const(2, W)) == tnum_lshift(a, 1)
+
+    @given(tnums(W))
+    def test_mul_by_four_vs_shift(self, a):
+        assert our_mul(a, Tnum.const(4, W)) == tnum_lshift(a, 2)
+
+    @given(tnums(W), tnums(W))
+    def test_composite_expression_sound(self, a, b):
+        # (a + b) * (a - b): soundness must survive composition.
+        result = our_mul(tnum_add(a, b), tnum_sub(a, b))
+        for x in list(a.concretize())[:4]:
+            for y in list(b.concretize())[:4]:
+                concrete = ((x + y) * (x - y)) & LIMIT
+                assert result.contains(concrete)
+
+    @given(tnums(W), tnums(W), tnums(W))
+    def test_distributivity_sound(self, a, b, c):
+        # a*(b+c) vs a*b + a*c: both contain all concrete values; they
+        # need not be equal (non-relational domain).
+        left = our_mul(a, tnum_add(b, c))
+        right = tnum_add(our_mul(a, b), our_mul(a, c))
+        for x in list(a.concretize())[:3]:
+            for y in list(b.concretize())[:3]:
+                for z in list(c.concretize())[:3]:
+                    concrete = (x * (y + z)) & LIMIT
+                    assert left.contains(concrete)
+                    assert right.contains(concrete)
+
+
+class TestMaskingIdioms:
+    """The idioms the BPF verifier leans on, as domain-level facts."""
+
+    @given(tnums(W))
+    def test_and_mask_bounds(self, a):
+        masked = tnum_and(a, Tnum.const(0x0F, W))
+        assert masked.max_value() <= 0x0F
+
+    @given(tnums(W))
+    def test_align_down_then_aligned(self, a):
+        aligned = tnum_and(a, Tnum.const(~7 & LIMIT, W))
+        assert aligned.is_aligned(8)
+
+    @given(tnums(W))
+    def test_or_sets_floor(self, a):
+        forced = tnum_or(a, Tnum.const(0x80, W))
+        assert forced.min_value() >= 0x80
+
+    @given(tnums(W))
+    def test_clear_then_set_bit(self, a):
+        cleared = tnum_and(a, Tnum.const(~1 & LIMIT, W))
+        set_ = tnum_or(cleared, Tnum.const(1, W))
+        assert set_.trit(0) == "1"

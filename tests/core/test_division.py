@@ -1,0 +1,70 @@
+"""Tests for conservative abstract division and modulo."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.division import concrete_div, concrete_mod, tnum_div, tnum_mod
+from repro.core.tnum import Tnum, mask_for_width
+from tests.conftest import tnums
+
+W = 8
+LIMIT = mask_for_width(W)
+
+
+class TestConcreteSemantics:
+    def test_bpf_div_by_zero_is_zero(self):
+        assert concrete_div(42, 0) == 0
+
+    def test_bpf_mod_by_zero_is_dividend(self):
+        assert concrete_mod(42, 0) == 42
+
+    def test_normal_division(self):
+        assert concrete_div(42, 5) == 8
+        assert concrete_mod(42, 5) == 2
+
+
+class TestDiv:
+    @given(tnums(W), tnums(W))
+    def test_sound(self, p, q):
+        r = tnum_div(p, q)
+        for x in list(p.concretize())[:5]:
+            for y in list(q.concretize())[:5]:
+                assert r.contains(concrete_div(x, y) & LIMIT)
+
+    def test_constants_fold(self):
+        assert tnum_div(Tnum.const(42, W), Tnum.const(5, W)) == Tnum.const(8, W)
+
+    def test_known_zero_divisor_folds(self):
+        assert tnum_div(Tnum.unknown(W), Tnum.const(0, W)) == Tnum.const(0, W)
+
+    def test_unknown_inputs_give_top(self):
+        assert tnum_div(Tnum.unknown(W), Tnum.const(2, W)).is_top()
+
+    def test_bottom(self):
+        assert tnum_div(Tnum.bottom(W), Tnum.const(1, W)).is_bottom()
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            tnum_div(Tnum.const(0, 4), Tnum.const(0, 8))
+
+
+class TestMod:
+    @given(tnums(W), tnums(W))
+    def test_sound(self, p, q):
+        r = tnum_mod(p, q)
+        for x in list(p.concretize())[:5]:
+            for y in list(q.concretize())[:5]:
+                assert r.contains(concrete_mod(x, y) & LIMIT)
+
+    def test_constants_fold(self):
+        assert tnum_mod(Tnum.const(42, W), Tnum.const(5, W)) == Tnum.const(2, W)
+
+    def test_known_zero_divisor_returns_dividend(self):
+        p = Tnum.from_trits("µµ01", width=W)
+        assert tnum_mod(p, Tnum.const(0, W)) == p
+
+    def test_unknown_inputs_give_top(self):
+        assert tnum_mod(Tnum.unknown(W), Tnum.const(3, W)).is_top()
+
+    def test_bottom(self):
+        assert tnum_mod(Tnum.const(1, W), Tnum.bottom(W)).is_bottom()

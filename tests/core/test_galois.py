@@ -1,0 +1,117 @@
+"""Galois-connection tests (Eqn. 5-7, Theorem 28)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.galois import (
+    abstract,
+    best_transformer_binary,
+    best_transformer_unary,
+    concretize_set,
+    gamma,
+    is_exact_abstraction,
+)
+from repro.core.lattice import enumerate_tnums, leq
+from repro.core.tnum import Tnum
+from tests.conftest import tnums
+
+W = 4
+concrete_sets = st.sets(st.integers(0, 2 ** W - 1), min_size=0, max_size=16)
+
+
+class TestAlpha:
+    def test_empty_set_is_bottom(self):
+        assert abstract([], W).is_bottom()
+
+    def test_singleton_is_exact(self):
+        for c in range(16):
+            t = abstract([c], W)
+            assert t == Tnum.const(c, W)
+            assert is_exact_abstraction(t, [c])
+
+    def test_fig1_examples(self):
+        # α({1,2,3}) = µµ (over-approximates to {0,1,2,3});
+        # α({2,3}) = 1µ (exact).
+        lossy = abstract([1, 2, 3], 2)
+        assert lossy == Tnum.unknown(2)
+        assert gamma(lossy) == {0, 1, 2, 3}
+        exact = abstract([2, 3], 2)
+        assert exact == Tnum.from_trits("1µ")
+        assert gamma(exact) == {2, 3}
+        assert is_exact_abstraction(exact, [2, 3])
+        assert not is_exact_abstraction(lossy, [1, 2, 3])
+
+    def test_values_reduced_modulo_width(self):
+        assert abstract([16 + 3], 4) == Tnum.const(3, 4)
+
+    @given(concrete_sets)
+    def test_bitwise_exactness(self, values):
+        # Eqn. 6: trit k is b iff all members agree on bit k; µ iff they differ.
+        if not values:
+            return
+        t = abstract(values, W)
+        for k in range(W):
+            bits = {(v >> k) & 1 for v in values}
+            if len(bits) == 2:
+                assert t.trit(k) == "µ"
+            else:
+                assert t.trit(k) == str(bits.pop())
+
+
+class TestGaloisProperties:
+    @given(concrete_sets)
+    def test_gamma_alpha_extensive(self, values):
+        # γ∘α is extensive: C ⊆ γ(α(C)).
+        assert values <= gamma(abstract(values, W))
+
+    def test_alpha_gamma_reductive_in_fact_identity(self):
+        # α∘γ ⊑ id; the proof (Property G4) shows equality holds.
+        for t in enumerate_tnums(3, include_bottom=True):
+            assert abstract(gamma(t), 3) == t
+
+    @given(concrete_sets, concrete_sets)
+    def test_alpha_monotonic(self, a, b):
+        if a <= b:
+            assert leq(abstract(a, W), abstract(b, W))
+
+    @given(tnums(W), tnums(W))
+    def test_gamma_monotonic(self, p, q):
+        if leq(p, q):
+            assert gamma(p) <= gamma(q)
+
+    @given(concrete_sets, tnums(W))
+    def test_adjunction(self, values, t):
+        # The Galois adjunction: α(C) ⊑ T  iff  C ⊆ γ(T).
+        assert leq(abstract(values, W), t) == (values <= gamma(t))
+
+
+class TestBestTransformers:
+    def test_unary_best_transformer_matches_enumeration(self):
+        t = Tnum.from_trits("µ01")
+        best = best_transformer_unary(lambda x: (x + 1) & 7, t)
+        assert gamma(best) >= {(x + 1) & 7 for x in t.concretize()}
+
+    def test_binary_best_transformer_is_smallest_sound(self):
+        p = Tnum.from_trits("1µ")
+        q = Tnum.from_trits("µ0")
+        best = best_transformer_binary(lambda x, y: (x + y) & 3, p, q)
+        outputs = {(x + y) & 3 for x in p.concretize() for y in q.concretize()}
+        # Sound...
+        assert outputs <= gamma(best)
+        # ...and no strictly smaller tnum is sound.
+        for other in enumerate_tnums(2):
+            if leq(other, best) and other != best:
+                assert not outputs <= gamma(other)
+
+    def test_binary_width_mismatch(self):
+        with pytest.raises(ValueError):
+            best_transformer_binary(
+                lambda x, y: x, Tnum.const(0, 2), Tnum.const(0, 3)
+            )
+
+
+class TestSetHelpers:
+    def test_concretize_set_union(self):
+        ts = [Tnum.const(1, 3), Tnum.from_trits("10µ")]
+        assert concretize_set(ts) == {1, 4, 5}

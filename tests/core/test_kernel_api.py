@@ -1,0 +1,104 @@
+"""Tests for the kernel-parity facade (tnum.h API names)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core import kernel_api as k
+from repro.core.tnum import Tnum
+from tests.conftest import tnums
+
+
+class TestConstructors:
+    def test_TNUM_masks_to_64(self):
+        t = k.TNUM(-1, 0)
+        assert t.value == (1 << 64) - 1
+
+    def test_tnum_const(self):
+        assert k.tnum_const(5) == Tnum.const(5, 64)
+
+    def test_tnum_unknown_is_top(self):
+        assert k.tnum_unknown.is_top()
+
+    def test_tnum_range(self):
+        t = k.tnum_range(16, 31)
+        for c in range(16, 32):
+            assert t.contains(c)
+
+
+class TestLatticeNames:
+    def test_intersect_is_meet(self):
+        a = k.tnum_range(0, 15)
+        b = k.tnum_const(9)
+        assert k.tnum_intersect(a, b) == b
+
+    def test_union_is_join(self):
+        u = k.tnum_union(k.tnum_const(1), k.tnum_const(3))
+        assert u.contains(1) and u.contains(3)
+
+    def test_tnum_in_direction(self):
+        # tnum_in(a, b): b fits within a (kernel state-pruning check).
+        wide = k.tnum_range(0, 255)
+        narrow = k.tnum_const(7)
+        assert k.tnum_in(wide, narrow)
+        assert not k.tnum_in(narrow, wide)
+
+    @given(tnums(64))
+    def test_tnum_in_reflexive(self, t):
+        assert k.tnum_in(t, t)
+
+
+class TestQueries:
+    def test_is_const(self):
+        assert k.tnum_is_const(k.tnum_const(0))
+        assert not k.tnum_is_const(k.tnum_unknown)
+
+    def test_is_aligned(self):
+        assert k.tnum_is_aligned(k.tnum_const(24), 8)
+        assert not k.tnum_is_aligned(k.tnum_const(20), 8)
+
+
+class TestCasts:
+    def test_tnum_cast_takes_bytes(self):
+        t = k.TNUM(0x1122334455667788, 0)
+        assert k.tnum_cast(t, 4).value == 0x55667788
+        assert k.tnum_cast(t, 2).value == 0x7788
+        assert k.tnum_cast(t, 1).value == 0x88
+        assert k.tnum_cast(t, 8) == t
+
+    def test_tnum_cast_rejects_odd_sizes(self):
+        with pytest.raises(ValueError):
+            k.tnum_cast(k.tnum_const(0), 3)
+
+    def test_subreg_helpers(self):
+        t = k.TNUM(0xAAAA_BBBB_CCCC_DDDD, 0)
+        assert k.tnum_subreg(t).value == 0xCCCC_DDDD
+        assert k.tnum_clear_subreg(t).value == 0xAAAA_BBBB_0000_0000
+        patched = k.tnum_const_subreg(t, 0x1234)
+        assert patched.value == 0xAAAA_BBBB_0000_1234
+
+    @given(tnums(64))
+    def test_clear_then_const_subreg_wellformed(self, t):
+        out = k.tnum_const_subreg(t, 0xFFFF_FFFF)
+        assert out.value & out.mask == 0
+
+
+class TestStrn:
+    def test_kernel_style_rendering(self):
+        t = k.TNUM(0b100, 0b010)
+        text = k.tnum_strn(t, 4)
+        assert text == "01x0"
+
+    def test_full_width(self):
+        assert len(k.tnum_strn(k.tnum_unknown)) == 64
+        assert set(k.tnum_strn(k.tnum_unknown)) == {"x"}
+
+
+class TestOperatorReexports:
+    def test_mul_is_the_merged_algorithm(self):
+        from repro.core.multiply import our_mul
+
+        assert k.tnum_mul is our_mul
+
+    def test_arithmetic_available(self):
+        assert k.tnum_add(k.tnum_const(1), k.tnum_const(2)) == k.tnum_const(3)
+        assert k.tnum_sub(k.tnum_const(3), k.tnum_const(2)) == k.tnum_const(1)

@@ -1,0 +1,172 @@
+"""Lattice-structure tests: ordering, join, meet (Eqn. 2 and Fig. 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.galois import gamma
+from repro.core.lattice import (
+    comparable,
+    enumerate_tnums,
+    is_more_precise,
+    join,
+    join_all,
+    leq,
+    lt,
+    meet,
+)
+from repro.core.tnum import Tnum
+from tests.conftest import tnums
+
+W = 4
+
+
+class TestOrder:
+    def test_leq_is_gamma_subset(self):
+        # The defining property: P ⊑A Q iff γ(P) ⊆ γ(Q).
+        all_tnums = enumerate_tnums(3, include_bottom=True)
+        for p in all_tnums:
+            gp = gamma(p)
+            for q in all_tnums:
+                assert leq(p, q) == (gp <= gamma(q))
+
+    def test_bottom_below_everything(self):
+        for t in enumerate_tnums(3):
+            assert leq(Tnum.bottom(3), t)
+
+    def test_top_above_everything(self):
+        for t in enumerate_tnums(3):
+            assert leq(t, Tnum.unknown(3))
+
+    @given(tnums(W))
+    def test_reflexive(self, t):
+        assert leq(t, t)
+        assert not lt(t, t)
+
+    @given(tnums(W), tnums(W))
+    def test_antisymmetric(self, a, b):
+        if leq(a, b) and leq(b, a):
+            assert a == b
+
+    @given(tnums(W), tnums(W), tnums(W))
+    def test_transitive(self, a, b, c):
+        if leq(a, b) and leq(b, c):
+            assert leq(a, c)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            leq(Tnum.const(0, 4), Tnum.const(0, 5))
+
+    def test_fig1_examples(self):
+        # From Fig. 1's Hasse diagram at n=2: 10 ⊑ 1µ ⊑ µµ, 01 ⊑ µ1.
+        assert lt(Tnum.from_trits("10"), Tnum.from_trits("1µ"))
+        assert lt(Tnum.from_trits("1µ"), Tnum.from_trits("µµ"))
+        assert lt(Tnum.from_trits("01"), Tnum.from_trits("µ1"))
+        assert not comparable(Tnum.from_trits("1µ"), Tnum.from_trits("µ1"))
+
+
+class TestJoin:
+    @given(tnums(W), tnums(W))
+    def test_join_is_upper_bound(self, a, b):
+        j = join(a, b)
+        assert leq(a, j) and leq(b, j)
+
+    @given(tnums(W), tnums(W))
+    def test_join_commutative(self, a, b):
+        assert join(a, b) == join(b, a)
+
+    @given(tnums(W), tnums(W), tnums(W))
+    def test_join_associative(self, a, b, c):
+        assert join(join(a, b), c) == join(a, join(b, c))
+
+    @given(tnums(W))
+    def test_join_idempotent(self, t):
+        assert join(t, t) == t
+
+    def test_join_is_least_upper_bound(self):
+        # Exhaustive at width 3: no strictly smaller upper bound exists.
+        all_tnums = enumerate_tnums(3)
+        for a in all_tnums[: 9]:
+            for b in all_tnums[: 9]:
+                j = join(a, b)
+                for other in all_tnums:
+                    if leq(a, other) and leq(b, other):
+                        assert leq(j, other)
+
+    def test_join_with_bottom_is_identity(self):
+        t = Tnum.from_trits("1µ0")
+        assert join(t, Tnum.bottom(3)) == t
+        assert join(Tnum.bottom(3), t) == t
+
+    def test_join_disagreeing_constants(self):
+        assert join(Tnum.const(0b00, 2), Tnum.const(0b11, 2)) == Tnum.from_trits("µµ")
+
+    def test_join_all(self):
+        tnums_list = [Tnum.const(i, 4) for i in (1, 3)]
+        assert join_all(tnums_list) == Tnum.from_trits("00µ1", width=4)
+
+    def test_join_all_empty_needs_width(self):
+        assert join_all([], width=4).is_bottom()
+        with pytest.raises(ValueError):
+            join_all([])
+
+
+class TestMeet:
+    @given(tnums(W), tnums(W))
+    def test_meet_is_lower_bound(self, a, b):
+        m = meet(a, b)
+        assert leq(m, a) and leq(m, b)
+
+    @given(tnums(W), tnums(W))
+    def test_meet_commutative(self, a, b):
+        assert meet(a, b) == meet(b, a)
+
+    @given(tnums(W))
+    def test_meet_idempotent(self, t):
+        assert meet(t, t) == t
+
+    def test_meet_gamma_is_intersection(self):
+        all_tnums = enumerate_tnums(3)
+        for a in all_tnums[::5]:
+            for b in all_tnums[::7]:
+                m = meet(a, b)
+                assert gamma(m) <= (gamma(a) & gamma(b))
+
+    def test_meet_conflicting_constants_is_bottom(self):
+        assert meet(Tnum.const(1, 2), Tnum.const(2, 2)).is_bottom()
+
+    def test_meet_refines_unknown(self):
+        assert meet(Tnum.unknown(4), Tnum.const(9, 4)) == Tnum.const(9, 4)
+
+    @given(tnums(W), tnums(W))
+    def test_absorption_laws(self, a, b):
+        assert join(a, meet(a, b)) == a
+        assert meet(a, join(a, b)) == a
+
+
+class TestEnumeration:
+    def test_count_is_3_to_the_n(self):
+        for width in (1, 2, 3, 4):
+            assert len(enumerate_tnums(width)) == 3 ** width
+
+    def test_all_well_formed_and_distinct(self):
+        ts = enumerate_tnums(3)
+        assert len(set(ts)) == len(ts)
+        assert not any(t.is_bottom() for t in ts)
+
+    def test_include_bottom(self):
+        ts = enumerate_tnums(2, include_bottom=True)
+        assert len(ts) == 10
+        assert ts[0].is_bottom()
+
+    def test_fig1_abstract_domain_size(self):
+        # Fig. 1(b): 9 non-bottom elements at n=2.
+        assert len(enumerate_tnums(2)) == 9
+
+
+class TestPrecisionRelation:
+    def test_is_more_precise_examples(self):
+        precise = Tnum.from_trits("10µ")
+        loose = Tnum.from_trits("1µµ")
+        assert is_more_precise(precise, loose)
+        assert not is_more_precise(loose, precise)
+        assert not is_more_precise(precise, precise)

@@ -1,0 +1,136 @@
+"""Tests for abstract shifts: constant counts and tnum-valued counts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.galois import abstract
+from repro.core.lattice import enumerate_tnums, leq
+from repro.core.shifts import (
+    effective_shift_amounts,
+    tnum_arshift,
+    tnum_arshift_tnum,
+    tnum_lshift,
+    tnum_lshift_tnum,
+    tnum_rshift,
+    tnum_rshift_tnum,
+)
+from repro.core.tnum import Tnum, mask_for_width
+from tests.conftest import tnums
+
+W = 8
+LIMIT = mask_for_width(W)
+
+
+def _c_lsh(x, s):
+    return (x << s) & LIMIT
+
+
+def _c_rsh(x, s):
+    return x >> s
+
+
+def _c_arsh(x, s):
+    signed = x - 256 if x & 0x80 else x
+    return (signed >> s) & LIMIT
+
+
+SHIFTS = {
+    "lsh": (tnum_lshift, _c_lsh),
+    "rsh": (tnum_rshift, _c_rsh),
+    "arsh": (tnum_arshift, _c_arsh),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SHIFTS))
+class TestConstShifts:
+    def test_sound_and_optimal_exhaustive(self, name):
+        fn, cop = SHIFTS[name]
+        for p in enumerate_tnums(4):
+            for s in range(4):
+                got = fn(p.cast(W), s)
+                outputs = [cop(x, s) for x in p.cast(W).concretize()]
+                assert got == abstract(outputs, W), (p, s)
+
+    def test_shift_zero_is_identity(self, name):
+        fn, _ = SHIFTS[name]
+        t = Tnum.from_trits("1µ0µ", width=W)
+        assert fn(t, 0) == t
+
+    def test_negative_shift_rejected(self, name):
+        fn, _ = SHIFTS[name]
+        with pytest.raises(ValueError):
+            fn(Tnum.const(1, W), -1)
+
+    def test_overwide_shift_rejected(self, name):
+        fn, _ = SHIFTS[name]
+        with pytest.raises(ValueError):
+            fn(Tnum.const(1, W), W)
+
+    def test_bottom_passthrough(self, name):
+        fn, _ = SHIFTS[name]
+        assert fn(Tnum.bottom(W), 3).is_bottom()
+
+
+class TestArshSignHandling:
+    def test_known_negative_fills_ones(self):
+        t = Tnum.const(0x80, W)
+        assert tnum_arshift(t, 3) == Tnum.const(0xF0, W)
+
+    def test_unknown_sign_fills_unknown(self):
+        t = Tnum.from_trits("µ0000000", width=W)
+        r = tnum_arshift(t, 3)
+        assert r.trit(7) == "µ" and r.trit(6) == "µ" and r.trit(4) == "µ"
+        assert r.trit(3) == "0"
+
+    def test_known_positive_fills_zeros(self):
+        t = Tnum.const(0x40, W)
+        assert tnum_arshift(t, 3) == Tnum.const(0x08, W)
+
+
+class TestTnumShifts:
+    def test_effective_amounts_masks_to_log_width(self):
+        s = Tnum.const(3 + W, W)  # 11 ≡ 3 (mod 8)
+        assert effective_shift_amounts(s) == {3}
+
+    def test_effective_amounts_with_unknown_bits(self):
+        s = Tnum.from_trits("0000_0µ0µ", width=W)
+        assert effective_shift_amounts(s) == {0, 1, 4, 5}
+
+    def test_non_power_of_two_width_rejected(self):
+        with pytest.raises(ValueError):
+            effective_shift_amounts(Tnum.const(0, 5))
+
+    @given(tnums(W), tnums(W))
+    def test_lshift_tnum_sound(self, p, s):
+        r = tnum_lshift_tnum(p, s)
+        for x in list(p.concretize())[:4]:
+            for amount in effective_shift_amounts(s):
+                assert r.contains(_c_lsh(x, amount))
+
+    @given(tnums(W), tnums(W))
+    def test_rshift_tnum_sound(self, p, s):
+        r = tnum_rshift_tnum(p, s)
+        for x in list(p.concretize())[:4]:
+            for amount in effective_shift_amounts(s):
+                assert r.contains(_c_rsh(x, amount))
+
+    @given(tnums(W), tnums(W))
+    def test_arshift_tnum_sound(self, p, s):
+        r = tnum_arshift_tnum(p, s)
+        for x in list(p.concretize())[:4]:
+            for amount in effective_shift_amounts(s):
+                assert r.contains(_c_arsh(x, amount))
+
+    def test_constant_amount_matches_const_shift(self):
+        p = Tnum.from_trits("1µ01", width=W)
+        assert tnum_lshift_tnum(p, Tnum.const(2, W)) == tnum_lshift(p, 2)
+
+    def test_bottom_amount(self):
+        assert tnum_lshift_tnum(Tnum.const(1, W), Tnum.bottom(W)).is_bottom()
+
+    @given(tnums(W))
+    def test_unknown_amount_is_join_of_all(self, p):
+        r = tnum_rshift_tnum(p, Tnum.unknown(W))
+        for amount in range(W):
+            assert leq(tnum_rshift(p, amount), r)

@@ -1,0 +1,247 @@
+"""Unit tests for the Tnum value type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tnum import DEFAULT_WIDTH, Tnum, mask_for_width
+from tests.conftest import tnums
+
+
+class TestConstruction:
+    def test_default_width_is_kernel_width(self):
+        assert Tnum.const(5).width == DEFAULT_WIDTH == 64
+
+    def test_const_has_no_unknown_bits(self):
+        t = Tnum.const(0b1010, width=8)
+        assert t.value == 0b1010
+        assert t.mask == 0
+        assert t.is_const()
+
+    def test_const_wraps_negative_values(self):
+        t = Tnum.const(-1, width=8)
+        assert t.value == 0xFF
+
+    def test_unknown_is_top(self):
+        t = Tnum.unknown(width=8)
+        assert t.is_top()
+        assert t.value == 0
+        assert t.mask == 0xFF
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Tnum(256, 0, width=8)
+
+    def test_mask_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Tnum(0, 1 << 8, width=8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Tnum(0, 0, width=0)
+
+    def test_overlapping_value_mask_canonicalizes_to_bottom(self):
+        t = Tnum(0b11, 0b01, width=4)
+        assert t.is_bottom()
+        assert t == Tnum.bottom(4)
+
+    def test_bottom_is_unique_per_width(self):
+        assert Tnum(1, 1, width=4) == Tnum(3, 3, width=4) == Tnum.bottom(4)
+
+    def test_immutable(self):
+        t = Tnum.const(1, width=4)
+        with pytest.raises(AttributeError):
+            t.value = 2
+
+
+class TestTritStrings:
+    def test_parse_paper_notation(self):
+        t = Tnum.from_trits("01µ0")
+        assert t.width == 4
+        assert (t.value, t.mask) == (0b0100, 0b0010)
+
+    def test_parse_alternate_unknown_chars(self):
+        for ch in "uµx?":
+            assert Tnum.from_trits(f"1{ch}0") == Tnum.from_trits("1µ0")
+
+    def test_parse_with_zero_extension(self):
+        t = Tnum.from_trits("µ01", width=5)
+        assert t.width == 5
+        assert t.trit(4) == "0"
+
+    def test_parse_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            Tnum.from_trits("10101", width=3)
+
+    def test_parse_rejects_bad_char(self):
+        with pytest.raises(ValueError):
+            Tnum.from_trits("10z")
+
+    def test_roundtrip(self):
+        for text in ("0000", "1111", "µµµµ", "01µ0", "µ01µ"):
+            assert Tnum.from_trits(text).to_trits() == text
+
+    def test_separator_ignored(self):
+        assert Tnum.from_trits("10_µ0") == Tnum.from_trits("10µ0")
+
+    def test_str_of_bottom(self):
+        assert "⊥" in str(Tnum.bottom(4))
+
+
+class TestMembership:
+    def test_paper_intro_example(self):
+        # 01µ0 represents {0100, 0110} = {4, 6}; so x <= 8 always.
+        t = Tnum.from_trits("01µ0")
+        assert sorted(t.concretize()) == [4, 6]
+        assert t.max_value() <= 8
+
+    def test_contains_matches_gamma_definition(self):
+        t = Tnum.from_trits("1µ0µ")
+        for c in range(16):
+            expected = (c & ~t.mask) == t.value
+            assert t.contains(c) == expected
+
+    def test_contains_reduces_modulo_width(self):
+        t = Tnum.const(3, width=4)
+        assert t.contains(3 + 16)
+
+    def test_bottom_contains_nothing(self):
+        b = Tnum.bottom(4)
+        assert not any(b.contains(c) for c in range(16))
+        assert list(b.concretize()) == []
+
+    def test_dunder_protocols(self):
+        t = Tnum.from_trits("1µ")
+        assert 2 in t and 3 in t and 1 not in t
+        assert "x" not in t
+        assert len(t) == 2
+        assert sorted(t) == [2, 3]
+
+    def test_concretize_is_sorted_and_complete(self):
+        t = Tnum.from_trits("µ0µ")
+        values = list(t.concretize())
+        assert values == sorted(values)
+        assert values == [c for c in range(8) if t.contains(c)]
+
+    def test_cardinality(self):
+        assert Tnum.const(7, width=4).cardinality() == 1
+        assert Tnum.unknown(4).cardinality() == 16
+        assert Tnum.bottom(4).cardinality() == 0
+        assert Tnum.from_trits("µµ01").cardinality() == 4
+
+
+class TestQueries:
+    def test_trit_accessor(self):
+        t = Tnum.from_trits("10µ")
+        assert t.trit(0) == "µ"
+        assert t.trit(1) == "0"
+        assert t.trit(2) == "1"
+        with pytest.raises(IndexError):
+            t.trit(3)
+
+    def test_min_max(self):
+        t = Tnum.from_trits("1µ0µ")
+        assert t.min_value() == 0b1000
+        assert t.max_value() == 0b1101
+
+    def test_min_max_of_bottom_raise(self):
+        with pytest.raises(ValueError):
+            Tnum.bottom(4).min_value()
+        with pytest.raises(ValueError):
+            Tnum.bottom(4).max_value()
+
+    def test_is_aligned_kernel_semantics(self):
+        assert Tnum.from_trits("µµ000").is_aligned(8)
+        assert not Tnum.from_trits("µµ00µ").is_aligned(8)
+        assert not Tnum.from_trits("µµ100").is_aligned(8)
+        assert Tnum.from_trits("µµ100").is_aligned(4)
+        assert Tnum.const(0, width=4).is_aligned(8)
+
+    def test_is_aligned_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            Tnum.const(0, width=4).is_aligned(3)
+
+    def test_known_bits_and_unknown_count(self):
+        t = Tnum.from_trits("1µ0µ")
+        assert t.unknown_count() == 2
+        assert t.known_bits() == 0b1010
+
+    def test_as_pair(self):
+        t = Tnum.from_trits("10µ")
+        assert t.as_pair() == (0b100, 0b001)
+
+
+class TestRange:
+    def test_range_single_value(self):
+        assert Tnum.range(5, 5, width=8) == Tnum.const(5, width=8)
+
+    def test_range_shares_prefix(self):
+        t = Tnum.range(4, 7, width=4)  # 01xx
+        assert t == Tnum.from_trits("01µµ")
+
+    def test_range_contains_all_members(self):
+        t = Tnum.range(3, 12, width=4)
+        for c in range(3, 13):
+            assert t.contains(c)
+
+    def test_range_empty_is_bottom(self):
+        assert Tnum.range(5, 2, width=4).is_bottom()
+
+    def test_range_out_of_width_rejected(self):
+        with pytest.raises(ValueError):
+            Tnum.range(0, 16, width=4)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_range_is_sound(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        t = Tnum.range(lo, hi, width=8)
+        for c in range(lo, hi + 1):
+            assert t.contains(c)
+
+
+class TestCast:
+    def test_truncate_keeps_low_bits(self):
+        t = Tnum.from_trits("µ101")
+        assert t.cast(3) == Tnum.from_trits("101")
+
+    def test_extend_adds_known_zeros(self):
+        t = Tnum.from_trits("µ1")
+        wide = t.cast(4)
+        assert wide.trit(3) == "0" and wide.trit(2) == "0"
+
+    def test_cast_bottom_stays_bottom(self):
+        assert Tnum.bottom(8).cast(4).is_bottom()
+
+    def test_subreg_zero_extends_low_32(self):
+        t = Tnum(0xFFFF_FFFF_0000_00F0, 0, width=64)
+        sr = t.subreg()
+        assert sr.value == 0xF0
+        assert sr.mask == 0
+
+    def test_subreg_requires_64_bits(self):
+        with pytest.raises(ValueError):
+            Tnum.const(1, width=32).subreg()
+
+    @given(tnums(8))
+    def test_cast_is_sound_on_truncation(self, t):
+        narrowed = t.cast(4)
+        for c in t.concretize():
+            assert narrowed.contains(c & 0xF)
+
+
+class TestHashEq:
+    def test_equal_and_hash_consistent(self):
+        a = Tnum.from_trits("1µ0")
+        b = Tnum(0b100, 0b010, width=3)
+        assert a == b and hash(a) == hash(b)
+
+    def test_width_distinguishes(self):
+        assert Tnum.const(1, width=4) != Tnum.const(1, width=5)
+
+    def test_not_equal_to_other_types(self):
+        assert Tnum.const(1, width=4) != (1, 0)
+
+    @settings(max_examples=50)
+    @given(tnums(6), tnums(6))
+    def test_eq_iff_same_pair(self, a, b):
+        assert (a == b) == (a.as_pair() == b.as_pair())

@@ -1,0 +1,168 @@
+"""Tests for the unsigned interval domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains.interval import Interval, signed_bounds, to_signed, to_unsigned
+from repro.core.tnum import Tnum
+
+W = 8
+vals = st.integers(0, 255)
+
+
+def intervals():
+    return st.builds(
+        lambda a, b: Interval(min(a, b), max(a, b), W), vals, vals
+    )
+
+
+class TestConstruction:
+    def test_const(self):
+        iv = Interval.const(5, W)
+        assert iv.is_const() and iv.contains(5) and not iv.contains(6)
+
+    def test_top_bottom(self):
+        assert Interval.top(W).cardinality() == 256
+        assert Interval.bottom(W).is_bottom()
+        assert Interval.bottom(W).cardinality() == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 256, W)
+
+    def test_from_tnum(self):
+        t = Tnum.from_trits("10µ0", width=W)
+        iv = Interval.from_tnum(t)
+        assert (iv.umin, iv.umax) == (8, 10)
+
+
+class TestSignedView:
+    def test_non_negative_range(self):
+        assert signed_bounds(3, 100, 8) == (3, 100)
+
+    def test_all_negative_range(self):
+        assert signed_bounds(0x80, 0xFF, 8) == (-128, -1)
+
+    def test_straddling_range_widens(self):
+        assert signed_bounds(100, 200, 8) == (-128, 127)
+
+    def test_to_signed_roundtrip(self):
+        for x in (0, 1, 127, 128, 255):
+            assert to_unsigned(to_signed(x, 8), 8) == x
+
+    def test_interval_smin_smax(self):
+        assert Interval(0xF0, 0xFF, 8).smin() == -16
+        assert Interval(0, 5, 8).smax() == 5
+
+
+class TestLattice:
+    @given(intervals(), intervals())
+    def test_join_upper_bound(self, a, b):
+        j = a.join(b)
+        assert a.leq(j) and b.leq(j)
+
+    @given(intervals(), intervals())
+    def test_meet_lower_bound(self, a, b):
+        m = a.meet(b)
+        assert m.leq(a) and m.leq(b)
+
+    def test_meet_disjoint_is_bottom(self):
+        assert Interval(0, 3, W).meet(Interval(10, 20, W)).is_bottom()
+
+    @given(intervals())
+    def test_bottom_below_all(self, a):
+        assert Interval.bottom(W).leq(a)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            Interval(0, 1, 8).join(Interval(0, 1, 16))
+
+
+class TestTransformers:
+    @given(intervals(), intervals())
+    def test_add_sound(self, a, b):
+        r = a.add(b)
+        for x in (a.umin, a.umax):
+            for y in (b.umin, b.umax):
+                assert r.contains((x + y) & 255)
+
+    def test_add_overflow_widens_to_top(self):
+        assert Interval(200, 255, W).add(Interval(100, 100, W)).is_top()
+
+    @given(intervals(), intervals())
+    def test_sub_sound(self, a, b):
+        r = a.sub(b)
+        for x in (a.umin, a.umax):
+            for y in (b.umin, b.umax):
+                assert r.contains((x - y) & 255)
+
+    def test_sub_underflow_widens_to_top(self):
+        assert Interval(0, 5, W).sub(Interval(3, 3, W)).is_top()
+
+    @given(intervals(), intervals())
+    def test_mul_sound(self, a, b):
+        r = a.mul(b)
+        for x in (a.umin, a.umax):
+            for y in (b.umin, b.umax):
+                assert r.contains((x * y) & 255)
+
+    def test_neg_const_exact(self):
+        assert Interval.const(1, W).neg() == Interval.const(255, W)
+
+    def test_bottom_propagates(self):
+        b = Interval.bottom(W)
+        assert b.add(Interval.const(1, W)).is_bottom()
+        assert Interval.const(1, W).sub(b).is_bottom()
+
+
+class TestRefinement:
+    def test_ult(self):
+        iv = Interval.top(W).refine_ult(10)
+        assert (iv.umin, iv.umax) == (0, 9)
+
+    def test_ult_zero_is_bottom(self):
+        assert Interval.top(W).refine_ult(0).is_bottom()
+
+    def test_ugt_max_is_bottom(self):
+        assert Interval.top(W).refine_ugt(255).is_bottom()
+
+    def test_uge_ule(self):
+        iv = Interval.top(W).refine_uge(5).refine_ule(10)
+        assert (iv.umin, iv.umax) == (5, 10)
+
+    def test_eq(self):
+        assert Interval(0, 9, W).refine_eq(4) == Interval.const(4, W)
+
+    def test_eq_outside_is_bottom(self):
+        assert Interval(0, 3, W).refine_eq(9).is_bottom()
+
+    def test_ne_shrinks_edges_only(self):
+        assert Interval(3, 9, W).refine_ne(3) == Interval(4, 9, W)
+        assert Interval(3, 9, W).refine_ne(9) == Interval(3, 8, W)
+        assert Interval(3, 9, W).refine_ne(5) == Interval(3, 9, W)
+
+    def test_ne_const_is_bottom(self):
+        assert Interval.const(4, W).refine_ne(4).is_bottom()
+
+    @given(intervals(), vals)
+    def test_refinements_sound(self, iv, bound):
+        # Every member satisfying the predicate must survive refinement.
+        for x in range(iv.umin, min(iv.umax + 1, iv.umin + 16)):
+            if x < bound:
+                assert iv.refine_ult(bound).contains(x)
+            if x >= bound:
+                assert iv.refine_uge(bound).contains(x)
+            if x != bound:
+                assert iv.refine_ne(bound).contains(x)
+
+
+class TestTnumConversion:
+    def test_to_tnum_sound(self):
+        iv = Interval(3, 12, W)
+        t = iv.to_tnum()
+        for c in range(3, 13):
+            assert t.contains(c)
+
+    def test_const_roundtrip(self):
+        assert Interval.const(9, W).to_tnum() == Tnum.const(9, W)

@@ -1,0 +1,85 @@
+"""Tests for the LLVM KnownBits view of the tnum lattice."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.arithmetic import tnum_add
+from repro.core.multiply import our_mul
+from repro.core.tnum import Tnum
+from repro.domains.known_bits import KnownBits
+from tests.conftest import tnums
+
+W = 8
+
+
+class TestIsomorphism:
+    @given(tnums(W))
+    def test_roundtrip_from_tnum(self, t):
+        assert KnownBits.from_tnum(t).to_tnum() == t
+
+    def test_encoding_of_trits(self):
+        t = Tnum.from_trits("10µ", width=3)
+        kb = KnownBits.from_tnum(t)
+        assert kb.ones == 0b100
+        assert kb.zeros == 0b010
+        assert kb.unknown_bits() == 0b001
+
+    def test_bottom_maps_to_conflict(self):
+        kb = KnownBits.from_tnum(Tnum.bottom(4))
+        assert kb.has_conflict()
+        assert kb.to_tnum().is_bottom()
+
+    def test_const_helpers(self):
+        kb = KnownBits.const(0b1010, 4)
+        assert kb.is_constant() and kb.get_constant() == 0b1010
+        assert not KnownBits.unknown(4).is_constant()
+
+    def test_get_constant_raises_when_unknown(self):
+        with pytest.raises(ValueError):
+            KnownBits.unknown(4).get_constant()
+
+
+class TestQueries:
+    def test_count_min_leading_zeros(self):
+        kb = KnownBits.from_tnum(Tnum.from_trits("0000µµ10", width=8))
+        assert kb.count_min_leading_zeros() == 4
+        assert kb.count_max_active_bits() == 4
+
+    def test_leading_zeros_of_constant(self):
+        assert KnownBits.const(1, 8).count_min_leading_zeros() == 7
+        assert KnownBits.const(0, 8).count_min_leading_zeros() == 8
+
+
+class TestTransformers:
+    @given(tnums(W), tnums(W))
+    def test_add_matches_tnum_add(self, p, q):
+        got = KnownBits.from_tnum(p).add(KnownBits.from_tnum(q))
+        assert got.to_tnum() == tnum_add(p, q)
+
+    @given(tnums(W), tnums(W))
+    def test_mul_matches_our_mul(self, p, q):
+        got = KnownBits.from_tnum(p).mul(KnownBits.from_tnum(q))
+        assert got.to_tnum() == our_mul(p, q)
+
+    def test_and_or_xor_constants(self):
+        a = KnownBits.const(0b1100, 4)
+        b = KnownBits.const(0b1010, 4)
+        assert a.and_(b).get_constant() == 0b1000
+        assert a.or_(b).get_constant() == 0b1110
+        assert a.xor(b).get_constant() == 0b0110
+
+    def test_sub_sound(self):
+        a = KnownBits.from_tnum(Tnum.from_trits("1µ00", width=8))
+        b = KnownBits.from_tnum(Tnum.from_trits("001µ", width=8))
+        result = a.sub(b).to_tnum()
+        for x in Tnum.from_trits("1µ00", width=8).concretize():
+            for y in Tnum.from_trits("001µ", width=8).concretize():
+                assert result.contains((x - y) & 0xFF)
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            KnownBits.const(0, 4).add(KnownBits.const(0, 8))
+
+    def test_mask_out_of_range(self):
+        with pytest.raises(ValueError):
+            KnownBits(256, 0, 8)

@@ -1,0 +1,148 @@
+"""Tests for the tnum × interval reduced product (ScalarValue)."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tnum import Tnum
+from repro.domains.interval import Interval
+from repro.domains.product import ScalarValue
+from tests.conftest import tnums
+
+W = 64
+
+
+def members_of(sv: ScalarValue, count: int = 8):
+    """Sample concrete members of the product (both components agree)."""
+    rng = random.Random(0)
+    out = []
+    tries = 0
+    while len(out) < count and tries < 200:
+        tries += 1
+        fill = rng.getrandbits(64) & sv.tnum.mask
+        c = sv.tnum.value | fill
+        if sv.interval.contains(c):
+            out.append(c)
+    return out
+
+
+class TestReduction:
+    def test_range_tightens_tnum(self):
+        # x unknown but in [0, 7]: reduction must learn the high 61 zeros.
+        sv = ScalarValue.make(Tnum.unknown(64), Interval(0, 7, 64))
+        assert sv.tnum.mask == 0b111
+
+    def test_tnum_tightens_range(self):
+        t = Tnum.from_trits("1µ0", width=3).cast(64)
+        sv = ScalarValue.make(t, Interval.top(64))
+        assert (sv.umin(), sv.umax()) == (4, 6)
+
+    def test_contradiction_is_bottom(self):
+        sv = ScalarValue.make(Tnum.const(8, 64), Interval(0, 3, 64))
+        assert sv.is_bottom()
+
+    def test_const_from_either_side(self):
+        sv = ScalarValue.make(Tnum.unknown(64), Interval(9, 9, 64))
+        assert sv.is_const() and sv.const_value() == 9
+
+    def test_const_value_raises_on_non_const(self):
+        with pytest.raises(ValueError):
+            ScalarValue.top().const_value()
+
+    def test_from_range(self):
+        sv = ScalarValue.from_range(16, 31)
+        assert sv.tnum.trit(4) == "1"  # shared prefix bit is known
+
+
+class TestLattice:
+    def test_join_contains_both(self):
+        a = ScalarValue.const(3)
+        b = ScalarValue.const(12)
+        j = a.join(b)
+        assert j.contains(3) and j.contains(12)
+
+    def test_meet_of_overlapping(self):
+        a = ScalarValue.from_range(0, 10)
+        b = ScalarValue.from_range(5, 20)
+        m = a.meet(b)
+        assert (m.umin(), m.umax()) == (5, 10)
+
+    def test_leq(self):
+        small = ScalarValue.const(4)
+        big = ScalarValue.from_range(0, 7)
+        assert small.leq(big)
+        assert not big.leq(small)
+
+
+class TestTransformers:
+    @pytest.mark.parametrize(
+        "method,cop",
+        [
+            ("add", lambda x, y: x + y),
+            ("sub", lambda x, y: x - y),
+            ("mul", lambda x, y: x * y),
+            ("and_", lambda x, y: x & y),
+            ("or_", lambda x, y: x | y),
+            ("xor", lambda x, y: x ^ y),
+        ],
+    )
+    def test_binary_sound(self, method, cop):
+        a = ScalarValue.make(
+            Tnum.from_trits("µ01", width=3).cast(64), Interval.top(64)
+        )
+        b = ScalarValue.from_range(2, 5)
+        r = getattr(a, method)(b)
+        for x in members_of(a):
+            for y in members_of(b):
+                z = cop(x, y) & ((1 << 64) - 1)
+                assert r.contains(z), (method, x, y, z)
+
+    def test_shifts_sound(self):
+        a = ScalarValue.from_range(8, 15)
+        assert a.lshift(2).contains(32)
+        assert a.rshift(2).contains(2)
+        assert (a.rshift(2).umin(), a.rshift(2).umax()) == (2, 3)
+
+    def test_and_bounds_via_tnum(self):
+        r = ScalarValue.top().and_(ScalarValue.const(0xFF))
+        assert r.umax() == 0xFF
+
+    def test_div_mod_conservative_but_sound(self):
+        a = ScalarValue.from_range(10, 20)
+        b = ScalarValue.const(3)
+        assert a.div(b).contains(10 // 3)
+        assert a.mod(b).contains(20 % 3)
+
+    def test_neg_const(self):
+        assert ScalarValue.const(1).neg().const_value() == (1 << 64) - 1
+
+    def test_bottom_propagates(self):
+        assert ScalarValue.bottom().add(ScalarValue.const(1)).is_bottom()
+
+
+class TestRefinement:
+    def test_ult_then_mask_composes(self):
+        x = ScalarValue.top().refine_ult(100)
+        assert x.umax() == 99
+        y = x.and_(ScalarValue.const(0xF))
+        assert y.umax() == 0xF
+
+    def test_eq_refines_tnum_too(self):
+        x = ScalarValue.top().refine_eq(42)
+        assert x.is_const() and x.tnum == Tnum.const(42, 64)
+
+    def test_ne_on_const_is_bottom(self):
+        assert ScalarValue.const(5).refine_ne(5).is_bottom()
+
+    def test_uge_ule_window(self):
+        x = ScalarValue.top().refine_uge(10).refine_ule(20)
+        assert (x.umin(), x.umax()) == (10, 20)
+
+    def test_refinement_is_sound(self):
+        x = ScalarValue.from_range(0, 255)
+        refined = x.refine_ult(128)
+        for c in (0, 64, 127):
+            assert refined.contains(c)
+        assert not refined.contains(128)

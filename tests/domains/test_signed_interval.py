@@ -1,0 +1,173 @@
+"""Tests for the signed interval domain and bounds deduction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tnum import Tnum
+from repro.domains.interval import Interval
+from repro.domains.signed_interval import SignedInterval, deduce_bounds
+from tests.conftest import tnums
+
+W = 8
+svals = st.integers(-128, 127)
+
+
+def sintervals():
+    return st.builds(
+        lambda a, b: SignedInterval(min(a, b), max(a, b), W), svals, svals
+    )
+
+
+class TestConstruction:
+    def test_const_wraps_unsigned_input(self):
+        si = SignedInterval.const(0xFF, W)
+        assert si.smin == si.smax == -1
+
+    def test_top_bottom(self):
+        assert SignedInterval.top(W).cardinality() == 256
+        assert SignedInterval.bottom(W).is_bottom()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SignedInterval(-200, 0, W)
+
+    def test_contains_uses_signed_view(self):
+        si = SignedInterval(-5, 5, W)
+        assert si.contains(0xFF)  # -1
+        assert si.contains(5)
+        assert not si.contains(100)
+
+
+class TestFromTnum:
+    @given(tnums(W))
+    def test_sound(self, t):
+        si = SignedInterval.from_tnum(t)
+        for c in t.concretize():
+            assert si.contains(c), (t, c)
+
+    def test_known_negative_sign(self):
+        t = Tnum.from_trits("1000000µ", width=W)
+        si = SignedInterval.from_tnum(t)
+        assert (si.smin, si.smax) == (-128, -127)
+
+    def test_unknown_sign_covers_both_halves(self):
+        t = Tnum.from_trits("µ0000001", width=W)
+        si = SignedInterval.from_tnum(t)
+        assert si.smin == -127 and si.smax == 1
+
+
+class TestLattice:
+    @given(sintervals(), sintervals())
+    def test_join_meet_bounds(self, a, b):
+        j = a.join(b)
+        m = a.meet(b)
+        assert a.leq(j) and b.leq(j)
+        assert m.leq(a) and m.leq(b)
+
+    def test_meet_disjoint_bottom(self):
+        assert SignedInterval(-10, -5, W).meet(SignedInterval(5, 10, W)).is_bottom()
+
+
+class TestTransformers:
+    @given(sintervals(), sintervals())
+    def test_add_sound(self, a, b):
+        r = a.add(b)
+        for x in (a.smin, a.smax):
+            for y in (b.smin, b.smax):
+                assert r.contains((x + y) & 0xFF)
+
+    def test_add_overflow_tops(self):
+        r = SignedInterval(100, 127, W).add(SignedInterval(100, 127, W))
+        assert (r.smin, r.smax) == (-128, 127)
+
+    def test_sub_sound(self):
+        a = SignedInterval(-10, 10, W)
+        b = SignedInterval(1, 5, W)
+        r = a.sub(b)
+        assert r.contains((-10 - 5) & 0xFF) and r.contains((10 - 1) & 0xFF)
+
+    def test_neg(self):
+        assert SignedInterval(-5, 3, W).neg() == SignedInterval(-3, 5, W)
+
+    def test_neg_int_min_tops(self):
+        r = SignedInterval(-128, 0, W).neg()
+        assert (r.smin, r.smax) == (-128, 127)
+
+    def test_arshift_preserves_order(self):
+        r = SignedInterval(-16, 16, W).arshift(2)
+        assert (r.smin, r.smax) == (-4, 4)
+
+
+class TestRefinement:
+    def test_slt_sge_window(self):
+        si = SignedInterval.top(W).refine_sge(-4).refine_slt(5)
+        assert (si.smin, si.smax) == (-4, 4)
+
+    def test_sgt_at_max_is_bottom(self):
+        assert SignedInterval.top(W).refine_sgt(127).is_bottom()
+
+    def test_sle(self):
+        assert SignedInterval.top(W).refine_sle(-1).smax == -1
+
+    @given(sintervals(), svals)
+    def test_refinements_sound(self, si, bound):
+        lo = max(si.smin, -120)
+        hi = min(si.smax, 120)
+        for x in range(lo, hi + 1):
+            if x < bound:
+                assert si.refine_slt(bound).contains(x & 0xFF)
+            if x >= bound:
+                assert si.refine_sge(bound).contains(x & 0xFF)
+
+
+class TestConversions:
+    def test_nonnegative_roundtrip(self):
+        si = SignedInterval(3, 100, W)
+        iv = si.to_unsigned()
+        assert (iv.umin, iv.umax) == (3, 100)
+
+    def test_all_negative_maps_to_high_range(self):
+        si = SignedInterval(-4, -1, W)
+        iv = si.to_unsigned()
+        assert (iv.umin, iv.umax) == (0xFC, 0xFF)
+
+    def test_straddling_gives_top(self):
+        assert SignedInterval(-1, 1, W).to_unsigned().is_top()
+
+    def test_from_unsigned(self):
+        si = SignedInterval.from_unsigned(Interval(0xF0, 0xFF, W))
+        assert (si.smin, si.smax) == (-16, -1)
+
+
+class TestDeduceBounds:
+    def test_tnum_tightens_signed(self):
+        # tnum says sign bit is 1: signed view must become negative.
+        t = Tnum.from_trits("1µµµµµµµ", width=W)
+        tt, iv, si = deduce_bounds(
+            t, Interval.top(W), SignedInterval.top(W)
+        )
+        assert si.smax <= -1
+
+    def test_signed_tightens_unsigned(self):
+        # signed [-4, -1] forces unsigned [0xFC, 0xFF].
+        tt, iv, si = deduce_bounds(
+            Tnum.unknown(W), Interval.top(W), SignedInterval(-4, -1, W)
+        )
+        assert (iv.umin, iv.umax) == (0xFC, 0xFF)
+        # ...which in turn makes the tnum's high bits known 1.
+        assert tt.trit(7) == "1" and tt.trit(2) == "1"
+
+    def test_contradiction_collapses_to_bottom(self):
+        tt, iv, si = deduce_bounds(
+            Tnum.const(5, W), Interval.top(W), SignedInterval(-4, -1, W)
+        )
+        assert tt.is_bottom() and iv.is_bottom() and si.is_bottom()
+
+    @given(tnums(W))
+    def test_deduction_is_sound(self, t):
+        tt, iv, si = deduce_bounds(
+            t, Interval.top(W), SignedInterval.top(W)
+        )
+        for c in t.concretize():
+            assert tt.contains(c) and iv.contains(c) and si.contains(c)

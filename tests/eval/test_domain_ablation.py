@@ -1,0 +1,105 @@
+"""Tests for the domain-precision ablation harness."""
+
+import random
+
+import pytest
+
+from repro.eval.domain_ablation import (
+    Expression,
+    ablation_study,
+    evaluate_domains,
+    random_expression,
+)
+
+
+class TestExpression:
+    def test_concrete_evaluation(self):
+        # (x & 0xF0) >> 4
+        expr = Expression(
+            "rsh",
+            left=Expression(
+                "and",
+                left=Expression("leaf_input", 0),
+                right=Expression("leaf_const", 0xF0),
+            ),
+            right=Expression("leaf_const", 4),
+        )
+        assert expr.concrete([0xAB, 0]) == 0xA
+        assert expr.size() == 5
+
+    def test_random_expression_deterministic(self):
+        a = random_expression(random.Random(5))
+        b = random_expression(random.Random(5))
+        assert a.concrete([7, 9]) == b.concrete([7, 9])
+
+    def test_shift_amounts_are_constants(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            expr = random_expression(rng, depth=3)
+
+            def walk(e):
+                if e.kind in ("lsh", "rsh"):
+                    assert e.right.kind == "leaf_const"
+                if e.left:
+                    walk(e.left)
+                if e.right:
+                    walk(e.right)
+
+            walk(expr)
+
+
+class TestEvaluateDomains:
+    def test_all_domains_sound_on_sample(self):
+        rng = random.Random(1)
+        for _ in range(40):
+            expr = random_expression(rng, depth=3)
+            _, _, _, sound = evaluate_domains(expr, rng)
+            assert sound
+
+    def test_bitwise_expression_favours_tnum(self):
+        # x & 0x0F: tnum nails 16 values; pure interval knows nothing
+        # beyond [0, 255] -> top after the and.
+        expr = Expression(
+            "and",
+            left=Expression("leaf_input", 0),
+            right=Expression("leaf_const", 0x0F),
+        )
+        rng = random.Random(0)
+        t_card, iv_card, sv_card, sound = evaluate_domains(expr, rng)
+        assert sound
+        assert t_card == 16
+        assert iv_card > t_card
+        assert sv_card <= t_card
+
+    def test_additive_expression_favours_interval(self):
+        # x + y: interval gets [0, 510]; tnum smears carries.
+        expr = Expression(
+            "add",
+            left=Expression("leaf_input", 0),
+            right=Expression("leaf_input", 1),
+        )
+        rng = random.Random(0)
+        t_card, iv_card, sv_card, sound = evaluate_domains(expr, rng)
+        assert sound
+        assert iv_card == 511
+        assert t_card > iv_card
+        assert sv_card <= iv_card
+
+
+class TestStudy:
+    def test_product_dominates(self):
+        result = ablation_study(count=150, seed=3)
+        assert result.unsound == 0
+        # The reduced product must never be worse than min(components):
+        # encoded in the harness itself; here check it strictly wins on a
+        # meaningful share against each individual domain.
+        assert result.product_vs_interval_wins > 0
+        assert result.mean_log2["product"] <= result.mean_log2["tnum"]
+        assert result.mean_log2["product"] <= result.mean_log2["interval"]
+
+    def test_both_components_contribute(self):
+        result = ablation_study(count=200, seed=3)
+        # Some expressions favour tnum, some favour intervals — the
+        # justification for running a product at all.
+        assert result.tnum_vs_interval_wins > 0
+        assert result.interval_vs_tnum_wins > 0

@@ -1,0 +1,101 @@
+"""Tests for the precision-evaluation harness (Fig. 4 / Table I)."""
+
+import math
+
+import pytest
+
+from repro.core.lattice import enumerate_tnums
+from repro.eval.precision import (
+    MUL_ALGORITHMS,
+    compare_precision,
+    precision_cdf,
+    precision_trend,
+)
+
+
+class TestCompareKernVsOur:
+    @pytest.fixture(scope="class")
+    def width5(self):
+        return compare_precision("our_mul", "kern_mul", 5)
+
+    def test_totals_consistent(self, width5):
+        c = width5
+        assert c.total_pairs == 3 ** 10  # all ordered pairs at width 5
+        assert c.equal + c.different == c.total_pairs
+        assert c.comparable <= c.different
+        assert c.a_more_precise + c.b_more_precise == c.comparable
+        assert len(c.log2_ratios) == c.comparable
+
+    def test_matches_paper_table1_row5_ratios(self, width5):
+        # Paper (n=5): 8 differing unordered pairs, all comparable, with
+        # our_mul more precise in 75% and kern_mul in 25%.  We count
+        # ordered pairs, so the differing count doubles to 16 while every
+        # percentage of the differing set is unchanged.
+        c = width5
+        assert c.different == 16
+        assert c.comparable == c.different  # 100% comparable
+        assert c.a_more_precise / c.comparable == pytest.approx(0.75)
+        assert c.b_more_precise / c.comparable == pytest.approx(0.25)
+        assert c.pct(c.equal) == pytest.approx(99.973, abs=0.01)
+
+    def test_ratio_signs_match_winners(self, width5):
+        # log2 ratio > 0 <=> algorithm A (our_mul) strictly more precise.
+        c = width5
+        positive = sum(1 for r in c.log2_ratios if r > 0)
+        negative = sum(1 for r in c.log2_ratios if r < 0)
+        assert positive == c.a_more_precise
+        assert negative == c.b_more_precise
+
+    def test_ratios_are_integers(self, width5):
+        # Cardinalities are powers of two, so log2 ratios are integral.
+        assert all(r == int(r) for r in width5.log2_ratios)
+
+
+class TestCompareBitwiseVsOur:
+    def test_our_mul_never_loses_at_width4(self):
+        c = compare_precision("our_mul", "bitwise_mul", 4)
+        assert c.b_more_precise == 0
+        assert c.a_more_precise > 0  # our_mul strictly wins somewhere
+
+    def test_sampled_pairs_mode(self):
+        ts = enumerate_tnums(3)
+        pairs = [(p, q) for p in ts[:5] for q in ts[:5]]
+        c = compare_precision("our_mul", "kern_mul", 3, pairs=pairs)
+        assert c.total_pairs == 25
+
+
+class TestCdf:
+    def test_cdf_of_comparison(self):
+        c = compare_precision("our_mul", "bitwise_mul", 4)
+        points = precision_cdf(c)
+        assert points, "expected differing outputs at width 4"
+        assert points[-1][1] == 1.0
+
+
+class TestTrend:
+    def test_trend_rows(self):
+        rows = precision_trend([4, 5])
+        assert [r.width for r in rows] == [4, 5]
+        r4, r5 = rows
+        # Width 4: identical algorithms.
+        assert r4.different == 0
+        assert r4.equal_pct == 100.0
+        # Width 5: the paper's percentages.
+        assert r5.our_pct == pytest.approx(75.0)
+        assert r5.kern_pct == pytest.approx(25.0)
+
+    def test_trend_percentage_of_equal_decreases_with_width(self):
+        # Paper Table I observation (1).
+        rows = precision_trend([4, 5, 6])
+        pcts = [r.equal_pct for r in rows]
+        assert pcts[0] >= pcts[1] >= pcts[2]
+
+    def test_our_share_grows_with_width(self):
+        # Paper Table I observation (4): our_mul wins a growing share.
+        rows = precision_trend([5, 6])
+        assert rows[1].our_pct >= rows[0].our_pct
+
+
+class TestRegistry:
+    def test_algorithms_present(self):
+        assert set(MUL_ALGORITHMS) == {"our_mul", "kern_mul", "bitwise_mul"}

@@ -1,0 +1,80 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.stats import cdf_points, log2_ratio, percentile, summarize
+
+
+class TestCdf:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_single_value(self):
+        assert cdf_points([5.0]) == [(5.0, 1.0)]
+
+    def test_monotone_nondecreasing(self):
+        points = cdf_points([3.0, 1.0, 2.0, 2.0, 10.0])
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_downsampling(self):
+        points = cdf_points(list(range(10_000)), max_points=100)
+        assert len(points) <= 102
+        assert points[-1][0] == 9999
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50))
+    def test_last_point_is_max(self, values):
+        points = cdf_points(values)
+        assert points[-1][0] == max(values)
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_extremes(self):
+        data = list(range(1, 101))
+        assert percentile(data, 1) == 1
+        assert percentile(data, 100) == 100
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["count"] == 4
+        assert s["mean"] == 2.5
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["p50"] in (2.0, 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestLog2Ratio:
+    def test_equal_sets_give_zero(self):
+        assert log2_ratio(8, 8) == 0.0
+
+    def test_one_extra_unknown_trit_is_one_unit(self):
+        # Doubling the set size = exactly one more µ trit.
+        assert log2_ratio(16, 8) == 1.0
+
+    def test_negative_when_denominator_larger(self):
+        assert log2_ratio(8, 16) == -1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2_ratio(0, 8)
+        with pytest.raises(ValueError):
+            log2_ratio(8, 0)

@@ -1,0 +1,116 @@
+"""CLI integration tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+SAFE = """
+    mov r0, 0
+    stxdw [r10-8], r0
+    ldxdw r2, [r10-8]
+    add r0, r2
+    exit
+"""
+
+UNSAFE = """
+    ldxdw r0, [r10-8]
+    exit
+"""
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.s"
+    path.write_text(SAFE)
+    return str(path)
+
+
+@pytest.fixture
+def unsafe_file(tmp_path):
+    path = tmp_path / "unsafe.s"
+    path.write_text(UNSAFE)
+    return str(path)
+
+
+class TestVerify:
+    def test_accepts(self, safe_file, capsys):
+        assert main(["verify", safe_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_rejects(self, unsafe_file, capsys):
+        assert main(["verify", unsafe_file]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_runs(self, safe_file, capsys):
+        assert main(["run", safe_file]) == 0
+        assert "r0 = 0" in capsys.readouterr().out
+
+    def test_ctx_bytes(self, tmp_path, capsys):
+        path = tmp_path / "ctx.s"
+        path.write_text("ldxb r0, [r1+0]\nexit")
+        assert main(["run", str(path), "--ctx", "2a"]) == 0
+        assert "r0 = 42" in capsys.readouterr().out
+
+    def test_trace(self, safe_file, capsys):
+        assert main(["run", safe_file, "--trace"]) == 0
+        assert "trace:" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_dumps_states(self, safe_file, capsys):
+        assert main(["analyze", safe_file]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        assert "scalar" in out
+
+    def test_rejects(self, unsafe_file, capsys):
+        assert main(["analyze", unsafe_file]) == 1
+
+
+class TestAsmDisasm:
+    def test_roundtrip(self, safe_file, tmp_path, capsys):
+        out = tmp_path / "prog.bin"
+        assert main(["asm", safe_file, "-o", str(out)]) == 0
+        assert out.stat().st_size % 8 == 0
+        assert main(["disasm", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "exit" in text and "stxdw" in text
+
+
+class TestCheckOp:
+    def test_sat(self, capsys):
+        assert main(["check-op", "add", "--width", "6"]) == 0
+        assert "SOUND" in capsys.readouterr().out
+
+    def test_exhaustive(self, capsys):
+        assert main(["check-op", "add", "--width", "3",
+                     "--method", "exhaustive"]) == 0
+        assert "holds" in capsys.readouterr().out
+
+    def test_exhaustive_shift(self, capsys):
+        assert main(["check-op", "lsh", "--width", "3",
+                     "--method", "exhaustive"]) == 0
+
+    def test_random(self, capsys):
+        assert main(["check-op", "mul", "--width", "64",
+                     "--method", "random", "--trials", "200"]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_unknown_op_exhaustive(self, capsys):
+        assert main(["check-op", "nope", "--method", "exhaustive"]) == 2
+
+
+class TestEval:
+    def test_table1(self, capsys):
+        assert main(["eval", "table1", "--width", "5"]) == 0
+        assert "bitwidth" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["eval", "fig4", "--width", "4"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["eval", "fig5", "--pairs", "30"]) == 0
+        assert "Figure 5" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples double as end-to-end integration tests — each exercises a
+different slice of the public API against the paper's own numbers, and
+several raise SystemExit on any mismatch.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv=None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "10µµ1" in out          # Fig. 2 result
+    assert "µµµ10" in out          # Fig. 3 result
+    assert "[17, 19, 21, 23]" in out
+
+
+def test_verify_bpf_program(capsys):
+    run_example("verify_bpf_program.py")
+    out = capsys.readouterr().out
+    assert out.count("ACCEPTED") == 1
+    assert out.count("REJECTED:") == 2
+
+
+def test_range_analysis(capsys):
+    run_example("range_analysis.py")
+    out = capsys.readouterr().out
+    assert "provably < 16" in out
+    assert "True" in out
+
+
+def test_packet_filter(capsys):
+    run_example("packet_filter.py")
+    out = capsys.readouterr().out
+    assert "ACCEPTED" in out
+    assert "500/500" in out
+
+
+def test_precision_study_small(capsys):
+    run_example("precision_study.py", ["4"])
+    out = capsys.readouterr().out
+    assert "our_mul vs kern_mul" in out
+    assert "Figure 4" in out
+
+
+@pytest.mark.slow
+def test_solver_verification(capsys):
+    run_example("solver_verification.py")
+    out = capsys.readouterr().out
+    assert "SOUND" in out
+    assert "not associative" in out
+
+
+def test_soundness_matters(capsys):
+    run_example("soundness_matters.py")
+    out = capsys.readouterr().out
+    assert "REJECTED" in out          # honest verifier
+    assert "ACCEPTED" in out          # buggy verifier fooled
+    assert "CRASH" in out             # concrete escape
+    assert "UNSOUND" in out           # SAT pipeline catches it

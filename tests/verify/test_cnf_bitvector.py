@@ -1,0 +1,185 @@
+"""Tests for the CNF gate encodings and bit-vector circuits."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.sat.bitvector import BitVecBuilder
+from repro.verify.sat.cnf import CNFBuilder
+from repro.verify.sat.solver import Solver
+
+
+def solve(cnf):
+    return Solver(cnf.num_vars, cnf.clauses).solve()
+
+
+def enumerate_gate(gate_builder, arity):
+    """Evaluate a fresh gate over every input combination via the solver."""
+    results = {}
+    for inputs in itertools.product([False, True], repeat=arity):
+        cnf = CNFBuilder()
+        in_lits = cnf.new_vars(arity)
+        out = gate_builder(cnf, *in_lits)
+        for lit, val in zip(in_lits, inputs):
+            cnf.assert_lit(lit if val else -lit)
+        cnf.assert_lit(out)
+        results[inputs] = bool(solve(cnf).sat)
+    return results
+
+
+class TestGates:
+    def test_and_truth_table(self):
+        table = enumerate_gate(lambda c, a, b: c.gate_and(a, b), 2)
+        assert table == {
+            (False, False): False, (False, True): False,
+            (True, False): False, (True, True): True,
+        }
+
+    def test_or_truth_table(self):
+        table = enumerate_gate(lambda c, a, b: c.gate_or(a, b), 2)
+        assert table[(False, False)] is False
+        assert all(table[k] for k in table if any(k))
+
+    def test_xor_truth_table(self):
+        table = enumerate_gate(lambda c, a, b: c.gate_xor(a, b), 2)
+        for a, b in table:
+            assert table[(a, b)] == (a != b)
+
+    def test_ite(self):
+        table = enumerate_gate(lambda c, s, t, e: c.gate_ite(s, t, e), 3)
+        for s, t, e in table:
+            assert table[(s, t, e)] == (t if s else e)
+
+    def test_iff(self):
+        table = enumerate_gate(lambda c, a, b: c.gate_iff(a, b), 2)
+        for a, b in table:
+            assert table[(a, b)] == (a == b)
+
+    def test_and_many(self):
+        table = enumerate_gate(lambda c, *ls: c.gate_and_many(ls), 3)
+        for key in table:
+            assert table[key] == all(key)
+
+    def test_or_many(self):
+        table = enumerate_gate(lambda c, *ls: c.gate_or_many(ls), 3)
+        for key in table:
+            assert table[key] == any(key)
+
+    def test_constant_folding(self):
+        cnf = CNFBuilder()
+        a = cnf.new_var()
+        assert cnf.gate_and(cnf.true_lit, a) == a
+        assert cnf.gate_and(cnf.false_lit, a) == cnf.false_lit
+        assert cnf.gate_xor(cnf.true_lit, a) == -a
+        assert cnf.gate_or(cnf.false_lit, a) == a
+
+    def test_empty_clause_rejected(self):
+        cnf = CNFBuilder()
+        with pytest.raises(ValueError):
+            cnf.add_clause([])
+
+    def test_dimacs_output(self):
+        cnf = CNFBuilder()
+        a, b = cnf.new_vars(2)
+        cnf.add_clause([a, -b])
+        text = cnf.to_dimacs()
+        assert text.startswith("p cnf")
+        assert f"{a} {-b} 0" in text
+
+
+W = 6
+MASK = (1 << W) - 1
+small = st.integers(0, MASK)
+
+
+def eval_circuit(build, *concrete):
+    """Build a circuit over constants and read back its value via SAT."""
+    cnf = CNFBuilder()
+    bb = BitVecBuilder(cnf, W)
+    consts = [bb.const(c) for c in concrete]
+    out = build(bb, *consts)
+    model = solve(cnf)
+    assert model.sat
+    return bb.value_of(out, model)
+
+
+class TestArithmeticCircuits:
+    @settings(max_examples=60)
+    @given(small, small)
+    def test_add(self, a, b):
+        assert eval_circuit(lambda bb, x, y: bb.add(x, y), a, b) == (a + b) & MASK
+
+    @settings(max_examples=60)
+    @given(small, small)
+    def test_sub(self, a, b):
+        assert eval_circuit(lambda bb, x, y: bb.sub(x, y), a, b) == (a - b) & MASK
+
+    @settings(max_examples=40)
+    @given(small, small)
+    def test_mul(self, a, b):
+        assert eval_circuit(lambda bb, x, y: bb.mul(x, y), a, b) == (a * b) & MASK
+
+    @settings(max_examples=30)
+    @given(small)
+    def test_neg(self, a):
+        assert eval_circuit(lambda bb, x: bb.neg(x), a) == (-a) & MASK
+
+    @settings(max_examples=40)
+    @given(small, small)
+    def test_bitwise(self, a, b):
+        assert eval_circuit(lambda bb, x, y: bb.and_(x, y), a, b) == a & b
+        assert eval_circuit(lambda bb, x, y: bb.or_(x, y), a, b) == a | b
+        assert eval_circuit(lambda bb, x, y: bb.xor(x, y), a, b) == a ^ b
+
+    @settings(max_examples=30)
+    @given(small, st.integers(0, W - 1))
+    def test_shifts(self, a, k):
+        assert eval_circuit(lambda bb, x: bb.shl_const(x, k), a) == (a << k) & MASK
+        assert eval_circuit(lambda bb, x: bb.shr_const(x, k), a) == a >> k
+        signed = a - (1 << W) if a & (1 << (W - 1)) else a
+        assert eval_circuit(
+            lambda bb, x: bb.ashr_const(x, k), a
+        ) == (signed >> k) & MASK
+
+    def test_add_with_carries(self):
+        # 0b0111 + 0b0001: carries in at bits 1, 2, 3.
+        cnf = CNFBuilder()
+        bb = BitVecBuilder(cnf, 4)
+        total, carries = bb.add_with_carries(bb.const(0b0111), bb.const(0b0001))
+        model = solve(cnf)
+        assert bb.value_of(total, model) == 0b1000
+        assert bb.value_of(carries, model) == 0b1110
+
+
+class TestPredicates:
+    @settings(max_examples=40)
+    @given(small, small)
+    def test_eq_and_ult(self, a, b):
+        cnf = CNFBuilder()
+        bb = BitVecBuilder(cnf, W)
+        eq = bb.eq(bb.const(a), bb.const(b))
+        lt = bb.ult(bb.const(a), bb.const(b))
+        cnf.assert_lit(eq if a == b else -eq)
+        cnf.assert_lit(lt if a < b else -lt)
+        assert solve(cnf).sat
+
+    def test_is_zero(self):
+        cnf = CNFBuilder()
+        bb = BitVecBuilder(cnf, W)
+        z = bb.is_zero(bb.const(0))
+        nz = bb.is_zero(bb.const(5))
+        cnf.assert_lit(z)
+        cnf.assert_lit(-nz)
+        assert solve(cnf).sat
+
+    def test_symbolic_solving(self):
+        # Find x with x + 3 == 10.
+        cnf = CNFBuilder()
+        bb = BitVecBuilder(cnf, W)
+        x = bb.var()
+        cnf.assert_lit(bb.eq(bb.add(x, bb.const(3)), bb.const(10)))
+        model = solve(cnf)
+        assert model.sat
+        assert bb.value_of(x, model) == 7

@@ -1,0 +1,140 @@
+"""Meta-test: the three verification pipelines agree with each other.
+
+For correct operators all three (exhaustive, randomized, SAT) say sound;
+for a family of deliberately broken operators all three find the bug.
+Cross-pipeline agreement is what justifies trusting the 64-bit random
+checks where SAT and enumeration cannot reach.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ops import BINARY_OPS, OpSpec
+from repro.core.tnum import Tnum, mask_for_width
+from repro.core._raw import add_raw
+from repro.verify.exhaustive import check_soundness
+from repro.verify.random_check import random_member, random_tnum
+
+W = 5
+LIMIT = mask_for_width(W)
+
+
+def _broken_add_drops_masks(p: Tnum, q: Tnum) -> Tnum:
+    """tnum_add without | p.mask | q.mask in eta (claims even sums)."""
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(p.width)
+    limit = mask_for_width(p.width)
+    sv = (p.value + q.value) & limit
+    sm = (p.mask + q.mask) & limit
+    chi = ((sv + sm) & limit) ^ sv
+    return Tnum(sv & ~chi & limit, chi, p.width)
+
+
+def _broken_and_overclaims(p: Tnum, q: Tnum) -> Tnum:
+    """AND that treats µ bits as certain 1s."""
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(p.width)
+    return Tnum.const((p.value | p.mask) & (q.value | q.mask), p.width)
+
+def _broken_mul_value_only(p: Tnum, q: Tnum) -> Tnum:
+    """Multiplication that ignores all uncertainty."""
+    if p.is_bottom() or q.is_bottom():
+        return Tnum.bottom(p.width)
+    return Tnum.const((p.value * q.value) & mask_for_width(p.width), p.width)
+
+
+BROKEN = {
+    "add": _broken_add_drops_masks,
+    "and": _broken_and_overclaims,
+    "mul": _broken_mul_value_only,
+}
+
+
+def _random_pipeline_flags(name: str, abstract, trials: int = 4000) -> bool:
+    """Randomized soundness check against the op's true concrete model."""
+    spec = BINARY_OPS[name]
+    rng = random.Random(0)
+    for _ in range(trials):
+        p = random_tnum(rng, W)
+        q = random_tnum(rng, W)
+        r = abstract(p, q)
+        for _ in range(3):
+            x = random_member(rng, p)
+            y = random_member(rng, q)
+            if not r.contains(spec.concrete(x, y, W) & LIMIT):
+                return True
+    return False
+
+
+def _exhaustive_flags(name: str, abstract) -> bool:
+    spec = BINARY_OPS[name]
+    from repro.core.lattice import enumerate_tnums
+
+    for p in enumerate_tnums(W):
+        gp = list(p.concretize())
+        for q in enumerate_tnums(W):
+            r = abstract(p, q)
+            for x in gp[:4]:
+                for y in list(q.concretize())[:4]:
+                    if not r.contains(spec.concrete(x, y, W) & LIMIT):
+                        return True
+    return False
+
+
+@pytest.mark.parametrize("name", sorted(BROKEN))
+class TestBrokenOperatorsFlaggedEverywhere:
+    def test_random_pipeline_finds_bug(self, name):
+        assert _random_pipeline_flags(name, BROKEN[name])
+
+    def test_exhaustive_pipeline_finds_bug(self, name):
+        assert _exhaustive_flags(name, BROKEN[name])
+
+
+@pytest.mark.parametrize("name", ["add", "and", "mul"])
+class TestCorrectOperatorsPassEverywhere:
+    def test_random_pipeline_passes(self, name):
+        assert not _random_pipeline_flags(
+            name, BINARY_OPS[name].abstract, trials=1500
+        )
+
+    def test_exhaustive_pipeline_passes(self, name):
+        report = check_soundness(name, 3)
+        assert report.holds
+
+
+class TestSatAgreesOnBrokenAdd:
+    def test_sat_counterexample_matches_python_model(self):
+        # The SAT pipeline's counterexample for the mask-dropping add must
+        # falsify the *Python* broken implementation too — tying the
+        # symbolic circuits to the executable semantics.
+        from repro.verify.sat.bitvector import BitVecBuilder
+        from repro.verify.sat.cnf import CNFBuilder
+        from repro.verify.sat.encode import SymTnum
+        from repro.verify.sat.solver import Solver
+
+        cnf = CNFBuilder()
+        bb = BitVecBuilder(cnf, W)
+        p = SymTnum(bb.var(), bb.var())
+        q = SymTnum(bb.var(), bb.var())
+        x, y = bb.var(), bb.var()
+        wf = lambda t: bb.is_zero(bb.and_(t.v, t.m))
+        member = lambda v, t: bb.eq(bb.and_(v, bb.not_(t.m)), t.v)
+        cnf.assert_lit(wf(p))
+        cnf.assert_lit(wf(q))
+        cnf.assert_lit(member(x, p))
+        cnf.assert_lit(member(y, q))
+        sv = bb.add(p.v, q.v)
+        sm = bb.add(p.m, q.m)
+        chi = bb.xor(bb.add(sv, sm), sv)
+        r = SymTnum(bb.and_(sv, bb.not_(chi)), chi)
+        cnf.assert_lit(-member(bb.add(x, y), r))
+        model = Solver(cnf.num_vars, cnf.clauses).solve()
+        assert model.sat
+
+        P = Tnum(bb.value_of(p.v, model), bb.value_of(p.m, model), W)
+        Q = Tnum(bb.value_of(q.v, model), bb.value_of(q.m, model), W)
+        cx = bb.value_of(x, model)
+        cy = bb.value_of(y, model)
+        broken_result = _broken_add_drops_masks(P, Q)
+        assert not broken_result.contains((cx + cy) & LIMIT)

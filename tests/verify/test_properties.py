@@ -1,0 +1,74 @@
+"""Tests for the algebraic-property witnesses and predicates (§III-A)."""
+
+from repro.core.arithmetic import tnum_add, tnum_sub
+from repro.core.multiply import our_mul
+from repro.core.tnum import Tnum
+from repro.verify.properties import (
+    find_nonassociative_add,
+    find_noncommutative_mul,
+    find_noninverse_add_sub,
+    is_optimal_on,
+    is_sound_on,
+)
+
+
+class TestPredicates:
+    def test_is_sound_on_add(self):
+        p = Tnum.from_trits("1µ0", width=4)
+        q = Tnum.from_trits("0µ1", width=4)
+        assert is_sound_on(tnum_add, lambda x, y: x + y, p, q)
+
+    def test_is_sound_on_detects_bug(self):
+        def bogus(p, q):
+            return Tnum.const(0, p.width)
+
+        p = Tnum.const(1, 4)
+        q = Tnum.const(2, 4)
+        assert not is_sound_on(bogus, lambda x, y: x + y, p, q)
+
+    def test_is_optimal_on_add(self):
+        p = Tnum.from_trits("µ01", width=4)
+        q = Tnum.from_trits("01µ", width=4)
+        assert is_optimal_on(tnum_add, lambda x, y: x + y, p, q)
+
+    def test_is_optimal_on_detects_slack(self):
+        def sloppy(p, q):
+            return Tnum.unknown(p.width)
+
+        p = Tnum.const(1, 4)
+        q = Tnum.const(2, 4)
+        assert is_sound_on(sloppy, lambda x, y: x + y, p, q)
+        assert not is_optimal_on(sloppy, lambda x, y: x + y, p, q)
+
+    def test_optimality_on_bottom(self):
+        assert is_optimal_on(
+            tnum_add, lambda x, y: x + y, Tnum.bottom(4), Tnum.const(0, 4)
+        )
+
+
+class TestObservationWitnesses:
+    """The three §III-A observations, rediscovered."""
+
+    def test_add_not_associative(self):
+        witness = find_nonassociative_add()
+        assert witness is not None
+        a, b, c = witness.tnums
+        assert tnum_add(tnum_add(a, b), c) != tnum_add(a, tnum_add(b, c))
+
+    def test_add_sub_not_inverses(self):
+        witness = find_noninverse_add_sub()
+        assert witness is not None
+        a, b = witness.tnums
+        assert tnum_sub(tnum_add(a, b), b) != a
+
+    def test_mul_not_commutative(self):
+        witness = find_noncommutative_mul()
+        assert witness is not None
+        a, b = witness.tnums
+        assert our_mul(a, b) != our_mul(b, a)
+
+    def test_witness_rendering(self):
+        witness = find_nonassociative_add()
+        text = str(witness)
+        assert "not associative" in text
+        assert "->" in text

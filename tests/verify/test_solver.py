@@ -1,0 +1,145 @@
+"""CDCL SAT solver tests, including differential testing vs brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.sat.solver import SatResult, Solver
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver(0, []).solve().sat
+
+    def test_single_unit(self):
+        r = Solver(1, [[1]]).solve()
+        assert r.sat and r.value(1) is True
+
+    def test_contradicting_units(self):
+        assert not Solver(1, [[1], [-1]]).solve().sat
+
+    def test_simple_implication_chain(self):
+        # 1, 1->2, 2->3 forces all true.
+        r = Solver(3, [[1], [-1, 2], [-2, 3]]).solve()
+        assert r.sat and r.value(3)
+
+    def test_tautology_ignored(self):
+        assert Solver(2, [[1, -1], [2]]).solve().sat
+
+    def test_duplicate_literals_handled(self):
+        assert Solver(1, [[1, 1, 1]]).solve().sat
+
+    def test_model_satisfies_formula(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        r = Solver(3, clauses).solve()
+        assert r.sat
+        for clause in clauses:
+            assert any(r.value(abs(l)) == (l > 0) for l in clause)
+
+
+class TestUnsatCores:
+    def test_pigeonhole_3_into_2(self):
+        nv = 0
+        var = {}
+        clauses = []
+        for p in range(3):
+            row = []
+            for h in range(2):
+                nv += 1
+                var[(p, h)] = nv
+                row.append(nv)
+            clauses.append(row)
+        for h in range(2):
+            for p1, p2 in itertools.combinations(range(3), 2):
+                clauses.append([-var[(p1, h)], -var[(p2, h)]])
+        assert not Solver(nv, clauses).solve().sat
+
+    def test_pigeonhole_5_into_4(self):
+        nv = 0
+        var = {}
+        clauses = []
+        for p in range(5):
+            row = []
+            for h in range(4):
+                nv += 1
+                var[(p, h)] = nv
+                row.append(nv)
+            clauses.append(row)
+        for h in range(4):
+            for p1, p2 in itertools.combinations(range(5), 2):
+                clauses.append([-var[(p1, h)], -var[(p2, h)]])
+        assert not Solver(nv, clauses).solve().sat
+
+    def test_xor_chain_unsat(self):
+        # x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 1 is unsatisfiable.
+        clauses = [
+            [1, 2], [-1, -2],
+            [2, 3], [-2, -3],
+            [1, 3], [-1, -3],
+        ]
+        assert not Solver(3, clauses).solve().sat
+
+
+class TestDifferentialRandom3SAT:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        num_clauses = rng.randint(3, 30)
+        clauses = []
+        for _ in range(num_clauses):
+            k = rng.randint(1, 3)
+            clause = [
+                rng.choice([1, -1]) * rng.randint(1, num_vars)
+                for _ in range(k)
+            ]
+            clauses.append(clause)
+        expected = brute_force_sat(num_vars, clauses)
+        result = Solver(num_vars, clauses).solve()
+        assert result.sat == expected
+        if result.sat:
+            for clause in clauses:
+                assert any(result.value(abs(l)) == (l > 0) for l in clause)
+
+
+class TestBudget:
+    def test_conflict_budget_raises(self):
+        # A hard formula with a 1-conflict budget must time out.
+        nv = 0
+        var = {}
+        clauses = []
+        for p in range(7):
+            row = []
+            for h in range(6):
+                nv += 1
+                var[(p, h)] = nv
+                row.append(nv)
+            clauses.append(row)
+        for h in range(6):
+            for p1, p2 in itertools.combinations(range(7), 2):
+                clauses.append([-var[(p1, h)], -var[(p2, h)]])
+        with pytest.raises(TimeoutError):
+            Solver(nv, clauses).solve(max_conflicts=1)
+
+
+class TestSatResult:
+    def test_bool_protocol(self):
+        assert SatResult(True)
+        assert not SatResult(False)
+
+    def test_value_default(self):
+        assert SatResult(True, {1: True}).value(2) is False
