@@ -1,0 +1,2 @@
+"""Benchmark suite package (needed so ``from .conftest import ...`` in
+the bench modules resolves when invoking ``pytest benchmarks/...``)."""

@@ -1,0 +1,66 @@
+"""Differential-fuzzing throughput benchmarks.
+
+Campaign coverage is bounded by programs-checked-per-second, so the fuzz
+pipeline's stages are benchmarked separately (generation, verification,
+oracle replay) and end-to-end.  The summary artifact records
+programs/sec for each opcode profile — the number to watch when
+optimizing the oracle's hot loop.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.fuzz import (
+    CampaignConfig,
+    DifferentialOracle,
+    generate_program,
+    run_campaign,
+)
+
+from .conftest import write_artifact
+
+
+def test_generation_only(benchmark):
+    counter = iter(range(10**9))
+
+    def generate_one():
+        return generate_program(next(counter)).program
+
+    program = benchmark(generate_one)
+    assert program.insns[-1].is_exit()
+
+
+@pytest.mark.parametrize("profile", ["mixed", "alu", "memory", "branchy"])
+def test_oracle_single_program(benchmark, profile):
+    gp = generate_program(7, profile=profile)
+    oracle = DifferentialOracle(inputs_per_program=8)
+
+    report = benchmark(oracle.check_program, gp.program, 7)
+    assert report.ok
+
+
+def test_campaign_end_to_end(benchmark):
+    def campaign():
+        return run_campaign(CampaignConfig(budget=50, seed=42))
+
+    result = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert result.ok
+
+
+def test_fuzz_throughput_summary(out_dir):
+    lines = ["Differential fuzz throughput (programs/sec, budget 200):"]
+    for profile in ("mixed", "alu", "memory", "branchy"):
+        config = CampaignConfig(budget=200, seed=42, profile=profile)
+        t0 = time.perf_counter()
+        result = run_campaign(config)
+        elapsed = time.perf_counter() - t0
+        assert result.ok
+        lines.append(
+            f"  {profile:>8}: {result.stats.executed / elapsed:7.1f} p/s "
+            f"({result.stats.containment_checks:,} containment checks, "
+            f"{100 * result.stats.acceptance_rate:.0f}% accepted)"
+        )
+    write_artifact(out_dir, "fuzz_throughput.txt", "\n".join(lines))

@@ -97,9 +97,19 @@ class Machine:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, program: Program, r1: int = CTX_BASE) -> ExecutionResult:
+    def run(
+        self,
+        program: Program,
+        r1: int = CTX_BASE,
+        on_step: Optional[Callable[[int, List[int]], None]] = None,
+    ) -> ExecutionResult:
         """Execute to ``exit``; returns r0.  ``r1`` defaults to the context
-        pointer, matching the BPF calling convention."""
+        pointer, matching the BPF calling convention.
+
+        ``on_step`` is invoked with ``(insn_index, regs)`` before each
+        instruction executes — the observation point differential oracles
+        compare against the verifier's per-instruction entry states.
+        """
         self.regs = [0] * isa.MAX_REG
         self.regs[1] = r1
         self.regs[isa.FP_REG] = STACK_BASE + isa.STACK_SIZE
@@ -115,6 +125,8 @@ class Machine:
             insn = program.insns[idx]
             if self.record_trace:
                 trace.append(idx)
+            if on_step is not None:
+                on_step(idx, self.regs)
 
             if insn.is_exit():
                 return ExecutionResult(self.regs[0], steps, trace)

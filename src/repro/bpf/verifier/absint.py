@@ -239,7 +239,16 @@ class Verifier:
             self._pointer_alu(state, insn, idx, op, dst, src)
             return
 
-        result = self._scalar_alu(op, dst.scalar, src.scalar, insn, idx)
+        dst_s, src_s = dst.scalar, src.scalar
+        if not is64:
+            # 32-bit ops read the zero-extended subregisters.  Operand
+            # truncation (not just result truncation) is required for
+            # soundness: division, modulo and right shifts do not commute
+            # with truncation, so computing them on the 64-bit abstract
+            # values and masking afterwards claims wrong results.
+            dst_s = self._subreg(dst_s)
+            src_s = self._subreg(src_s)
+        result = self._scalar_alu(op, dst_s, src_s, insn, idx, is64)
         reg = RegState.from_scalar(result)
         if not is64:
             reg = self._truncate32(reg, idx)
@@ -252,6 +261,7 @@ class Verifier:
         src: ScalarValue,
         insn: Instruction,
         idx: int,
+        is64: bool = True,
     ) -> ScalarValue:
         if op == isa.ALU_ADD:
             return dst.add(src)
@@ -270,16 +280,28 @@ class Verifier:
         if op == isa.ALU_MOD:
             return dst.mod(src)
         if op in (isa.ALU_LSH, isa.ALU_RSH, isa.ALU_ARSH):
-            method = {
-                isa.ALU_LSH: ScalarValue.lshift,
-                isa.ALU_RSH: ScalarValue.rshift,
-                isa.ALU_ARSH: ScalarValue.arshift,
-            }[op]
+            if dst.is_bottom() or src.is_bottom():
+                return ScalarValue.bottom()
+            width = 64 if is64 else 32
+            if op == isa.ALU_ARSH and not is64:
+                # 32-bit arithmetic shift replicates bit 31, which the
+                # 64-bit arshift transfer cannot see.  Hoist the
+                # subregister into the top half, shift there (bit 31 is
+                # now the sign bit), and bring it back down — each step
+                # is a sound 64-bit transfer, so the composition is too.
+                def method(d: ScalarValue, s: int) -> ScalarValue:
+                    return d.lshift(32).arshift(s).rshift(32)
+            else:
+                method = {
+                    isa.ALU_LSH: ScalarValue.lshift,
+                    isa.ALU_RSH: ScalarValue.rshift,
+                    isa.ALU_ARSH: ScalarValue.arshift,
+                }[op]
             if src.is_const():
-                shift = src.const_value() & 63
-                return method(dst, shift)
+                # Concrete semantics mask the count to the op width.
+                return method(dst, src.const_value() & (width - 1))
             # Unknown shift amount: join over feasible counts via tnums.
-            if src.umax() < 64:
+            if src.umax() < width:
                 results = [method(dst, s) for s in range(src.umin(), src.umax() + 1)]
                 out = results[0]
                 for r in results[1:]:
@@ -320,14 +342,18 @@ class Verifier:
         self._write_reg(state, insn.dst, result, idx)
 
     @staticmethod
-    def _truncate32(reg: RegState, idx: int) -> RegState:
+    def _subreg(value: ScalarValue) -> ScalarValue:
+        """The zero-extended 32-bit subregister view (kernel ``tnum_subreg``)."""
+        t32 = value.tnum.cast(32).cast(64)
+        if value.interval.umax <= 0xFFFF_FFFF:
+            return ScalarValue.make(t32, value.interval)
+        return ScalarValue.from_tnum(t32)
+
+    @classmethod
+    def _truncate32(cls, reg: RegState, idx: int) -> RegState:
         if reg.is_ptr():
             raise VerifierError(idx, "32-bit operation on pointer")
-        t32 = reg.scalar.tnum.cast(32).cast(64)
-        iv = reg.scalar.interval
-        if iv.umax <= 0xFFFF_FFFF:
-            return RegState.from_scalar(ScalarValue.make(t32, iv))
-        return RegState.from_scalar(ScalarValue.from_tnum(t32))
+        return RegState.from_scalar(cls._subreg(reg.scalar))
 
     # -- memory ---------------------------------------------------------------------
 

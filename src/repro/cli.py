@@ -15,6 +15,12 @@ Subcommands
     randomized).
 ``eval {fig4,fig5,table1}``
     Regenerate a paper artifact at a chosen scale.
+``fuzz``
+    Differential fuzzing campaign: random whole programs, verifier vs.
+    concrete interpreter, with shrinking and corpus persistence.
+
+Subcommands that use randomness (``fuzz``, ``check-op --method random``,
+``eval fig5``) accept ``--seed`` so every run is reproducible.
 """
 
 from __future__ import annotations
@@ -68,6 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
                        default="sat")
     p_chk.add_argument("--trials", type=int, default=10_000,
                        help="trials for --method random")
+    p_chk.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for --method random (default 0)")
 
     p_eval = sub.add_parser("eval", help="regenerate a paper artifact")
     p_eval.add_argument("artifact", choices=("fig4", "fig5", "table1"))
@@ -75,6 +83,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tnum width for fig4/table1 (default 5)")
     p_eval.add_argument("--pairs", type=int, default=2000,
                         help="input pairs for fig5 (default 2000)")
+    p_eval.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for fig5 input pairs (default 0)")
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: verifier vs. concrete interpreter",
+    )
+    p_fuzz.add_argument("--budget", type=int, default=1000,
+                        help="number of programs to fuzz (default 1000)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; results are deterministic "
+                             "for a given seed (default 0)")
+    p_fuzz.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1; results do "
+                             "not depend on worker count)")
+    p_fuzz.add_argument("--profile", default="mixed",
+                        choices=("mixed", "alu", "memory", "branchy"),
+                        help="opcode-mix profile (default mixed)")
+    p_fuzz.add_argument("--max-insns", type=int, default=32,
+                        help="max instructions per program (default 32)")
+    p_fuzz.add_argument("--inputs", type=int, default=8,
+                        help="concrete inputs per program (default 8)")
+    p_fuzz.add_argument("--ctx-size", type=int, default=64)
+    p_fuzz.add_argument("--corpus", metavar="PATH",
+                        help="write failures/seeds to a JSON corpus file")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip counterexample minimization")
 
     return parser
 
@@ -184,7 +219,7 @@ def _cmd_check_op(args) -> int:
     from repro.verify.random_check import random_check_operator
 
     report = random_check_operator(
-        args.op, trials=args.trials, width=args.width
+        args.op, trials=args.trials, width=args.width, seed=args.seed
     )
     print(report)
     return 0 if report.passed else 1
@@ -199,7 +234,9 @@ def _cmd_eval(args) -> int:
             time_algorithms,
         )
 
-        results = time_algorithms(generate_pairs(args.pairs), trials=3)
+        results = time_algorithms(
+            generate_pairs(args.pairs, seed=args.seed), trials=3
+        )
         print(render_fig5(results))
         for name, frac in speedup_summary(results).items():
             print(f"our_mul vs {name}: {100 * frac:.1f}% faster")
@@ -221,6 +258,38 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import CampaignConfig, Corpus, run_campaign
+
+    config = CampaignConfig(
+        budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+        profile=args.profile,
+        max_insns=args.max_insns,
+        ctx_size=args.ctx_size,
+        inputs_per_program=args.inputs,
+        shrink=not args.no_shrink,
+    )
+    corpus = Corpus()
+    result = run_campaign(config, corpus)
+    print(f"campaign: seed={args.seed} profile={args.profile} "
+          f"workers={args.workers}")
+    print(result.stats.summary())
+    for entry in corpus.violations():
+        print(f"\nVIOLATION (generator seed {entry.seed}):")
+        print(f"  {entry.violation['kind']}: {entry.violation['message']}")
+        witness = entry.shrunk_program() or entry.program()
+        label = "shrunk witness" if entry.shrunk_hex else "program"
+        print(f"  {label} ({len(witness)} insns):")
+        for line in witness.disassemble().splitlines():
+            print(f"    {line}")
+    if args.corpus:
+        corpus.save(args.corpus)
+        print(f"\ncorpus: {len(corpus)} entries -> {args.corpus}")
+    return 0 if result.ok else 1
+
+
 _DISPATCH = {
     "verify": _cmd_verify,
     "run": _cmd_run,
@@ -229,6 +298,7 @@ _DISPATCH = {
     "disasm": _cmd_disasm,
     "check-op": _cmd_check_op,
     "eval": _cmd_eval,
+    "fuzz": _cmd_fuzz,
 }
 
 

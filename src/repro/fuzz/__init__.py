@@ -1,0 +1,80 @@
+"""``repro.fuzz`` — differential fuzzing of whole BPF programs.
+
+The rest of the repository validates *individual* tnum transfer
+functions (SAT at small widths, exhaustive enumeration, randomized
+spot-checks).  This package closes the loop at the *system* level: it
+generates whole BPF programs, runs each one concretely on the
+interpreter (the declared ground truth) across many random inputs, and
+checks that every concrete register value is contained in the verifier's
+abstract state at the same program point — end-to-end soundness of the
+abstract interpretation, including the plumbing the per-operator checks
+can't see (branch refinement, state joins, pointer offset tracking,
+stack slot typing, 32-bit truncation).
+
+Pipeline
+--------
+:mod:`~repro.fuzz.generator`
+    Seeded, typed random program generator with tunable opcode-mix
+    profiles (``mixed``, ``alu``, ``memory``, ``branchy``).  Programs
+    are acyclic, structurally valid, and mostly verifier-acceptable.
+:mod:`~repro.fuzz.oracle`
+    The differential oracle: concrete-vs-abstract containment at every
+    executed instruction plus accept/crash cross-checking.
+:mod:`~repro.fuzz.shrink`
+    Delta-debugging minimizer producing a small failing witness from any
+    counterexample (jump offsets are retargeted across deletions).
+:mod:`~repro.fuzz.corpus`
+    JSON persistence for failures (original + shrunk bytecode) and
+    interesting seeds; entries replay exactly via the wire format.
+:mod:`~repro.fuzz.driver`
+    Budgeted multiprocessing campaign driver with per-program RNG
+    streams (deterministic for a given seed regardless of worker count)
+    and throughput reporting.
+
+Quick start
+-----------
+>>> from repro.fuzz import CampaignConfig, run_campaign
+>>> result = run_campaign(CampaignConfig(budget=100, seed=42))
+>>> result.ok
+True
+
+Or from the command line::
+
+    repro fuzz --budget 1000 --seed 42 --workers 4
+
+Follow-on direction: campaign-scale fuzzing with precision tracking —
+persist per-operator imprecision observations (rejected-but-clean rates,
+abstract-width histograms at each pc) across long campaigns to locate
+transfer functions whose precision, not soundness, limits the verifier.
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .driver import CampaignConfig, CampaignResult, CampaignStats, run_campaign
+from .generator import (
+    PROFILES,
+    GeneratedProgram,
+    OpcodeProfile,
+    ProgramGenerator,
+    generate_program,
+)
+from .oracle import DifferentialOracle, OracleReport, Violation
+from .shrink import ShrinkStats, shrink_program
+
+__all__ = [
+    "PROFILES",
+    "OpcodeProfile",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "generate_program",
+    "DifferentialOracle",
+    "OracleReport",
+    "Violation",
+    "shrink_program",
+    "ShrinkStats",
+    "Corpus",
+    "CorpusEntry",
+    "CampaignConfig",
+    "CampaignStats",
+    "CampaignResult",
+    "run_campaign",
+]

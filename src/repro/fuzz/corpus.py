@@ -1,0 +1,117 @@
+"""JSON corpus persistence for fuzzing campaigns.
+
+A corpus stores *replayable* artifacts: failing programs (with their
+shrunk witnesses and violation details) and interesting seeds worth
+re-fuzzing (e.g. programs that were accepted and exercised unusual
+instruction mixes).  Programs are stored as kernel-wire-format bytecode
+hex, so entries round-trip exactly through :meth:`Program.from_bytes`
+and can be replayed by any later build — or fed to external BPF tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bpf.program import Program
+
+__all__ = ["CorpusEntry", "Corpus"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted program plus the recipe that produced it."""
+
+    kind: str                       # "violation" | "interesting"
+    seed: int                       # generator seed
+    profile: str
+    bytecode_hex: str
+    shrunk_hex: Optional[str] = None
+    violation: Optional[Dict] = None   # Violation fields, JSON-friendly
+    note: str = ""
+
+    def program(self) -> Program:
+        return Program.from_bytes(bytes.fromhex(self.bytecode_hex))
+
+    def shrunk_program(self) -> Optional[Program]:
+        if self.shrunk_hex is None:
+            return None
+        return Program.from_bytes(bytes.fromhex(self.shrunk_hex))
+
+
+@dataclass
+class Corpus:
+    """An append-only set of corpus entries with JSON round-tripping."""
+
+    entries: List[CorpusEntry] = field(default_factory=list)
+
+    def add_violation(
+        self,
+        program: Program,
+        seed: int,
+        profile: str,
+        violation: Dict,
+        shrunk: Optional[Program] = None,
+        note: str = "",
+    ) -> CorpusEntry:
+        entry = CorpusEntry(
+            kind="violation",
+            seed=seed,
+            profile=profile,
+            bytecode_hex=program.to_bytes().hex(),
+            shrunk_hex=shrunk.to_bytes().hex() if shrunk else None,
+            violation=violation,
+            note=note,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def add_interesting(
+        self, program: Program, seed: int, profile: str, note: str = ""
+    ) -> CorpusEntry:
+        entry = CorpusEntry(
+            kind="interesting",
+            seed=seed,
+            profile=profile,
+            bytecode_hex=program.to_bytes().hex(),
+            note=note,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def violations(self) -> List[CorpusEntry]:
+        return [e for e in self.entries if e.kind == "violation"]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence --------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format_version": _FORMAT_VERSION,
+                "entries": [asdict(e) for e in self.entries],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Corpus":
+        payload = json.loads(text)
+        version = payload.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported corpus format {version!r}")
+        return cls([CorpusEntry(**e) for e in payload["entries"]])
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Corpus":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,225 @@
+"""Fuzz campaign driver: budgeted, parallel, deterministic.
+
+A campaign fuzzes ``budget`` programs.  Program ``i`` is produced from an
+RNG stream derived from ``(campaign_seed, i)`` — *not* from worker-local
+state — so results are bit-identical regardless of worker count or
+scheduling.  Workers (``multiprocessing.Pool``) each handle a slice of
+indices; with ``workers=1`` everything runs inline, which keeps
+monkeypatched oracles (used by tests to inject transfer-function bugs)
+effective and makes single-process debugging trivial.
+
+Violations are shrunk in the parent with the delta-debugging minimizer,
+using the same input seeds that exposed them, and recorded into the
+corpus alongside the original program.  The driver reports throughput
+(programs/sec) — the fuzzing analogue of the paper's "fast" requirement:
+a slow oracle caps how much of the program space a campaign can cover.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bpf.program import Program
+
+from .corpus import Corpus
+from .generator import PROFILES, generate_program
+from .oracle import DifferentialOracle
+from .shrink import shrink_program
+
+__all__ = ["CampaignConfig", "CampaignStats", "CampaignResult", "run_campaign"]
+
+U64 = (1 << 64) - 1
+
+#: Odd multiplier decorrelating per-program RNG streams from the
+#: campaign seed (splitmix64's increment).
+_STREAM_MIX = 0x9E37_79B9_7F4A_7C15
+
+
+def _program_seed(campaign_seed: int, index: int) -> int:
+    return (campaign_seed * _STREAM_MIX + index * 2_654_435_761 + 1) & U64
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's outcome."""
+
+    budget: int = 1000
+    seed: int = 0
+    workers: int = 1
+    profile: str = "mixed"
+    max_insns: int = 32
+    ctx_size: int = 64
+    inputs_per_program: int = 8
+    shrink: bool = True
+    keep_interesting: int = 0   # save every Nth accepted program (0 = none)
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise KeyError(
+                f"unknown profile {self.profile!r}; "
+                f"choose from {sorted(PROFILES)}"
+            )
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate campaign counters."""
+
+    budget: int = 0
+    executed: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    rejected_clean: int = 0      # rejected but ran fine (imprecision signal)
+    violations: int = 0
+    containment_checks: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def programs_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.executed / self.elapsed_seconds
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.executed if self.executed else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"programs  : {self.executed}/{self.budget}",
+            f"accepted  : {self.accepted} "
+            f"({100 * self.acceptance_rate:.1f}%)",
+            f"rejected  : {self.rejected} "
+            f"(clean replay: {self.rejected_clean})",
+            f"checks    : {self.containment_checks} register containments",
+            f"violations: {self.violations}",
+            f"throughput: {self.programs_per_second:.1f} programs/sec "
+            f"({self.elapsed_seconds:.2f}s)",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignResult:
+    """Stats plus every violation found (with shrunk witnesses)."""
+
+    stats: CampaignStats
+    corpus: Corpus = field(default_factory=Corpus)
+
+    @property
+    def ok(self) -> bool:
+        return self.stats.violations == 0
+
+
+def _fuzz_index(args: Tuple[int, CampaignConfig]) -> Dict:
+    """Fuzz one program index; returns a JSON-friendly summary.
+
+    Top-level so it pickles for ``multiprocessing.Pool``.
+    """
+    index, config = args
+    seed = _program_seed(config.seed, index)
+    generated = generate_program(
+        seed, config.profile, config.max_insns, config.ctx_size
+    )
+    oracle = DifferentialOracle(
+        ctx_size=config.ctx_size,
+        inputs_per_program=config.inputs_per_program,
+    )
+    report = oracle.check_program(generated.program, input_seed_base=seed)
+    out: Dict = {
+        "index": index,
+        "seed": seed,
+        "verdict": report.verdict,
+        "checks": report.checks,
+        "rejected_but_clean": report.rejected_but_clean,
+        "violations": [asdict_violation(v) for v in report.violations],
+    }
+    if report.violations or (
+        config.keep_interesting
+        and report.verdict == "accepted"
+        and index % config.keep_interesting == 0
+    ):
+        out["bytecode_hex"] = generated.program.to_bytes().hex()
+    return out
+
+
+def asdict_violation(v) -> Dict:
+    return asdict(v)
+
+
+def _shrink_violation(
+    config: CampaignConfig, bytecode_hex: str, input_seed_base: int
+) -> Optional[Program]:
+    """Minimize a failing program against the oracle that caught it."""
+    program = Program.from_bytes(bytes.fromhex(bytecode_hex))
+    oracle = DifferentialOracle(
+        ctx_size=config.ctx_size,
+        inputs_per_program=config.inputs_per_program,
+    )
+
+    def still_failing(candidate: Program) -> bool:
+        return not oracle.check_program(
+            candidate, input_seed_base=input_seed_base
+        ).ok
+
+    if not still_failing(program):  # non-reproducible; keep the original
+        return None
+    shrunk, _ = shrink_program(program, still_failing)
+    return shrunk
+
+
+def run_campaign(
+    config: CampaignConfig, corpus: Optional[Corpus] = None
+) -> CampaignResult:
+    """Run one campaign to completion and return aggregated results."""
+    corpus = corpus if corpus is not None else Corpus()
+    stats = CampaignStats(budget=config.budget)
+    started = time.perf_counter()
+
+    work = [(i, config) for i in range(config.budget)]
+    if config.workers > 1:
+        chunk = max(1, config.budget // (config.workers * 8))
+        with multiprocessing.Pool(config.workers) as pool:
+            results = pool.map(_fuzz_index, work, chunksize=chunk)
+    else:
+        results = [_fuzz_index(item) for item in work]
+
+    # Aggregate in index order so reports are stable across worker counts.
+    results.sort(key=lambda r: r["index"])
+    for res in results:
+        stats.executed += 1
+        stats.containment_checks += res["checks"]
+        if res["verdict"] == "accepted":
+            stats.accepted += 1
+        else:
+            stats.rejected += 1
+            if res["rejected_but_clean"]:
+                stats.rejected_clean += 1
+        if res["violations"]:
+            stats.violations += len(res["violations"])
+            shrunk = (
+                _shrink_violation(config, res["bytecode_hex"], res["seed"])
+                if config.shrink
+                else None
+            )
+            corpus.add_violation(
+                Program.from_bytes(bytes.fromhex(res["bytecode_hex"])),
+                seed=res["seed"],
+                profile=config.profile,
+                violation=res["violations"][0],
+                shrunk=shrunk,
+                note=f"index {res['index']}",
+            )
+        elif "bytecode_hex" in res:
+            corpus.add_interesting(
+                Program.from_bytes(bytes.fromhex(res["bytecode_hex"])),
+                seed=res["seed"],
+                profile=config.profile,
+                note=f"index {res['index']}",
+            )
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return CampaignResult(stats, corpus)

@@ -1,0 +1,211 @@
+"""Differential oracle: concrete execution vs. abstract verification.
+
+The interpreter is the ground truth.  For every program the verifier
+*accepts*, the oracle replays it concretely on many random inputs and
+checks two soundness properties at every executed instruction:
+
+* **containment** — each concrete register value is a member of the
+  verifier's abstract value at the same program point (scalar values via
+  ``γ(tnum × interval)``; pointers via their region and abstract offset);
+* **no accepted crashes** — a concrete run of an accepted program never
+  faults (no out-of-bounds access, no bad opcode, no divergence).
+
+Rejection is conservative and therefore never *unsound*; the oracle
+still executes rejected programs once and records whether the run was
+clean, which measures the verifier's false-positive (imprecision) rate
+without flagging it as a bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bpf import isa
+from repro.bpf.interpreter import CTX_BASE, STACK_BASE, ExecutionError, Machine
+from repro.bpf.program import Program, ProgramError
+from repro.bpf.verifier import Verifier
+from repro.bpf.verifier.state import AbstractState, RegKind
+
+__all__ = ["Violation", "OracleReport", "DifferentialOracle"]
+
+U64 = (1 << 64) - 1
+
+#: Concrete base address of each abstract pointer region.  Stack offsets
+#: are relative to the frame *top* (r10's address), matching
+#: ``RegState.stack_ptr``.
+_REGION_BASE = {
+    "stack": STACK_BASE + isa.STACK_SIZE,
+    "ctx": CTX_BASE,
+}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed soundness failure."""
+
+    kind: str               # "containment" | "pointer" | "accepted_crash"
+    #: "unverified_pc" when execution reaches a pc the verifier pruned
+    pc: Optional[int]       # instruction index, if known
+    register: Optional[int]
+    concrete: Optional[int]
+    input_seed: int
+    message: str
+
+    def __str__(self) -> str:
+        where = f"pc {self.pc}" if self.pc is not None else "?"
+        return f"[{self.kind}] {where}: {self.message}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of differentially testing one program."""
+
+    verdict: str                      # "accepted" | "rejected"
+    runs: int = 0
+    checks: int = 0                   # register containment checks done
+    violations: List[Violation] = field(default_factory=list)
+    #: for rejected programs: True when a concrete replay ran cleanly,
+    #: i.e. the rejection was (at least on that input) imprecision.
+    rejected_but_clean: Optional[bool] = None
+    reject_reason: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        tag = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return f"{self.verdict} runs={self.runs} checks={self.checks}: {tag}"
+
+
+class DifferentialOracle:
+    """Runs whole programs through verifier and interpreter and compares.
+
+    ``inputs_per_program`` concrete replays are made per accepted
+    program, each with context bytes drawn from a per-input RNG stream
+    derived from ``(input_seed_base, i)`` — deterministic and
+    independent of execution order.
+    """
+
+    def __init__(
+        self,
+        ctx_size: int = 64,
+        inputs_per_program: int = 8,
+        max_violations: int = 4,
+    ) -> None:
+        self.ctx_size = ctx_size
+        self.inputs_per_program = inputs_per_program
+        self.max_violations = max_violations
+
+    # -- public API ---------------------------------------------------------
+
+    def check_program(
+        self, program: Program, input_seed_base: int = 0
+    ) -> OracleReport:
+        verifier = Verifier(ctx_size=self.ctx_size, collect_states=True)
+        result = verifier.verify(program)
+
+        if not result.ok:
+            report = OracleReport(
+                verdict="rejected",
+                reject_reason="; ".join(result.error_messages()) or None,
+            )
+            report.rejected_but_clean = self._replay_clean(
+                program, input_seed_base
+            )
+            report.runs = 1
+            return report
+
+        report = OracleReport(verdict="accepted")
+        for i in range(self.inputs_per_program):
+            seed = (input_seed_base * 1_000_003 + i) & U64
+            self._run_one(program, verifier.states_at, seed, report)
+            report.runs += 1
+            if len(report.violations) >= self.max_violations:
+                break
+        return report
+
+    # -- concrete replay ------------------------------------------------------
+
+    def _make_ctx(self, seed: int) -> bytes:
+        return random.Random(seed).randbytes(self.ctx_size)
+
+    def _replay_clean(self, program: Program, seed: int) -> bool:
+        machine = Machine(ctx=self._make_ctx(seed))
+        try:
+            machine.run(program)
+            return True
+        except (ExecutionError, ProgramError):
+            # ProgramError here means control fell off the end or landed
+            # mid-lddw — a crash for cross-checking purposes.
+            return False
+
+    def _run_one(
+        self,
+        program: Program,
+        states_at: Dict[int, AbstractState],
+        seed: int,
+        report: OracleReport,
+    ) -> None:
+        machine = Machine(ctx=self._make_ctx(seed))
+
+        def on_step(idx: int, regs: List[int]) -> None:
+            state = states_at.get(idx)
+            if state is None:
+                report.violations.append(Violation(
+                    "unverified_pc", idx, None, None, seed,
+                    "execution reached an instruction the verifier "
+                    "considered unreachable",
+                ))
+                return
+            self._check_state(idx, regs, state, seed, report)
+
+        try:
+            machine.run(program, on_step=on_step)
+        except ExecutionError as exc:
+            report.violations.append(Violation(
+                "accepted_crash", exc.pc, None, None, seed,
+                f"accepted program crashed concretely: {exc}",
+            ))
+        except ProgramError as exc:
+            report.violations.append(Violation(
+                "accepted_crash", None, None, None, seed,
+                f"accepted program fell off the instruction stream: {exc}",
+            ))
+
+    # -- containment ----------------------------------------------------------
+
+    def _check_state(
+        self,
+        idx: int,
+        regs: List[int],
+        state: AbstractState,
+        seed: int,
+        report: OracleReport,
+    ) -> None:
+        for r in range(isa.MAX_REG):
+            abstract = state.regs[r]
+            if abstract.kind == RegKind.NOT_INIT:
+                continue  # no claim made; nothing to contradict
+            concrete = regs[r] & U64
+            report.checks += 1
+            if abstract.kind == RegKind.SCALAR:
+                if not abstract.scalar.contains(concrete):
+                    report.violations.append(Violation(
+                        "containment", idx, r, concrete, seed,
+                        f"r{r} = {concrete:#x} escapes abstract "
+                        f"{abstract.scalar}",
+                    ))
+            else:  # pointer: base + offset must account for the address
+                base = _REGION_BASE[abstract.region.value]
+                offset = (concrete - base) & U64
+                if not abstract.offset.contains(offset):
+                    report.violations.append(Violation(
+                        "pointer", idx, r, concrete, seed,
+                        f"r{r} = {concrete:#x} has {abstract.region.value} "
+                        f"offset {offset:#x} outside {abstract.offset}",
+                    ))
+            if len(report.violations) >= self.max_violations:
+                return

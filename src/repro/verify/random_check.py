@@ -49,13 +49,18 @@ def random_member(rng: random.Random, t: Tnum) -> int:
 
 @dataclass
 class RandomCheckReport:
-    """Outcome of a randomized soundness run for one operator."""
+    """Outcome of a randomized soundness run for one operator.
+
+    ``seed`` is recorded so any failure message doubles as a
+    reproduction recipe (re-run with the same seed and trial count).
+    """
 
     operator: str
     width: int
     trials: int
     failures: int = 0
     counterexample: Optional[Tuple] = None
+    seed: int = 0
 
     @property
     def passed(self) -> bool:
@@ -63,7 +68,8 @@ class RandomCheckReport:
 
     def __str__(self) -> str:
         verdict = "passed" if self.passed else f"FAILED ({self.failures})"
-        return f"{self.operator}@{self.width}bit random x{self.trials}: {verdict}"
+        return (f"{self.operator}@{self.width}bit random x{self.trials} "
+                f"(seed {self.seed}): {verdict}")
 
 
 def random_check_operator(
@@ -76,7 +82,7 @@ def random_check_operator(
     """Randomized soundness check for one operator at full width."""
     rng = random.Random(seed)
     limit = mask_for_width(width)
-    report = RandomCheckReport(operator, width, trials)
+    report = RandomCheckReport(operator, width, trials, seed=seed)
 
     if operator in BINARY_OPS:
         spec = BINARY_OPS[operator]

@@ -1,0 +1,97 @@
+"""Interpreter edge semantics the differential oracle depends on.
+
+The fuzz oracle treats the interpreter as ground truth, so BPF's defined
+corner cases must hold exactly: division by zero yields 0, modulo by
+zero yields the dividend, 32-bit subregister ops zero-extend into the
+full register, and out-of-bounds stack accesses fault.
+"""
+
+import pytest
+
+from repro.bpf import ExecutionError, Machine, assemble
+from repro.bpf.builder import ProgramBuilder
+
+U32 = (1 << 32) - 1
+U64 = (1 << 64) - 1
+
+
+def run(text: str) -> int:
+    return Machine().run(assemble(text)).return_value
+
+
+class TestDivisionByZero:
+    def test_div64_by_zero_register_is_zero(self):
+        assert run("mov r0, 5\nmov r1, 0\ndiv r0, r1\nexit") == 0
+
+    def test_div32_by_zero_register_is_zero(self):
+        assert run("mov r0, 77\nmov r1, 0\ndiv32 r0, r1\nexit") == 0
+
+    def test_mod64_by_zero_keeps_dividend(self):
+        assert run("mov r0, 5\nmov r1, 0\nmod r0, r1\nexit") == 5
+
+    def test_mod32_by_zero_keeps_truncated_dividend(self):
+        # x % 0 == x, but the 32-bit op still zero-extends the subregister.
+        b = ProgramBuilder()
+        b.ld_imm64(0, (7 << 32) | 9)   # high bits must be cleared
+        b.mov_imm(1, 0)
+        b.alu_reg("mod", 0, 1, is64=False)
+        b.exit_()
+        assert Machine().run(b.build()).return_value == 9
+
+    def test_div64_nonzero_still_divides(self):
+        assert run("mov r0, 42\nmov r1, 5\ndiv r0, r1\nexit") == 8
+
+
+class TestSubregisterZeroExtension:
+    def test_alu32_add_zero_extends(self):
+        b = ProgramBuilder()
+        b.ld_imm64(0, U64)             # all ones
+        b.alu_imm("add", 0, 1, is64=False)  # 32-bit add wraps to 0
+        b.exit_()
+        assert Machine().run(b.build()).return_value == 0
+
+    def test_mov32_clears_high_bits(self):
+        b = ProgramBuilder()
+        b.ld_imm64(1, U64)
+        b.mov_reg(0, 1, is64=False)
+        b.exit_()
+        assert Machine().run(b.build()).return_value == U32
+
+    def test_alu32_xor_zero_extends(self):
+        b = ProgramBuilder()
+        b.ld_imm64(0, (0xAB << 32) | 0xF0)
+        b.alu_imm("xor", 0, 0x0F, is64=False)
+        b.exit_()
+        assert Machine().run(b.build()).return_value == 0xFF
+
+    def test_arsh32_sign_bit_is_bit31(self):
+        b = ProgramBuilder()
+        b.ld_imm64(0, 0x8000_0000)     # bit 31 set, bit 63 clear
+        b.alu_imm("arsh", 0, 1, is64=False)
+        b.exit_()
+        # 32-bit arithmetic shift replicates bit 31 then zero-extends.
+        assert Machine().run(b.build()).return_value == 0xC000_0000
+
+
+class TestOutOfBoundsStack:
+    def test_store_above_frame_top_faults(self):
+        with pytest.raises(ExecutionError):
+            run("mov r1, 1\nstxdw [r10+8], r1\nmov r0, 0\nexit")
+
+    def test_store_below_frame_faults(self):
+        with pytest.raises(ExecutionError):
+            run("mov r1, 1\nstxdw [r10-520], r1\nmov r0, 0\nexit")
+
+    def test_load_below_frame_faults(self):
+        with pytest.raises(ExecutionError):
+            run("ldxdw r0, [r10-520]\nexit")
+
+    def test_straddling_frame_top_faults(self):
+        # 8-byte access starting 4 below the top crosses the boundary.
+        with pytest.raises(ExecutionError):
+            run("mov r1, 1\nstxdw [r10-4], r1\nmov r0, 0\nexit")
+
+    def test_boundary_access_is_fine(self):
+        assert run(
+            "mov r1, 9\nstxdw [r10-512], r1\nldxdw r0, [r10-512]\nexit"
+        ) == 9

@@ -1,0 +1,147 @@
+"""Differential-oracle behaviour: clean programs, rejections, injected bugs."""
+
+import pytest
+
+from repro.bpf import assemble
+from repro.core.tnum import Tnum
+from repro.fuzz import DifferentialOracle, generate_program
+
+SAFE = """
+    mov   r0, 0
+    ldxw  r2, [r1+0]
+    and   r2, 63
+    stxdw [r10-8], r2
+    ldxdw r3, [r10-8]
+    add   r0, r3
+    exit
+"""
+
+UNINIT_STACK = """
+    ldxdw r0, [r10-8]
+    exit
+"""
+
+OOB_STORE = """
+    mov   r1, 5
+    stxdw [r10+8], r1
+    mov   r0, 0
+    exit
+"""
+
+
+class TestAcceptedPrograms:
+    def test_safe_program_is_clean(self):
+        oracle = DifferentialOracle(inputs_per_program=6)
+        report = oracle.check_program(assemble(SAFE), input_seed_base=1)
+        assert report.verdict == "accepted"
+        assert report.ok
+        assert report.runs == 6
+        assert report.checks > 0
+
+    def test_generated_programs_are_clean(self):
+        oracle = DifferentialOracle(inputs_per_program=4)
+        for seed in range(40):
+            gp = generate_program(seed)
+            report = oracle.check_program(gp.program, input_seed_base=seed)
+            assert report.ok, (
+                f"seed {seed}: {[str(v) for v in report.violations]}"
+            )
+
+    def test_input_streams_are_deterministic(self):
+        oracle = DifferentialOracle(inputs_per_program=4)
+        prog = assemble(SAFE)
+        a = oracle.check_program(prog, input_seed_base=9)
+        b = oracle.check_program(prog, input_seed_base=9)
+        assert (a.checks, a.runs, a.violations) == (
+            b.checks, b.runs, b.violations
+        )
+
+
+class TestRejectedPrograms:
+    def test_rejection_with_clean_replay_is_not_a_violation(self):
+        # The interpreter zero-fills the stack, so this runs fine; the
+        # verifier's rejection is conservatism, not unsoundness.
+        report = DifferentialOracle().check_program(assemble(UNINIT_STACK))
+        assert report.verdict == "rejected"
+        assert report.ok
+        assert report.rejected_but_clean is True
+        assert "uninitialized" in report.reject_reason
+
+    def test_rejection_confirmed_by_crash(self):
+        report = DifferentialOracle().check_program(assemble(OOB_STORE))
+        assert report.verdict == "rejected"
+        assert report.ok
+        assert report.rejected_but_clean is False
+
+
+class TestInjectedBugs:
+    def test_unsound_add_is_caught(self, monkeypatch):
+        """Clearing the LSB of every abstract sum must trip containment."""
+        import repro.domains.product as product
+
+        real_add = product.tnum_add
+
+        def buggy_add(p: Tnum, q: Tnum) -> Tnum:
+            t = real_add(p, q)
+            if t.is_bottom():
+                return t
+            return Tnum(t.value & ~1, t.mask & ~1, t.width)
+
+        monkeypatch.setattr(product, "tnum_add", buggy_add)
+
+        program = assemble("mov r0, 3\nmov r1, 4\nadd r0, r1\nexit")
+        report = DifferentialOracle(inputs_per_program=1).check_program(
+            program
+        )
+        assert report.verdict == "accepted"
+        assert not report.ok
+        assert report.violations[0].kind == "containment"
+        assert report.violations[0].register == 0
+
+    def test_disabled_bounds_check_is_caught(self, monkeypatch):
+        """An accepted program that crashes concretely is a violation."""
+        import repro.bpf.verifier.absint as absint
+
+        monkeypatch.setattr(
+            absint, "check_mem_access", lambda *a, **k: None
+        )
+        report = DifferentialOracle(inputs_per_program=1).check_program(
+            assemble(OOB_STORE)
+        )
+        assert report.verdict == "accepted"
+        assert not report.ok
+        assert report.violations[0].kind == "accepted_crash"
+
+
+class TestRegression32BitAlu:
+    """The fuzzer's first catch: 32-bit div/mod/shifts must truncate
+    their *operands*, not just the result (truncation does not commute
+    with those operations)."""
+
+    @pytest.mark.parametrize("text,expected", [
+        # -1 (64-bit) seen as 0xFFFFFFFF by the 32-bit divide.
+        ("mov r0, 1\nneg r0\nmov r3, 268914504\ndiv32 r0, r3\nexit", 15),
+        # mod32 likewise works on the subregister.
+        ("mov r0, 0\nxor32 r0, -1\nadd r0, r0\nmod32 r0, 1750065495\nexit",
+         794836304),
+    ])
+    def test_witnesses_stay_sound(self, text, expected):
+        from repro.bpf import Machine
+        program = assemble(text)
+        assert Machine().run(program).return_value == expected
+        report = DifferentialOracle(inputs_per_program=2).check_program(
+            program
+        )
+        assert report.verdict == "accepted"
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_arsh32_containment(self):
+        program = assemble(
+            "mov r0, 1\nlsh r0, 31\narsh32 r0, 4\nexit"
+        )
+        from repro.bpf import Machine
+        assert Machine().run(program).return_value == 0xF800_0000
+        report = DifferentialOracle(inputs_per_program=1).check_program(
+            program
+        )
+        assert report.ok, [str(v) for v in report.violations]

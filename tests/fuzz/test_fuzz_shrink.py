@@ -1,0 +1,115 @@
+"""Shrinker: jump retargeting, minimization quality, end-to-end use."""
+
+from repro.bpf import assemble, isa
+from repro.bpf.builder import ProgramBuilder
+from repro.bpf.program import Program
+from repro.core.tnum import Tnum
+from repro.fuzz import DifferentialOracle, generate_program, shrink_program
+from repro.fuzz.shrink import rebuild_without
+
+
+def contains_op(program: Program, op: int) -> bool:
+    return any(
+        insn.is_alu() and isa.BPF_OP(insn.opcode) == op
+        for insn in program.insns
+    )
+
+
+class TestRebuildWithout:
+    def test_deleting_straightline_instruction(self):
+        program = assemble("mov r0, 1\nmov r1, 2\nadd r0, r1\nexit")
+        candidate = rebuild_without(
+            list(program.insns), [0, 2, 3]
+        )
+        assert candidate is not None
+        assert len(candidate) == 3
+
+    def test_jump_is_retargeted_across_deletion(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 0)
+        b.jmp_imm("jeq", 0, 0, "done")
+        b.alu_imm("add", 0, 1)   # will be deleted
+        b.alu_imm("add", 0, 2)
+        b.label("done")
+        b.exit_()
+        program = b.build()
+        candidate = rebuild_without(list(program.insns), [0, 1, 3, 4])
+        assert candidate is not None
+        # Jump still lands on exit: executing yields r0 == 0.
+        from repro.bpf import Machine
+        assert Machine().run(candidate).return_value == 0
+
+    def test_jump_to_deleted_target_falls_through(self):
+        b = ProgramBuilder()
+        b.mov_imm(0, 0)
+        b.jmp_imm("jeq", 0, 0, "target")
+        b.alu_imm("add", 0, 1)
+        b.label("target")
+        b.alu_imm("add", 0, 2)   # delete the jump target itself
+        b.exit_()
+        program = b.build()
+        candidate = rebuild_without(list(program.insns), [0, 1, 2, 4])
+        assert candidate is not None  # retargeted to the next survivor
+
+    def test_lddw_slot_accounting_survives(self):
+        b = ProgramBuilder()
+        b.ld_imm64(0, 1 << 40)
+        b.jmp_imm("jne", 0, 0, "end")
+        b.mov_imm(0, 7)
+        b.label("end")
+        b.exit_()
+        program = b.build()
+        candidate = rebuild_without(list(program.insns), [1, 2, 3])
+        assert candidate is not None
+
+
+class TestShrinkQuality:
+    def test_structural_predicate_shrinks_to_core(self):
+        # "Still contains a mul" as stand-in for "still fails".
+        gp = generate_program(5, profile="alu", max_insns=40)
+        if not contains_op(gp.program, isa.ALU_MUL):
+            gp = next(
+                g for g in (generate_program(s, profile="alu", max_insns=40)
+                            for s in range(6, 40))
+                if contains_op(g.program, isa.ALU_MUL)
+            )
+        shrunk, stats = shrink_program(
+            gp.program, lambda p: contains_op(p, isa.ALU_MUL)
+        )
+        assert contains_op(shrunk, isa.ALU_MUL)
+        assert len(shrunk) <= 2
+        assert stats.final_insns <= stats.initial_insns
+
+    def test_oracle_predicate_end_to_end(self, monkeypatch):
+        """Acceptance criterion: a deliberate transfer-function bug
+        yields a shrunk counterexample of at most 8 instructions."""
+        import repro.domains.product as product
+
+        real_add = product.tnum_add
+
+        def buggy_add(p: Tnum, q: Tnum) -> Tnum:
+            t = real_add(p, q)
+            if t.is_bottom():
+                return t
+            return Tnum(t.value & ~1, t.mask & ~1, t.width)
+
+        monkeypatch.setattr(product, "tnum_add", buggy_add)
+
+        oracle = DifferentialOracle(inputs_per_program=4)
+
+        failing = None
+        for seed in range(200):
+            gp = generate_program(seed, profile="alu")
+            if not oracle.check_program(gp.program, input_seed_base=seed).ok:
+                failing = (gp.program, seed)
+                break
+        assert failing is not None, "bugged verifier never tripped"
+
+        program, seed = failing
+        predicate = lambda p: not oracle.check_program(
+            p, input_seed_base=seed
+        ).ok
+        shrunk, stats = shrink_program(program, predicate)
+        assert predicate(shrunk)
+        assert len(shrunk) <= 8
+        assert stats.candidates_failing > 0

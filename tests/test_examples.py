@@ -74,3 +74,11 @@ def test_soundness_matters(capsys):
     assert "ACCEPTED" in out          # buggy verifier fooled
     assert "CRASH" in out             # concrete escape
     assert "UNSOUND" in out           # SAT pipeline catches it
+
+
+def test_fuzz_campaign(capsys):
+    run_example("fuzz_campaign.py")
+    out = capsys.readouterr().out
+    assert "violations: 0" in out     # clean campaign
+    assert "shrunk witness" in out    # injected bug caught + minimized
+    assert "bit-exact" in out         # corpus round-trip
