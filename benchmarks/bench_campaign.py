@@ -1,0 +1,112 @@
+"""Precision-campaign throughput benchmarks.
+
+The campaign layer must not tax the fuzzing loop: telemetry (the
+``on_transfer`` hook plus concrete range tracking) rides along with the
+containment checks the plain driver already performs, so campaign
+throughput is required to stay within 10% of baseline fuzz throughput.
+Seed shrinking and mutation are bounded per *round*, not per program,
+and are reported separately — they buy coverage concentration, not raw
+speed.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.fuzz import (
+    CampaignConfig,
+    CampaignSpec,
+    DifferentialOracle,
+    generate_program,
+    mutate_program,
+    run_campaign,
+    run_precision_campaign,
+)
+from repro.fuzz.campaign import TransferCollector
+
+from .conftest import write_artifact
+
+BUDGET = 300
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _telemetry_spec(**overrides) -> CampaignSpec:
+    """Campaign telemetry alone: no mutation, no seed admission."""
+    defaults = dict(
+        budget=BUDGET, rounds=1, seed=42, mutate_fraction=0.0,
+        seeds_per_round=0, seed_shrink_per_round=0,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+def test_telemetry_oracle_single_program(benchmark):
+    gp = generate_program(7)
+    collector = TransferCollector()
+    oracle = DifferentialOracle(
+        inputs_per_program=8, on_transfer=collector.record,
+        collect_ranges=True,
+    )
+    report = benchmark(oracle.check_program, gp.program, 7)
+    assert report.ok
+
+
+def test_mutation_throughput(benchmark):
+    rng = random.Random(0)
+    base = generate_program(1).program
+    donor = generate_program(2).program
+
+    mutant = benchmark(mutate_program, base, donor, rng)
+    assert mutant.insns[-1].is_exit()
+
+
+def test_campaign_end_to_end(benchmark):
+    def campaign():
+        return run_precision_campaign(
+            _telemetry_spec(budget=50, seed=42)
+        )
+
+    result = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert result.ok
+
+
+def test_campaign_throughput_vs_baseline(out_dir):
+    """Acceptance: telemetry keeps >= 90% of baseline fuzz throughput."""
+    baseline_s = _best_seconds(
+        lambda: run_campaign(CampaignConfig(budget=BUDGET, seed=42))
+    )
+    telemetry_s = _best_seconds(
+        lambda: run_precision_campaign(_telemetry_spec())
+    )
+    feedback_s = _best_seconds(
+        lambda: run_precision_campaign(
+            CampaignSpec(budget=BUDGET, rounds=2, seed=42)
+        )
+    )
+    baseline_ps = BUDGET / baseline_s
+    telemetry_ps = BUDGET / telemetry_s
+    feedback_ps = BUDGET / feedback_s
+    ratio = telemetry_ps / baseline_ps
+
+    lines = [
+        f"Campaign throughput vs baseline (budget {BUDGET}, seed 42):",
+        f"  baseline driver    : {baseline_ps:7.1f} programs/sec",
+        f"  campaign telemetry : {telemetry_ps:7.1f} programs/sec "
+        f"({100 * ratio:.1f}% of baseline)",
+        f"  + mutation feedback: {feedback_ps:7.1f} programs/sec "
+        f"(2 rounds, shrinking enabled)",
+    ]
+    write_artifact(out_dir, "campaign_throughput.txt", "\n".join(lines))
+    assert ratio >= 0.9, (
+        f"campaign telemetry dropped throughput to {100 * ratio:.1f}% "
+        "of the plain driver (>10% regression)"
+    )

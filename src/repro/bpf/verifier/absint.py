@@ -22,7 +22,7 @@ Safety checks enforced (each mirrors a kernel check):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bpf import isa
 from repro.bpf.cfg import CFGError, build_cfg
@@ -37,9 +37,36 @@ from .errors import VerificationResult, VerifierError
 from .memory import check_mem_access, load_stack, store_stack
 from .state import AbstractState, RegKind, RegState, Region
 
-__all__ = ["Verifier", "verify_program"]
+__all__ = ["Verifier", "verify_program", "transfer_label"]
 
 U64 = (1 << 64) - 1
+
+
+def transfer_label(insn: Instruction) -> Optional[str]:
+    """Telemetry label for the tnum transfer an instruction applies.
+
+    Scalar ALU instructions map to ``"<op><width>"`` (``mul64``,
+    ``arsh32``, ...); conditional jumps map to ``"refine_<op><width>"``
+    (the branch-refinement transfer).  Instructions that do not exercise
+    a scalar transfer function — plain 64-bit moves, ``lddw``, loads,
+    stores, ``ja``/``call``/``exit`` — return ``None``.  32-bit moves
+    are labelled (``mov32``) because subregister truncation is itself a
+    transfer the campaign wants attributed.
+    """
+    cls = insn.cls()
+    if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+        op = isa.BPF_OP(insn.opcode)
+        width = 64 if cls == isa.CLS_ALU64 else 32
+        if op == isa.ALU_MOV and width == 64:
+            return None
+        name = isa.ALU_OP_NAMES.get(op)
+        return f"{name}{width}" if name else None
+    if insn.is_cond_jump():
+        op = isa.BPF_OP(insn.opcode)
+        width = 64 if cls == isa.CLS_JMP else 32
+        name = isa.JMP_OP_NAMES.get(op)
+        return f"refine_{name}{width}" if name else None
+    return None
 
 #: Comparison mirroring for "constant <op> register" refinement:
 #: ``c <op> r`` holds iff ``r <mirror(op)> c``.
@@ -71,6 +98,11 @@ class Verifier:
     #: entry abstract state per instruction index (populated when
     #: ``collect_states`` is set) — used by differential tests.
     states_at: Dict[int, AbstractState] = field(default_factory=dict)
+    #: per-operator attribution hook: called as ``(idx, label, scalar)``
+    #: with the abstract result of every scalar transfer (ALU results and
+    #: branch refinements, labelled per :func:`transfer_label`).  Used by
+    #: the fuzz campaign's precision telemetry.
+    on_transfer: Optional[Callable[[int, str, ScalarValue], None]] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -78,7 +110,7 @@ class Verifier:
         try:
             cfg = build_cfg(program)
         except CFGError as exc:
-            err = VerifierError(0, f"bad control flow: {exc}")
+            err = VerifierError(0, f"bad control flow: {exc}", structural=True)
             return VerificationResult(False, [err])
 
         order = cfg.reverse_post_order()
@@ -201,6 +233,13 @@ class Verifier:
 
     # -- ALU ------------------------------------------------------------------------
 
+    def _note_transfer(self, idx: int, insn: Instruction, reg: RegState) -> None:
+        if self.on_transfer is None or not reg.is_scalar():
+            return
+        label = transfer_label(insn)
+        if label is not None:
+            self.on_transfer(idx, label, reg.scalar)
+
     def _alu(self, state: AbstractState, insn: Instruction, idx: int, is64: bool) -> None:
         op = isa.BPF_OP(insn.opcode)
 
@@ -213,6 +252,7 @@ class Verifier:
             if not is64:
                 src = self._truncate32(src, idx)
             self._write_reg(state, insn.dst, src, idx)
+            self._note_transfer(idx, insn, src)
             return
 
         if op == isa.ALU_NEG:
@@ -223,6 +263,7 @@ class Verifier:
             if not is64:
                 result = self._truncate32(result, idx)
             self._write_reg(state, insn.dst, result, idx)
+            self._note_transfer(idx, insn, result)
             return
 
         dst = self._read_reg(state, insn.dst, idx)
@@ -253,6 +294,7 @@ class Verifier:
         if not is64:
             reg = self._truncate32(reg, idx)
         self._write_reg(state, insn.dst, reg, idx)
+        self._note_transfer(idx, insn, reg)
 
     def _scalar_alu(
         self,
@@ -340,6 +382,7 @@ class Verifier:
                 idx, f"pointer arithmetic only supports add/sub, got {op:#04x}"
             )
         self._write_reg(state, insn.dst, result, idx)
+        self._note_transfer(idx, insn, result)
 
     @staticmethod
     def _subreg(value: ScalarValue) -> ScalarValue:
@@ -425,6 +468,13 @@ class Verifier:
             if not fits:
                 return fall, taken
 
+        def note(scalar: Optional[ScalarValue]) -> None:
+            if scalar is None or self.on_transfer is None:
+                return
+            label = transfer_label(insn)
+            if label is not None:
+                self.on_transfer(idx, label, scalar)
+
         op = isa.BPF_OP(insn.opcode)
         if dst.is_scalar() and src_val is not None:
             taken_scalar, fall_scalar = self._refine(dst.scalar, op, src_val)
@@ -432,6 +482,8 @@ class Verifier:
                 taken.regs[insn.dst] = RegState.from_scalar(taken_scalar)
             if fall_scalar is not None:
                 fall.regs[insn.dst] = RegState.from_scalar(fall_scalar)
+            note(taken_scalar)
+            note(fall_scalar)
         elif (
             src is not None
             and src.is_scalar()
@@ -450,6 +502,8 @@ class Verifier:
                     taken.regs[insn.src] = RegState.from_scalar(taken_scalar)
                 if fall_scalar is not None:
                     fall.regs[insn.src] = RegState.from_scalar(fall_scalar)
+                note(taken_scalar)
+                note(fall_scalar)
         return fall, taken
 
     @staticmethod

@@ -15,12 +15,20 @@ __all__ = ["VerifierError", "VerificationResult"]
 
 
 class VerifierError(Exception):
-    """A safety violation that makes the program unloadable."""
+    """A safety violation that makes the program unloadable.
 
-    def __init__(self, insn_index: int, reason: str) -> None:
+    ``structural`` marks whole-program rejections (bad CFG: loops,
+    unreachable code, fall-through) whose ``insn_index`` is synthetic
+    and must not be attributed to a specific instruction.
+    """
+
+    def __init__(
+        self, insn_index: int, reason: str, structural: bool = False
+    ) -> None:
         super().__init__(f"insn {insn_index}: {reason}")
         self.insn_index = insn_index
         self.reason = reason
+        self.structural = structural
 
 
 @dataclass

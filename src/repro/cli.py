@@ -18,9 +18,14 @@ Subcommands
 ``fuzz``
     Differential fuzzing campaign: random whole programs, verifier vs.
     concrete interpreter, with shrinking and corpus persistence.
+``campaign``
+    Precision campaign: multi-round fuzzing with per-operator
+    imprecision telemetry, mutation feedback, resumable state, and
+    JSON/markdown report output.
 
-Subcommands that use randomness (``fuzz``, ``check-op --method random``,
-``eval fig5``) accept ``--seed`` so every run is reproducible.
+Subcommands that use randomness (``fuzz``, ``campaign``,
+``check-op --method random``, ``eval fig5``) accept ``--seed`` so every
+run is reproducible.
 """
 
 from __future__ import annotations
@@ -109,6 +114,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--corpus", metavar="PATH",
                         help="write failures/seeds to a JSON corpus file")
     p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="skip counterexample minimization")
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="precision campaign with per-operator imprecision telemetry",
+    )
+    p_camp.add_argument("--budget", type=int, default=400,
+                        help="programs across all rounds (default 400)")
+    p_camp.add_argument("--rounds", type=int, default=2,
+                        help="campaign rounds; mutation feedback kicks in "
+                             "after round 1 (default 2)")
+    p_camp.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; reports are byte-identical "
+                             "for a given seed (default 0)")
+    p_camp.add_argument("--workers", type=int, default=1,
+                        help="worker processes (default 1; results do "
+                             "not depend on worker count)")
+    p_camp.add_argument("--profile", default="mixed",
+                        choices=("mixed", "alu", "memory", "branchy"),
+                        help="opcode-mix profile (default mixed)")
+    p_camp.add_argument("--max-insns", type=int, default=32,
+                        help="max instructions per program (default 32)")
+    p_camp.add_argument("--inputs", type=int, default=8,
+                        help="concrete inputs per program (default 8)")
+    p_camp.add_argument("--ctx-size", type=int, default=64)
+    p_camp.add_argument("--mutate-fraction", type=float, default=0.5,
+                        help="fraction of post-round-1 programs mutated "
+                             "from pool seeds (default 0.5)")
+    p_camp.add_argument("--state", metavar="DIR",
+                        help="checkpoint directory; rerunning with the "
+                             "same spec resumes the campaign")
+    p_camp.add_argument("--report", metavar="PATH",
+                        help="write the PrecisionReport as JSON")
+    p_camp.add_argument("--markdown", metavar="PATH",
+                        help="write the PrecisionReport as markdown")
+    p_camp.add_argument("--corpus", metavar="PATH",
+                        help="write violations and mutation seeds to a "
+                             "JSON corpus file")
+    p_camp.add_argument("--top", type=int, default=10,
+                        help="operators shown in the ranking (default 10)")
+    p_camp.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
 
     return parser
@@ -258,6 +304,21 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _print_violations(corpus) -> None:
+    for entry in corpus.violations():
+        # For mutants the generator seed alone cannot reproduce the
+        # program — the note carries the origin; bytecode_hex is the
+        # authoritative witness either way.
+        origin = f", {entry.note}" if entry.note else ""
+        print(f"\nVIOLATION (generator seed {entry.seed}{origin}):")
+        print(f"  {entry.violation['kind']}: {entry.violation['message']}")
+        witness = entry.shrunk_program() or entry.program()
+        label = "shrunk witness" if entry.shrunk_hex else "program"
+        print(f"  {label} ({len(witness)} insns):")
+        for line in witness.disassemble().splitlines():
+            print(f"    {line}")
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import CampaignConfig, Corpus, run_campaign
 
@@ -276,17 +337,61 @@ def _cmd_fuzz(args) -> int:
     print(f"campaign: seed={args.seed} profile={args.profile} "
           f"workers={args.workers}")
     print(result.stats.summary())
-    for entry in corpus.violations():
-        print(f"\nVIOLATION (generator seed {entry.seed}):")
-        print(f"  {entry.violation['kind']}: {entry.violation['message']}")
-        witness = entry.shrunk_program() or entry.program()
-        label = "shrunk witness" if entry.shrunk_hex else "program"
-        print(f"  {label} ({len(witness)} insns):")
-        for line in witness.disassemble().splitlines():
-            print(f"    {line}")
+    _print_violations(corpus)
     if args.corpus:
         corpus.save(args.corpus)
         print(f"\ncorpus: {len(corpus)} entries -> {args.corpus}")
+    return 0 if result.ok else 1
+
+
+def _cmd_campaign(args) -> int:
+    from pathlib import Path
+
+    from repro.eval import render_precision_markdown, render_precision_report
+    from repro.fuzz import (
+        CampaignSpec,
+        CampaignStateError,
+        run_precision_campaign,
+    )
+
+    try:
+        spec = CampaignSpec(
+            budget=args.budget,
+            rounds=args.rounds,
+            seed=args.seed,
+            workers=args.workers,
+            profile=args.profile,
+            max_insns=args.max_insns,
+            ctx_size=args.ctx_size,
+            inputs_per_program=args.inputs,
+            mutate_fraction=args.mutate_fraction,
+            shrink=not args.no_shrink,
+        )
+    except ValueError as exc:   # bad option values
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = run_precision_campaign(spec, state_dir=args.state)
+    except CampaignStateError as exc:   # unusable --state directory
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign: seed={args.seed} profile={args.profile} "
+          f"rounds={args.rounds} workers={args.workers}")
+    print(result.stats.summary())
+    print()
+    print(render_precision_report(result.report, top=args.top))
+    _print_violations(result.corpus)
+    if args.report:
+        Path(args.report).write_text(result.report.to_json() + "\n")
+        print(f"\nreport: JSON -> {args.report}")
+    if args.markdown:
+        Path(args.markdown).write_text(
+            render_precision_markdown(result.report, top=args.top) + "\n"
+        )
+        print(f"report: markdown -> {args.markdown}")
+    if args.corpus:
+        result.corpus.save(args.corpus)
+        print(f"corpus: {len(result.corpus)} entries -> {args.corpus}")
     return 0 if result.ok else 1
 
 
@@ -299,6 +404,7 @@ _DISPATCH = {
     "check-op": _cmd_check_op,
     "eval": _cmd_eval,
     "fuzz": _cmd_fuzz,
+    "campaign": _cmd_campaign,
 }
 
 

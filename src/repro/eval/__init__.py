@@ -10,9 +10,13 @@ from .performance import (
 )
 from .precision import (
     MUL_ALGORITHMS,
+    REJECT_COST_BITS,
+    OperatorStats,
     PrecisionComparison,
+    PrecisionReport,
     TrendRow,
     compare_precision,
+    gamma_bits,
     precision_cdf,
     precision_trend,
 )
@@ -21,6 +25,8 @@ from .report import (
     render_comparison,
     render_fig4,
     render_fig5,
+    render_precision_markdown,
+    render_precision_report,
     render_table1,
 )
 from .stats import cdf_points, log2_ratio, percentile, summarize
@@ -37,11 +43,17 @@ __all__ = [
     "speedup_summary",
     "TimingResult",
     "PERF_ALGORITHMS",
+    "OperatorStats",
+    "PrecisionReport",
+    "REJECT_COST_BITS",
+    "gamma_bits",
     "render_table1",
     "render_fig4",
     "render_fig5",
     "render_cdf_ascii",
     "render_comparison",
+    "render_precision_report",
+    "render_precision_markdown",
     "cdf_points",
     "percentile",
     "summarize",

@@ -1,4 +1,4 @@
-"""Precision evaluation: Figure 4 and Table I of the paper.
+"""Precision evaluation: Figure 4 / Table I, plus campaign telemetry.
 
 Figure 4 compares, over every pair of width-n tnums where the outputs of
 two multiplication algorithms differ, the ratio of concretized-set sizes
@@ -12,10 +12,28 @@ widths here are smaller (the trends in the paper's own Table I are stable
 across widths — see DESIGN.md's substitution notes).  All entry points
 take a ``width`` argument, so the paper's exact configuration can be
 requested when time permits.
+
+:class:`PrecisionReport` extends the same question — *which transfer
+function loses precision?* — from enumerated operator pairs to whole
+fuzzed programs.  A campaign (:mod:`repro.fuzz.campaign`) attributes
+three observations to each operator label:
+
+* **rejected-but-clean rate** — rejections at an instruction applying
+  the operator whose concrete replay ran fine (false positives);
+* **γ-size histogram** — bits of abstract width (γ cardinality, log2)
+  of every abstract result the operator produced;
+* **tightness delta** — bits of slack between the operator's abstract
+  interval and the concrete range actually observed across replays.
+
+Operators are ranked by *imprecision mass*: total tightness-delta bits
+plus :data:`REJECT_COST_BITS` bits per rejected-but-clean event.  All
+counters are integers and shards merge in index order, so merged report
+JSON is byte-identical regardless of worker count.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -33,6 +51,10 @@ __all__ = [
     "precision_cdf",
     "precision_trend",
     "MUL_ALGORITHMS",
+    "OperatorStats",
+    "PrecisionReport",
+    "REJECT_COST_BITS",
+    "gamma_bits",
 ]
 
 MulFn = Callable[[Tnum, Tnum], Tnum]
@@ -169,3 +191,188 @@ def precision_trend(widths: Iterable[int]) -> List[TrendRow]:
             )
         )
     return rows
+
+
+# -- campaign-scale precision telemetry ----------------------------------------
+
+_REPORT_FORMAT_VERSION = 1
+
+#: Imprecision-mass cost of one rejected-but-clean event, in bits.  A
+#: false-positive rejection discards the whole program, which we price
+#: like an operator claiming a byte of pure slack — large enough that
+#: operators causing spurious rejections outrank ones that merely widen.
+REJECT_COST_BITS = 8
+
+
+def gamma_bits(scalar) -> int:
+    """log2-ish abstract width of a :class:`ScalarValue` in bits.
+
+    The γ-set of a tnum × interval product is bounded both by ``2^k`` for
+    ``k`` unknown tnum bits and by the interval's span, so the tighter of
+    the two log2 bounds is used.  0 means a singleton (constant).
+    """
+    if scalar.is_bottom():
+        return 0
+    unknown = bin(scalar.tnum.mask).count("1")
+    span = (scalar.umax() - scalar.umin()).bit_length()
+    return min(unknown, span)
+
+
+@dataclass
+class OperatorStats:
+    """Aggregated imprecision observations for one operator label."""
+
+    op: str
+    occurrences: int = 0
+    #: abstract-width histogram: γ-size bits -> observation count
+    gamma_hist: Dict[int, int] = field(default_factory=dict)
+    #: summed / counted / max tightness delta (abstract-range bits minus
+    #: observed-concrete-range bits, clamped at 0)
+    tightness_sum: int = 0
+    tightness_count: int = 0
+    tightness_max: int = 0
+    rejections: int = 0
+    rejected_clean: int = 0
+
+    @property
+    def imprecision_mass(self) -> int:
+        """Total bits of observed slack, pricing clean rejections in."""
+        return self.tightness_sum + REJECT_COST_BITS * self.rejected_clean
+
+    @property
+    def mean_tightness(self) -> float:
+        if not self.tightness_count:
+            return 0.0
+        return self.tightness_sum / self.tightness_count
+
+    @property
+    def mean_gamma_bits(self) -> float:
+        total = sum(self.gamma_hist.values())
+        if not total:
+            return 0.0
+        return sum(b * n for b, n in self.gamma_hist.items()) / total
+
+    @property
+    def rejected_clean_rate(self) -> float:
+        if not self.rejections:
+            return 0.0
+        return self.rejected_clean / self.rejections
+
+    def merge(self, other: "OperatorStats") -> None:
+        self.occurrences += other.occurrences
+        for bits, count in other.gamma_hist.items():
+            self.gamma_hist[bits] = self.gamma_hist.get(bits, 0) + count
+        self.tightness_sum += other.tightness_sum
+        self.tightness_count += other.tightness_count
+        self.tightness_max = max(self.tightness_max, other.tightness_max)
+        self.rejections += other.rejections
+        self.rejected_clean += other.rejected_clean
+
+    def to_dict(self) -> Dict:
+        return {
+            "op": self.op,
+            "occurrences": self.occurrences,
+            "gamma_hist": {str(b): n for b, n in sorted(self.gamma_hist.items())},
+            "tightness_sum": self.tightness_sum,
+            "tightness_count": self.tightness_count,
+            "tightness_max": self.tightness_max,
+            "rejections": self.rejections,
+            "rejected_clean": self.rejected_clean,
+            "imprecision_mass": self.imprecision_mass,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "OperatorStats":
+        return cls(
+            op=payload["op"],
+            occurrences=payload["occurrences"],
+            gamma_hist={int(b): n for b, n in payload["gamma_hist"].items()},
+            tightness_sum=payload["tightness_sum"],
+            tightness_count=payload["tightness_count"],
+            tightness_max=payload["tightness_max"],
+            rejections=payload["rejections"],
+            rejected_clean=payload["rejected_clean"],
+        )
+
+
+@dataclass
+class PrecisionReport:
+    """Per-operator imprecision telemetry aggregated over a campaign.
+
+    Deliberately excludes anything nondeterministic (timing, host info):
+    a fixed campaign seed must serialize to byte-identical JSON whatever
+    the worker count, which is what makes reports diffable across runs
+    and mergeable across shards.
+    """
+
+    programs: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    rejected_clean: int = 0
+    mutants: int = 0
+    violations: int = 0
+    operators: Dict[str, OperatorStats] = field(default_factory=dict)
+
+    def operator(self, label: str) -> OperatorStats:
+        stats = self.operators.get(label)
+        if stats is None:
+            stats = self.operators[label] = OperatorStats(label)
+        return stats
+
+    def merge(self, other: "PrecisionReport") -> None:
+        self.programs += other.programs
+        self.accepted += other.accepted
+        self.rejected += other.rejected
+        self.rejected_clean += other.rejected_clean
+        self.mutants += other.mutants
+        self.violations += other.violations
+        for label, stats in other.operators.items():
+            self.operator(label).merge(stats)
+
+    def ranked(self) -> List[OperatorStats]:
+        """Operators most imprecision-mass first; name breaks ties."""
+        return sorted(
+            self.operators.values(),
+            key=lambda s: (-s.imprecision_mass, s.op),
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "format_version": _REPORT_FORMAT_VERSION,
+            "programs": self.programs,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "rejected_clean": self.rejected_clean,
+            "mutants": self.mutants,
+            "violations": self.violations,
+            "operators": {
+                label: stats.to_dict()
+                for label, stats in sorted(self.operators.items())
+            },
+            "ranking": [s.op for s in self.ranked()],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PrecisionReport":
+        version = payload.get("format_version")
+        if version != _REPORT_FORMAT_VERSION:
+            raise ValueError(f"unsupported precision report format {version!r}")
+        return cls(
+            programs=payload["programs"],
+            accepted=payload["accepted"],
+            rejected=payload["rejected"],
+            rejected_clean=payload["rejected_clean"],
+            mutants=payload["mutants"],
+            violations=payload["violations"],
+            operators={
+                label: OperatorStats.from_dict(entry)
+                for label, entry in payload["operators"].items()
+            },
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PrecisionReport":
+        return cls.from_dict(json.loads(text))

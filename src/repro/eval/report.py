@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from .performance import TimingResult
-from .precision import PrecisionComparison, TrendRow
+from .precision import PrecisionComparison, PrecisionReport, TrendRow
 
 __all__ = [
     "render_table1",
@@ -19,6 +19,8 @@ __all__ = [
     "render_fig4",
     "render_fig5",
     "render_comparison",
+    "render_precision_report",
+    "render_precision_markdown",
 ]
 
 
@@ -105,6 +107,59 @@ def render_fig5(results: Dict[str, TimingResult]) -> str:
             f"{name:>20} | {s['mean']:>10.0f} | {s['p50']:>8.0f} | {s['p99']:>8.0f}"
         )
     return "\n".join(sections)
+
+
+def render_precision_report(report: PrecisionReport, top: int = 10) -> str:
+    """Campaign telemetry as a terminal table, worst operators first."""
+    header = (
+        f"{'operator':>14} | {'obs':>7} | {'mean γ bits':>11} | "
+        f"{'tight Σ':>8} | {'tight max':>9} | {'rej':>5} | "
+        f"{'rej-clean':>9} | {'mass':>8}"
+    )
+    lines = [
+        f"per-operator imprecision over {report.programs} programs "
+        f"({report.accepted} accepted, {report.rejected} rejected, "
+        f"{report.rejected_clean} rejected-but-clean, "
+        f"{report.mutants} mutants)",
+        header,
+        "-" * len(header),
+    ]
+    for stats in report.ranked()[:top]:
+        lines.append(
+            f"{stats.op:>14} | {stats.occurrences:>7} | "
+            f"{stats.mean_gamma_bits:>11.2f} | {stats.tightness_sum:>8} | "
+            f"{stats.tightness_max:>9} | {stats.rejections:>5} | "
+            f"{stats.rejected_clean:>9} | {stats.imprecision_mass:>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_precision_markdown(report: PrecisionReport, top: int = 10) -> str:
+    """Campaign telemetry as a markdown report (CI artifact)."""
+    lines = [
+        "# Campaign precision report",
+        "",
+        f"- programs: **{report.programs}** "
+        f"({report.accepted} accepted / {report.rejected} rejected)",
+        f"- rejected-but-clean (false positives): "
+        f"**{report.rejected_clean}**",
+        f"- mutants fuzzed: **{report.mutants}**",
+        f"- soundness violations: **{report.violations}**",
+        "",
+        "## Operators by imprecision mass",
+        "",
+        "| operator | observations | mean γ bits | tightness Σ bits | "
+        "tightness max | rejections | rejected-clean | mass |",
+        "|---|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for stats in report.ranked()[:top]:
+        lines.append(
+            f"| `{stats.op}` | {stats.occurrences} | "
+            f"{stats.mean_gamma_bits:.2f} | {stats.tightness_sum} | "
+            f"{stats.tightness_max} | {stats.rejections} | "
+            f"{stats.rejected_clean} | {stats.imprecision_mass} |"
+        )
+    return "\n".join(lines)
 
 
 def render_comparison(comparison: PrecisionComparison) -> str:

@@ -30,6 +30,15 @@ Pipeline
     Budgeted multiprocessing campaign driver with per-program RNG
     streams (deterministic for a given seed regardless of worker count)
     and throughput reporting.
+:mod:`~repro.fuzz.mutate`
+    Mutation engine (splice, opcode tweak, constant nudge) turning
+    corpus seeds back into fresh inputs.
+:mod:`~repro.fuzz.campaign`
+    Precision campaigns: multi-round, resumable runs that attribute
+    rejected-but-clean rates, γ-size histograms, and tightness deltas to
+    individual transfer functions, and feed shrunk near-miss programs
+    back in as mutation seeds.  Results merge into a deterministic
+    :class:`~repro.eval.precision.PrecisionReport`.
 
 Quick start
 -----------
@@ -41,27 +50,41 @@ True
 Or from the command line::
 
     repro fuzz --budget 1000 --seed 42 --workers 4
-
-Follow-on direction: campaign-scale fuzzing with precision tracking —
-persist per-operator imprecision observations (rejected-but-clean rates,
-abstract-width histograms at each pc) across long campaigns to locate
-transfer functions whose precision, not soundness, limits the verifier.
+    repro campaign --budget 1000 --rounds 4 --seed 42 --workers 4
 """
 
+from .campaign import (
+    CampaignSpec,
+    CampaignStateError,
+    PrecisionCampaignResult,
+    PrecisionCampaignStats,
+    run_precision_campaign,
+)
 from .corpus import Corpus, CorpusEntry
-from .driver import CampaignConfig, CampaignResult, CampaignStats, run_campaign
+from .driver import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignStats,
+    program_seed,
+    run_campaign,
+)
 from .generator import (
+    INTERESTING_IMM64,
+    INTERESTING_IMMS,
     PROFILES,
     GeneratedProgram,
     OpcodeProfile,
     ProgramGenerator,
     generate_program,
 )
+from .mutate import MUTATION_KINDS, mutate_program
 from .oracle import DifferentialOracle, OracleReport, Violation
 from .shrink import ShrinkStats, shrink_program
 
 __all__ = [
     "PROFILES",
+    "INTERESTING_IMMS",
+    "INTERESTING_IMM64",
     "OpcodeProfile",
     "GeneratedProgram",
     "ProgramGenerator",
@@ -77,4 +100,12 @@ __all__ = [
     "CampaignStats",
     "CampaignResult",
     "run_campaign",
+    "program_seed",
+    "MUTATION_KINDS",
+    "mutate_program",
+    "CampaignSpec",
+    "CampaignStateError",
+    "PrecisionCampaignStats",
+    "PrecisionCampaignResult",
+    "run_precision_campaign",
 ]

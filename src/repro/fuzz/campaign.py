@@ -1,0 +1,645 @@
+"""Campaign-scale fuzzing with per-operator precision telemetry.
+
+The plain driver (:mod:`repro.fuzz.driver`) answers *is the verifier
+sound?*  This layer answers the paper's second question — *is it
+precise?* — at whole-program scale.  A precision campaign runs in
+rounds; every program is fuzzed through a telemetry-carrying oracle that
+attributes three imprecision signals to the transfer function that
+caused them (via the verifier's ``on_transfer`` hook and the
+interpreter's ``on_step`` replay observations):
+
+* **rejected-but-clean** events, attributed to the operator at the
+  rejecting instruction;
+* **γ-size histograms** — the abstract width of every scalar result an
+  operator produced;
+* **tightness deltas** — abstract-range bits minus the concrete-range
+  bits actually observed across replays, the per-operator analogue of
+  the paper's Figure-4 set-size ratios.
+
+Between rounds the campaign feeds its own findings back in: shrunk
+rejected-but-clean programs and large-tightness near-misses become
+*mutation seeds* (:mod:`repro.fuzz.mutate`), so later rounds concentrate
+on the imprecision frontier earlier rounds discovered.
+
+Determinism and resumability
+----------------------------
+Program ``index`` fuzzes a stream derived from ``(campaign_seed,
+index)`` only; worker shards are merged in index order; every telemetry
+counter is an integer.  The merged :class:`PrecisionReport` therefore
+serializes byte-identically for 1, 2, or N workers.  With a
+``state_dir`` the campaign checkpoints after every round (spec, pool,
+stats, report, corpus) and a rerun resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.bpf import isa
+from repro.bpf.insn import Instruction
+from repro.bpf.program import Program
+from repro.bpf.verifier.absint import transfer_label
+from repro.eval.precision import OperatorStats, PrecisionReport, gamma_bits
+
+from .corpus import Corpus
+from .driver import program_seed, shrink_violation
+from .generator import PROFILES, generate_program
+from .mutate import mutate_program
+from .oracle import DifferentialOracle
+from .shrink import shrink_program
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignStateError",
+    "PrecisionCampaignStats",
+    "PrecisionCampaignResult",
+    "TransferCollector",
+    "run_precision_campaign",
+]
+
+
+class CampaignStateError(ValueError):
+    """A --state directory cannot be resumed (wrong format or spec)."""
+
+U64 = (1 << 64) - 1
+
+#: Decorrelates the mutation-decision RNG from the generator stream.
+_MUTATE_MIX = 0xD1B5_4A32_D192_ED03
+
+_STATE_FORMAT_VERSION = 1
+_STATE_FILE = "state.json"
+_CORPUS_FILE = "corpus.json"
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything that determines a precision campaign's outcome."""
+
+    budget: int = 400               # programs across all rounds
+    rounds: int = 2
+    seed: int = 0
+    workers: int = 1
+    profile: str = "mixed"
+    max_insns: int = 32
+    ctx_size: int = 64
+    inputs_per_program: int = 8
+    #: probability a post-round-0 program mutates a pool seed instead of
+    #: being generated fresh
+    mutate_fraction: float = 0.5
+    pool_limit: int = 64            # mutation seeds kept (newest win)
+    seeds_per_round: int = 8        # pool admissions per round
+    seed_shrink_per_round: int = 4  # rejected-clean seeds shrunk per round
+    #: tightness delta (bits) an accepted program must show to enter the
+    #: pool as a near-miss seed
+    tightness_seed_threshold: int = 16
+    shrink: bool = True             # minimize soundness violations
+    #: replay step budget — mutants can contain (verifier-rejected)
+    #: loops, so replays must be bounded
+    step_limit: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise KeyError(
+                f"unknown profile {self.profile!r}; "
+                f"choose from {sorted(PROFILES)}"
+            )
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if not 0.0 <= self.mutate_fraction <= 1.0:
+            raise ValueError("mutate_fraction must be within [0, 1]")
+
+
+@dataclass
+class PrecisionCampaignStats:
+    """Aggregate campaign counters (timing included, so not diffable —
+    determinism lives in the :class:`PrecisionReport`)."""
+
+    budget: int = 0
+    executed: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    rejected_clean: int = 0
+    violations: int = 0
+    containment_checks: int = 0
+    mutants: int = 0
+    seeds_pooled: int = 0
+    rounds_completed: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def programs_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.executed / self.elapsed_seconds
+
+    def summary(self) -> str:
+        lines = [
+            f"programs  : {self.executed}/{self.budget} "
+            f"({self.rounds_completed} rounds, {self.mutants} mutants)",
+            f"accepted  : {self.accepted}",
+            f"rejected  : {self.rejected} "
+            f"(clean replay: {self.rejected_clean})",
+            f"checks    : {self.containment_checks} register containments",
+            f"seed pool : {self.seeds_pooled} mutation seeds admitted",
+            f"violations: {self.violations}",
+            f"throughput: {self.programs_per_second:.1f} programs/sec "
+            f"({self.elapsed_seconds:.2f}s)",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class PrecisionCampaignResult:
+    """Stats, corpus, merged telemetry, and the final mutation pool."""
+
+    stats: PrecisionCampaignStats
+    corpus: Corpus
+    report: PrecisionReport
+    pool: List[str] = field(default_factory=list)   # bytecode hex
+
+    @property
+    def ok(self) -> bool:
+        return self.stats.violations == 0
+
+
+class TransferCollector:
+    """Gathers per-operator telemetry during one program's verification.
+
+    ``ops`` accumulates the γ-size histogram per operator label; ``at``
+    remembers, per instruction index, the label and abstract interval of
+    the scalar result produced there, for the tightness comparison
+    against the concrete ranges the replay observes.
+    """
+
+    def __init__(self) -> None:
+        self.ops: Dict[str, Dict] = {}
+        self.at: Dict[int, Tuple[str, int, int]] = {}
+
+    def record(self, idx: int, label: str, scalar) -> None:
+        bits = gamma_bits(scalar)
+        entry = self.ops.setdefault(
+            label, {"occurrences": 0, "gamma_hist": {}}
+        )
+        entry["occurrences"] += 1
+        hist = entry["gamma_hist"]
+        hist[bits] = hist.get(bits, 0) + 1
+        if scalar.is_bottom() or label.startswith("refine_"):
+            return
+        prev = self.at.get(idx)
+        if prev is None:
+            self.at[idx] = (label, scalar.umin(), scalar.umax())
+        else:
+            self.at[idx] = (
+                label,
+                min(prev[1], scalar.umin()),
+                max(prev[2], scalar.umax()),
+            )
+
+
+def _attribution_label(insn: Instruction) -> str:
+    """Operator label a rejection at ``insn`` is charged to."""
+    label = transfer_label(insn)
+    if label is not None:
+        return label
+    if insn.is_lddw():
+        return "lddw"
+    cls = insn.cls()
+    if cls == isa.CLS_LDX:
+        return "load"
+    if cls in (isa.CLS_ST, isa.CLS_STX):
+        return "store"
+    if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+        return "mov64"
+    if insn.is_exit():
+        return "exit"
+    if insn.is_jump():
+        return isa.JMP_OP_NAMES.get(isa.BPF_OP(insn.opcode), "jump")
+    return "other"
+
+
+#: Worker-side per-operator record: :class:`TransferCollector` fields
+#: (``occurrences``, ``gamma_hist``) plus these counters, named exactly
+#: like the :class:`OperatorStats` fields they merge into.
+_ZERO_OP_COUNTERS = {
+    "tightness_sum": 0, "tightness_count": 0, "tightness_max": 0,
+    "rejections": 0, "rejected_clean": 0,
+}
+
+#: Mutation-seed pool for the current round, installed once per worker
+#: (fork/spawn initializer or inline) instead of pickled per work item.
+_worker_pool: Tuple[str, ...] = ()
+
+
+def _set_worker_pool(pool: Tuple[str, ...]) -> None:
+    global _worker_pool
+    _worker_pool = pool
+
+
+def _telemetry_oracle(spec: CampaignSpec, collector: TransferCollector):
+    return DifferentialOracle(
+        ctx_size=spec.ctx_size,
+        inputs_per_program=spec.inputs_per_program,
+        on_transfer=collector.record,
+        collect_ranges=True,
+        step_limit=spec.step_limit,
+    )
+
+
+def _iter_tightness(collector: TransferCollector, report):
+    """Yield ``(label, delta)`` tightness observations for one program."""
+    for idx, span in sorted(report.concrete_ranges.items()):
+        at = collector.at.get(idx)
+        if at is None:
+            continue  # pointer result or untracked op
+        label, umin, umax = at
+        abstract_bits = (umax - umin).bit_length()
+        observed_bits = (span[1] - span[0]).bit_length()
+        yield label, max(0, abstract_bits - observed_bits)
+
+
+def _fuzz_one(args: Tuple[int, CampaignSpec]) -> Dict:
+    """Fuzz one campaign index with telemetry; JSON-friendly result.
+
+    Top-level so it pickles for ``multiprocessing.Pool``; the mutation
+    pool arrives via :func:`_set_worker_pool`.
+    """
+    index, spec = args
+    pool = _worker_pool
+    seed = program_seed(spec.seed, index)
+    generated = generate_program(
+        seed, spec.profile, spec.max_insns, spec.ctx_size
+    )
+    program = generated.program
+    origin = "fresh"
+    mut_rng = random.Random(seed ^ _MUTATE_MIX)
+    if pool and mut_rng.random() < spec.mutate_fraction:
+        base = Program.from_bytes(
+            bytes.fromhex(pool[mut_rng.randrange(len(pool))])
+        )
+        program = mutate_program(
+            base, donor=generated.program, rng=mut_rng,
+            max_insns=spec.max_insns,
+        )
+        origin = "mutant"
+
+    collector = TransferCollector()
+    oracle = _telemetry_oracle(spec, collector)
+    report = oracle.check_program(program, input_seed_base=seed)
+
+    ops = collector.ops
+    for entry in ops.values():
+        entry.update(_ZERO_OP_COUNTERS)
+
+    near_miss = False
+    for label, delta in _iter_tightness(collector, report):
+        entry = ops[label]
+        entry["tightness_sum"] += delta
+        entry["tightness_count"] += 1
+        entry["tightness_max"] = max(entry["tightness_max"], delta)
+        if delta >= spec.tightness_seed_threshold:
+            near_miss = True
+
+    reject_label: Optional[str] = None
+    if report.verdict == "rejected":
+        # reject_pc is None for whole-program CFG rejections (mutants
+        # with loops or dead code) — a policy rejection the oracle
+        # already refuses to count as a clean false positive.
+        reject_label = (
+            _attribution_label(program.insns[report.reject_pc])
+            if report.reject_pc is not None
+            else "cfg"
+        )
+        entry = ops.setdefault(
+            reject_label, {"occurrences": 0, "gamma_hist": {},
+                           **_ZERO_OP_COUNTERS}
+        )
+        entry["rejections"] += 1
+        if report.rejected_but_clean:
+            entry["rejected_clean"] += 1
+
+    out: Dict = {
+        "index": index,
+        "seed": seed,
+        "origin": origin,
+        "verdict": report.verdict,
+        "checks": report.checks,
+        "rejected_but_clean": bool(report.rejected_but_clean),
+        "reject_label": reject_label,
+        # A violating program is a soundness witness, not an imprecision
+        # one — it must not enter the mutation pool as a near-miss.
+        "near_miss": (
+            near_miss
+            and report.verdict == "accepted"
+            and not report.violations
+        ),
+        "violations": [asdict(v) for v in report.violations],
+        "ops": ops,
+    }
+    if report.violations or out["rejected_but_clean"] or out["near_miss"]:
+        out["bytecode_hex"] = program.to_bytes().hex()
+    return out
+
+
+def _merge_result(report: PrecisionReport, res: Dict) -> None:
+    """Fold one worker result into the report (index order = stable)."""
+    report.programs += 1
+    if res["verdict"] == "accepted":
+        report.accepted += 1
+    else:
+        report.rejected += 1
+        if res["rejected_but_clean"]:
+            report.rejected_clean += 1
+    if res["origin"] == "mutant":
+        report.mutants += 1
+    report.violations += len(res["violations"])
+    for label, entry in sorted(res["ops"].items()):
+        report.operator(label).merge(OperatorStats(
+            op=label,
+            occurrences=entry["occurrences"],
+            gamma_hist={int(b): n for b, n in entry["gamma_hist"].items()},
+            **{key: entry[key] for key in _ZERO_OP_COUNTERS},
+        ))
+
+
+def _still_rejected_clean(
+    spec: CampaignSpec, program: Program, input_seed_base: int
+) -> bool:
+    oracle = DifferentialOracle(
+        ctx_size=spec.ctx_size,
+        inputs_per_program=spec.inputs_per_program,
+        step_limit=spec.step_limit,
+    )
+    rep = oracle.check_program(program, input_seed_base=input_seed_base)
+    # reject_pc is None for structural (CFG) rejections — shrinking must
+    # not drift an imprecision witness into a dead-code witness.
+    return (
+        rep.verdict == "rejected"
+        and bool(rep.rejected_but_clean)
+        and rep.reject_pc is not None
+    )
+
+
+def _still_near_miss(
+    spec: CampaignSpec, program: Program, input_seed_base: int
+) -> bool:
+    collector = TransferCollector()
+    oracle = _telemetry_oracle(spec, collector)
+    rep = oracle.check_program(program, input_seed_base=input_seed_base)
+    if rep.verdict != "accepted" or rep.violations:
+        return False
+    return any(
+        delta >= spec.tightness_seed_threshold
+        for _, delta in _iter_tightness(collector, rep)
+    )
+
+
+def _shrink_seed(
+    spec: CampaignSpec, program: Program, input_seed_base: int, kind: str
+) -> Program:
+    """Minimize a mutation-seed candidate while it keeps its property:
+    still rejected-but-clean, or still showing a near-miss tightness
+    delta."""
+    predicate = (
+        _still_rejected_clean if kind == "rejected-clean"
+        else _still_near_miss
+    )
+    shrunk, _ = shrink_program(
+        program,
+        lambda p: predicate(spec, p, input_seed_base),
+        max_candidates=150,
+    )
+    return shrunk
+
+
+def _round_budgets(spec: CampaignSpec) -> List[int]:
+    per, extra = divmod(spec.budget, spec.rounds)
+    return [per + (1 if r < extra else 0) for r in range(spec.rounds)]
+
+
+# -- state persistence ----------------------------------------------------------
+
+
+def _save_state(
+    state_dir: Path,
+    spec: CampaignSpec,
+    stats: PrecisionCampaignStats,
+    report: PrecisionReport,
+    pool: List[str],
+    corpus: Corpus,
+) -> None:
+    state_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _STATE_FORMAT_VERSION,
+        "spec": asdict(spec),
+        "stats": asdict(stats),
+        "report": report.to_dict(),
+        "pool": pool,
+    }
+    # Write-then-rename so an interrupted checkpoint never corrupts the
+    # files a resume depends on.
+    _atomic_write(
+        state_dir / _STATE_FILE,
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+    )
+    _atomic_write(state_dir / _CORPUS_FILE, corpus.to_json() + "\n")
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _load_state(
+    state_dir: Path, spec: CampaignSpec
+) -> Optional[Tuple[PrecisionCampaignStats, PrecisionReport, List[str], Corpus]]:
+    path = state_dir / _STATE_FILE
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("format_version") != _STATE_FORMAT_VERSION:
+            raise CampaignStateError(
+                f"unsupported campaign state format "
+                f"{payload.get('format_version')!r}"
+            )
+        # ``workers`` is outcome-neutral (reports are byte-identical for
+        # any worker count), so resuming on different cores is fine.
+        saved_spec = dict(payload["spec"], workers=spec.workers)
+        if saved_spec != asdict(spec):
+            raise CampaignStateError(
+                "campaign state was produced by a different spec; "
+                "use a fresh --state directory or matching options"
+            )
+        stats = PrecisionCampaignStats(**payload["stats"])
+        report = PrecisionReport.from_dict(payload["report"])
+        corpus_path = state_dir / _CORPUS_FILE
+        corpus = (
+            Corpus.load(corpus_path) if corpus_path.exists() else Corpus()
+        )
+        return stats, report, list(payload["pool"]), corpus
+    except CampaignStateError:
+        raise
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CampaignStateError(
+            f"corrupt campaign state in {state_dir}: {exc}"
+        )
+
+
+# -- the campaign loop ----------------------------------------------------------
+
+
+def run_precision_campaign(
+    spec: CampaignSpec,
+    corpus: Optional[Corpus] = None,
+    state_dir: Optional["str | Path"] = None,
+    stop_after_rounds: Optional[int] = None,
+) -> PrecisionCampaignResult:
+    """Run (or resume) a precision campaign.
+
+    With ``state_dir`` the campaign checkpoints after each round and a
+    later call with the same spec resumes from the last checkpoint (the
+    checkpointed corpus wins over a caller-supplied ``corpus`` then).
+    ``stop_after_rounds`` bounds how many *additional* rounds this call
+    executes (used to exercise resumption; ``None`` runs to completion).
+    """
+    state_path = Path(state_dir) if state_dir is not None else None
+    if state_path is not None:
+        # Fail before any fuzzing, not at the first checkpoint.
+        try:
+            state_path.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise CampaignStateError(
+                f"state path {state_path} is not usable as a directory: "
+                f"{exc}"
+            )
+    loaded = _load_state(state_path, spec) if state_path else None
+    if loaded is not None:
+        stats, report, pool, saved_corpus = loaded
+        # The checkpointed corpus stays authoritative on resume — a
+        # caller-supplied corpus would drop entries the resumed report
+        # already counts (and overwrite the checkpoint with the loss).
+        corpus = saved_corpus
+    else:
+        stats = PrecisionCampaignStats(budget=spec.budget)
+        report = PrecisionReport()
+        pool = []
+        corpus = corpus if corpus is not None else Corpus()
+
+    budgets = _round_budgets(spec)
+    started = time.perf_counter()
+    rounds_this_call = 0
+
+    for rnd in range(stats.rounds_completed, spec.rounds):
+        if stop_after_rounds is not None and rounds_this_call >= stop_after_rounds:
+            break
+        start_index = sum(budgets[:rnd])
+        indices = range(start_index, start_index + budgets[rnd])
+        work = [(i, spec) for i in indices]
+        # The seed pool is shipped once per worker per round (not once
+        # per work item) — it can hold pool_limit programs of bytecode.
+        round_pool = tuple(pool)
+        if spec.workers > 1 and len(work) > 1:
+            chunk = max(1, len(work) // (spec.workers * 8))
+            with multiprocessing.Pool(
+                spec.workers,
+                initializer=_set_worker_pool,
+                initargs=(round_pool,),
+            ) as mp_pool:
+                results = mp_pool.map(_fuzz_one, work, chunksize=chunk)
+        else:
+            _set_worker_pool(round_pool)
+            results = [_fuzz_one(item) for item in work]
+        results.sort(key=lambda r: r["index"])
+
+        for res in results:
+            stats.containment_checks += res["checks"]
+            _merge_result(report, res)
+            if res["violations"]:
+                program = Program.from_bytes(bytes.fromhex(res["bytecode_hex"]))
+                shrunk = (
+                    shrink_violation(spec, res["bytecode_hex"], res["seed"])
+                    if spec.shrink
+                    else None
+                )
+                corpus.add_violation(
+                    program,
+                    seed=res["seed"],
+                    profile=spec.profile,
+                    violation=res["violations"][0],
+                    shrunk=shrunk,
+                    note=f"index {res['index']} ({res['origin']})",
+                )
+
+        # Mutation-seed admission: shrunk rejected-but-clean programs
+        # first, then shrunk near-miss accepted programs, at most
+        # ``seeds_per_round`` in total, newest kept on overflow.  All
+        # choices follow index order, so the pool is identical whatever
+        # the worker count.
+        pool_set = set(pool)
+        admitted = 0
+        rejected_clean = [
+            r for r in results
+            if r["rejected_but_clean"] and "bytecode_hex" in r
+        ]
+        near_misses = [
+            r for r in results if r["near_miss"] and "bytecode_hex" in r
+        ]
+        # Both candidate lists are bounded *before* shrinking: each
+        # shrink costs up to 150 oracle evaluations, and pool-collision
+        # skips must not pull ever more candidates into that cost.
+        candidates = [
+            (res, "rejected-clean")
+            for res in rejected_clean[: spec.seed_shrink_per_round]
+        ] + [
+            (res, "near-miss")
+            for res in near_misses[: spec.seeds_per_round]
+        ]
+        for res, kind in candidates:
+            if admitted >= spec.seeds_per_round:
+                break
+            program = Program.from_bytes(bytes.fromhex(res["bytecode_hex"]))
+            seed_prog = _shrink_seed(spec, program, res["seed"], kind)
+            hex_code = seed_prog.to_bytes().hex()
+            if hex_code in pool_set:
+                continue
+            pool.append(hex_code)
+            pool_set.add(hex_code)
+            corpus.add_seed(
+                seed_prog, seed=res["seed"], profile=spec.profile,
+                note=f"{kind} index {res['index']} "
+                     f"(shrunk to {len(seed_prog)} insns)",
+            )
+            admitted += 1
+        stats.seeds_pooled += admitted
+        if len(pool) > spec.pool_limit:
+            del pool[: len(pool) - spec.pool_limit]
+
+        # Scalar counters derive from the (deterministic) report so the
+        # two never drift; only timing/checks live on stats alone.
+        stats.executed = report.programs
+        stats.accepted = report.accepted
+        stats.rejected = report.rejected
+        stats.rejected_clean = report.rejected_clean
+        stats.mutants = report.mutants
+        stats.violations = report.violations
+
+        stats.rounds_completed = rnd + 1
+        rounds_this_call += 1
+        if state_path is not None:
+            stats.elapsed_seconds += time.perf_counter() - started
+            started = time.perf_counter()
+            _save_state(state_path, spec, stats, report, pool, corpus)
+
+    if state_path is None:
+        stats.elapsed_seconds += time.perf_counter() - started
+    return PrecisionCampaignResult(stats, corpus, report, pool)

@@ -1,11 +1,13 @@
 """JSON corpus persistence for fuzzing campaigns.
 
 A corpus stores *replayable* artifacts: failing programs (with their
-shrunk witnesses and violation details) and interesting seeds worth
+shrunk witnesses and violation details), interesting seeds worth
 re-fuzzing (e.g. programs that were accepted and exercised unusual
-instruction mixes).  Programs are stored as kernel-wire-format bytecode
-hex, so entries round-trip exactly through :meth:`Program.from_bytes`
-and can be replayed by any later build — or fed to external BPF tooling.
+instruction mixes), and mutation seeds — shrunk near-miss and
+rejected-but-clean programs a precision campaign feeds back into the
+generator.  Programs are stored as kernel-wire-format bytecode hex, so
+entries round-trip exactly through :meth:`Program.from_bytes` and can be
+replayed by any later build — or fed to external BPF tooling.
 """
 
 from __future__ import annotations
@@ -26,7 +28,7 @@ _FORMAT_VERSION = 1
 class CorpusEntry:
     """One persisted program plus the recipe that produced it."""
 
-    kind: str                       # "violation" | "interesting"
+    kind: str                       # "violation" | "interesting" | "seed"
     seed: int                       # generator seed
     profile: str
     bytecode_hex: str
@@ -83,8 +85,25 @@ class Corpus:
         self.entries.append(entry)
         return entry
 
+    def add_seed(
+        self, program: Program, seed: int, profile: str, note: str = ""
+    ) -> CorpusEntry:
+        """Record a mutation seed (near-miss / rejected-but-clean program)."""
+        entry = CorpusEntry(
+            kind="seed",
+            seed=seed,
+            profile=profile,
+            bytecode_hex=program.to_bytes().hex(),
+            note=note,
+        )
+        self.entries.append(entry)
+        return entry
+
     def violations(self) -> List[CorpusEntry]:
         return [e for e in self.entries if e.kind == "violation"]
+
+    def seeds(self) -> List[CorpusEntry]:
+        return [e for e in self.entries if e.kind == "seed"]
 
     def __len__(self) -> int:
         return len(self.entries)

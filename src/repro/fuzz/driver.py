@@ -29,7 +29,14 @@ from .generator import PROFILES, generate_program
 from .oracle import DifferentialOracle
 from .shrink import shrink_program
 
-__all__ = ["CampaignConfig", "CampaignStats", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignStats",
+    "CampaignResult",
+    "run_campaign",
+    "program_seed",
+    "shrink_violation",
+]
 
 U64 = (1 << 64) - 1
 
@@ -38,7 +45,13 @@ U64 = (1 << 64) - 1
 _STREAM_MIX = 0x9E37_79B9_7F4A_7C15
 
 
-def _program_seed(campaign_seed: int, index: int) -> int:
+def program_seed(campaign_seed: int, index: int) -> int:
+    """Generator seed for program ``index`` of a campaign.
+
+    Derived from ``(campaign_seed, index)`` only, never from worker-local
+    state, so every campaign layer (plain driver, precision campaign)
+    gets bit-identical streams regardless of worker count.
+    """
     return (campaign_seed * _STREAM_MIX + index * 2_654_435_761 + 1) & U64
 
 
@@ -120,7 +133,7 @@ def _fuzz_index(args: Tuple[int, CampaignConfig]) -> Dict:
     Top-level so it pickles for ``multiprocessing.Pool``.
     """
     index, config = args
-    seed = _program_seed(config.seed, index)
+    seed = program_seed(config.seed, index)
     generated = generate_program(
         seed, config.profile, config.max_insns, config.ctx_size
     )
@@ -150,10 +163,15 @@ def asdict_violation(v) -> Dict:
     return asdict(v)
 
 
-def _shrink_violation(
-    config: CampaignConfig, bytecode_hex: str, input_seed_base: int
+def shrink_violation(
+    config, bytecode_hex: str, input_seed_base: int
 ) -> Optional[Program]:
-    """Minimize a failing program against the oracle that caught it."""
+    """Minimize a failing program against the oracle that caught it.
+
+    ``config`` needs only ``ctx_size`` and ``inputs_per_program``, so both
+    the plain :class:`CampaignConfig` and the precision campaign's spec
+    work here.
+    """
     program = Program.from_bytes(bytes.fromhex(bytecode_hex))
     oracle = DifferentialOracle(
         ctx_size=config.ctx_size,
@@ -201,7 +219,7 @@ def run_campaign(
         if res["violations"]:
             stats.violations += len(res["violations"])
             shrunk = (
-                _shrink_violation(config, res["bytecode_hex"], res["seed"])
+                shrink_violation(config, res["bytecode_hex"], res["seed"])
                 if config.shrink
                 else None
             )

@@ -21,6 +21,12 @@ Everything is deterministic in the supplied seed: the same
 ``(seed, profile, max_insns)`` triple always yields bit-identical
 bytecode, which is what makes campaign results reproducible and corpus
 entries replayable.
+
+Precision campaigns extend generation with *mutation feedback*
+(:mod:`repro.fuzz.mutate`): shrunk near-miss and rejected-but-clean
+programs re-enter as mutation seeds, spliced against freshly generated
+donors and perturbed with the same :data:`INTERESTING_IMMS` /
+:data:`INTERESTING_IMM64` boundary constants used here.
 """
 
 from __future__ import annotations
@@ -39,22 +45,29 @@ __all__ = [
     "GeneratedProgram",
     "ProgramGenerator",
     "generate_program",
+    "INTERESTING_IMMS",
+    "INTERESTING_IMM64",
 ]
 
 U64 = (1 << 64) - 1
 
 #: Immediates that exercise carries, sign boundaries, and tnum masks far
-#: better than uniform draws do.
-_INTERESTING_IMMS = [
+#: better than uniform draws do.  Shared with the mutation engine's
+#: constant-nudge pass.
+INTERESTING_IMMS = [
     0, 1, 2, 3, 7, 8, 15, 16, 31, 32, 63, 64, 255, 256, 4095, 4096,
     0x7FFF, 0x8000, 0xFFFF, 0x7FFF_FFFF, -1, -2, -7, -8, -256, -4096,
     -0x8000_0000,
 ]
 
-_INTERESTING_IMM64 = [
+INTERESTING_IMM64 = [
     0, 1, (1 << 32) - 1, 1 << 32, (1 << 63) - 1, 1 << 63, U64,
     0xAAAA_AAAA_AAAA_AAAA, 0x5555_5555_5555_5555, 0x0123_4567_89AB_CDEF,
 ]
+
+# Backward-compatible private aliases (pre-campaign name).
+_INTERESTING_IMMS = INTERESTING_IMMS
+_INTERESTING_IMM64 = INTERESTING_IMM64
 
 #: ALU ops applied between scalars (NEG is emitted separately; MOV has
 #: its own categories).

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.bpf import isa
 from repro.bpf.interpreter import CTX_BASE, STACK_BASE, ExecutionError, Machine
@@ -70,6 +70,13 @@ class OracleReport:
     #: i.e. the rejection was (at least on that input) imprecision.
     rejected_but_clean: Optional[bool] = None
     reject_reason: Optional[str] = None
+    #: instruction index the verifier rejected at (None when accepted or
+    #: when the rejection was structural, e.g. a CFG error).
+    reject_pc: Optional[int] = None
+    #: when range collection is on: per ALU instruction index, the
+    #: [min, max] concrete result observed across every replay — the
+    #: ground-truth range the campaign compares abstract ranges against.
+    concrete_ranges: Dict[int, List[int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -94,17 +101,32 @@ class DifferentialOracle:
         ctx_size: int = 64,
         inputs_per_program: int = 8,
         max_violations: int = 4,
+        on_transfer: Optional[Callable] = None,
+        collect_ranges: bool = False,
+        step_limit: int = 1_000_000,
     ) -> None:
         self.ctx_size = ctx_size
         self.inputs_per_program = inputs_per_program
         self.max_violations = max_violations
+        #: forwarded to :class:`Verifier` — per-operator attribution for
+        #: the campaign's precision telemetry.
+        self.on_transfer = on_transfer
+        #: track per-ALU-instruction concrete result ranges during replay.
+        self.collect_ranges = collect_ranges
+        #: interpreter step budget; campaigns lower it so mutated programs
+        #: with (verifier-rejected) loops cannot stall a replay.
+        self.step_limit = step_limit
 
     # -- public API ---------------------------------------------------------
 
     def check_program(
         self, program: Program, input_seed_base: int = 0
     ) -> OracleReport:
-        verifier = Verifier(ctx_size=self.ctx_size, collect_states=True)
+        verifier = Verifier(
+            ctx_size=self.ctx_size,
+            collect_states=True,
+            on_transfer=self.on_transfer,
+        )
         result = verifier.verify(program)
 
         if not result.ok:
@@ -112,16 +134,35 @@ class DifferentialOracle:
                 verdict="rejected",
                 reject_reason="; ".join(result.error_messages()) or None,
             )
-            report.rejected_but_clean = self._replay_clean(
-                program, input_seed_base
-            )
-            report.runs = 1
+            structural = bool(result.errors) and result.errors[0].structural
+            if structural:
+                # A CFG rejection (loops, dead code) is policy, not
+                # imprecision — replaying tells us nothing and can burn
+                # the whole step limit on a looping mutant.
+                report.rejected_but_clean = False
+            else:
+                if result.errors:
+                    report.reject_pc = result.errors[0].insn_index
+                report.rejected_but_clean = self._replay_clean(
+                    program, input_seed_base
+                )
+                report.runs = 1
             return report
 
         report = OracleReport(verdict="accepted")
+        # Destination register per ALU instruction, shared by every
+        # replay — the result written by instruction i is observable in
+        # the registers at the *next* step.
+        alu_dst: Optional[Dict[int, int]] = None
+        if self.collect_ranges:
+            alu_dst = {
+                i: insn.dst
+                for i, insn in enumerate(program.insns)
+                if insn.is_alu()
+            }
         for i in range(self.inputs_per_program):
             seed = (input_seed_base * 1_000_003 + i) & U64
-            self._run_one(program, verifier.states_at, seed, report)
+            self._run_one(program, verifier.states_at, seed, report, alu_dst)
             report.runs += 1
             if len(report.violations) >= self.max_violations:
                 break
@@ -133,7 +174,7 @@ class DifferentialOracle:
         return random.Random(seed).randbytes(self.ctx_size)
 
     def _replay_clean(self, program: Program, seed: int) -> bool:
-        machine = Machine(ctx=self._make_ctx(seed))
+        machine = Machine(ctx=self._make_ctx(seed), step_limit=self.step_limit)
         try:
             machine.run(program)
             return True
@@ -148,10 +189,31 @@ class DifferentialOracle:
         states_at: Dict[int, AbstractState],
         seed: int,
         report: OracleReport,
+        alu_dst: Optional[Dict[int, int]] = None,
     ) -> None:
-        machine = Machine(ctx=self._make_ctx(seed))
+        machine = Machine(ctx=self._make_ctx(seed), step_limit=self.step_limit)
+        # Range tracking remembers the previously executed index: the
+        # result instruction p wrote is read from the registers at the
+        # step that follows it.  Interpreter registers are already masked
+        # to 64 bits.
+        prev: List[Optional[int]] = [None]
+        dst_of = alu_dst.get if alu_dst is not None else None
+        ranges = report.concrete_ranges
 
         def on_step(idx: int, regs: List[int]) -> None:
+            if dst_of is not None:
+                p = prev[0]
+                prev[0] = idx
+                dst = dst_of(p)
+                if dst is not None:
+                    value = regs[dst]
+                    span = ranges.get(p)
+                    if span is None:
+                        ranges[p] = [value, value]
+                    elif value < span[0]:
+                        span[0] = value
+                    elif value > span[1]:
+                        span[1] = value
             state = states_at.get(idx)
             if state is None:
                 report.violations.append(Violation(

@@ -22,7 +22,7 @@ from typing import Callable, List, Optional
 from repro.bpf.insn import Instruction
 from repro.bpf.program import Program, ProgramError
 
-__all__ = ["shrink_program", "ShrinkStats"]
+__all__ = ["shrink_program", "ShrinkStats", "slot_prefix"]
 
 Predicate = Callable[[Program], bool]
 
@@ -37,12 +37,16 @@ class ShrinkStats:
     candidates_failing: int = 0
 
 
-def _slot_prefix(insns: List[Instruction]) -> List[int]:
+def slot_prefix(insns: List[Instruction]) -> List[int]:
+    """Encoding-slot address of each instruction (shared with mutate)."""
     slots, s = [], 0
     for insn in insns:
         slots.append(s)
         s += insn.slots()
     return slots
+
+
+_slot_prefix = slot_prefix
 
 
 def _jump_target_index(

@@ -1,0 +1,133 @@
+"""PrecisionReport: merging, ranking, serialization, rendering."""
+
+import pytest
+
+from repro.domains.product import ScalarValue
+from repro.eval import (
+    REJECT_COST_BITS,
+    OperatorStats,
+    PrecisionReport,
+    gamma_bits,
+    render_precision_markdown,
+    render_precision_report,
+)
+
+
+def make_stats(op, tight=0, clean=0, occurrences=1, hist=None):
+    return OperatorStats(
+        op=op,
+        occurrences=occurrences,
+        gamma_hist=dict(hist or {0: occurrences}),
+        tightness_sum=tight,
+        tightness_count=1 if tight else 0,
+        tightness_max=tight,
+        rejections=clean,
+        rejected_clean=clean,
+    )
+
+
+class TestGammaBits:
+    def test_constant_is_zero_bits(self):
+        assert gamma_bits(ScalarValue.const(42)) == 0
+
+    def test_byte_range_is_eight_bits(self):
+        assert gamma_bits(ScalarValue.from_range(0, 255)) == 8
+
+    def test_top_is_sixty_four_bits(self):
+        assert gamma_bits(ScalarValue.top()) == 64
+
+    def test_bottom_is_zero(self):
+        assert gamma_bits(ScalarValue.bottom()) == 0
+
+    def test_tnum_bound_wins_over_interval_span(self):
+        # One unknown bit at position 63: span says 64 bits, tnum says 1.
+        from repro.core.tnum import Tnum
+        from repro.domains.interval import Interval
+
+        value = ScalarValue.make(
+            Tnum(0, 1 << 63, 64), Interval(0, 1 << 63, 64)
+        )
+        assert gamma_bits(value) == 1
+
+
+class TestOperatorStats:
+    def test_imprecision_mass_prices_clean_rejections(self):
+        stats = make_stats("div64", tight=10, clean=3)
+        assert stats.imprecision_mass == 10 + REJECT_COST_BITS * 3
+
+    def test_merge_sums_and_maxes(self):
+        a = make_stats("mul64", tight=5, occurrences=2, hist={3: 2})
+        b = make_stats("mul64", tight=9, occurrences=1, hist={3: 1, 7: 0})
+        a.merge(b)
+        assert a.occurrences == 3
+        assert a.gamma_hist == {3: 3, 7: 0}
+        assert a.tightness_sum == 14
+        assert a.tightness_max == 9
+
+    def test_dict_round_trip(self):
+        stats = make_stats("arsh32", tight=4, clean=1, hist={2: 1})
+        assert OperatorStats.from_dict(stats.to_dict()) == stats
+
+
+class TestPrecisionReport:
+    def test_ranked_orders_by_mass_then_name(self):
+        report = PrecisionReport()
+        report.operators["a_light"] = make_stats("a_light", tight=1)
+        report.operators["z_heavy"] = make_stats("z_heavy", tight=100)
+        report.operators["b_tied"] = make_stats("b_tied", tight=1)
+        assert [s.op for s in report.ranked()] == \
+            ["z_heavy", "a_light", "b_tied"]
+
+    def test_merge_accumulates(self):
+        a = PrecisionReport(programs=2, accepted=1, rejected=1,
+                            rejected_clean=1)
+        a.operators["mod64"] = make_stats("mod64", tight=3)
+        b = PrecisionReport(programs=3, accepted=3, mutants=2)
+        b.operators["mod64"] = make_stats("mod64", tight=4)
+        b.operators["xor64"] = make_stats("xor64", tight=1)
+        a.merge(b)
+        assert a.programs == 5
+        assert a.mutants == 2
+        assert a.operators["mod64"].tightness_sum == 7
+        assert "xor64" in a.operators
+
+    def test_json_round_trip_is_byte_stable(self):
+        report = PrecisionReport(programs=4, accepted=3, rejected=1)
+        report.operators["lsh64"] = make_stats("lsh64", tight=6, hist={5: 1})
+        text = report.to_json()
+        assert PrecisionReport.from_json(text).to_json() == text
+
+    def test_json_ranking_matches_ranked(self):
+        report = PrecisionReport()
+        report.operators["a"] = make_stats("a", tight=1)
+        report.operators["b"] = make_stats("b", tight=5)
+        assert report.to_dict()["ranking"] == ["b", "a"]
+
+    def test_bad_format_version_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionReport.from_dict({"format_version": 99})
+
+
+class TestRendering:
+    def make_report(self):
+        report = PrecisionReport(programs=10, accepted=8, rejected=2,
+                                 rejected_clean=1, mutants=3)
+        report.operators["mul64"] = make_stats("mul64", tight=12)
+        report.operators["jset64"] = make_stats("jset64", clean=1)
+        return report
+
+    def test_text_table_lists_worst_first(self):
+        text = render_precision_report(self.make_report())
+        assert "operator" in text
+        assert text.index("mul64") < text.index("jset64")
+
+    def test_markdown_has_table_and_headline(self):
+        text = render_precision_markdown(self.make_report())
+        assert text.startswith("# Campaign precision report")
+        assert "| `mul64` |" in text
+        assert "rejected-but-clean" in text
+
+    def test_top_limits_rows(self):
+        text = render_precision_report(self.make_report(), top=1)
+        assert "mul64" in text
+        assert "jset64" not in text

@@ -1,0 +1,173 @@
+"""Precision campaign: determinism, telemetry, mutation feedback, resume."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.tnum import Tnum
+from repro.eval.precision import REJECT_COST_BITS, PrecisionReport
+from repro.fuzz import CampaignSpec, run_precision_campaign
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    defaults = dict(budget=40, rounds=2, seed=7)
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestSpec:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            CampaignSpec(profile="bogus")
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(rounds=0)
+
+    def test_bad_mutate_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(mutate_fraction=1.5)
+
+
+class TestCrossWorkerDeterminism:
+    def test_merged_report_byte_identical_across_1_2_4_workers(self):
+        """Same campaign seed, 1/2/4 workers: byte-identical report JSON."""
+        spec = small_spec()
+        reference = run_precision_campaign(spec)
+        for workers in (2, 4):
+            result = run_precision_campaign(replace(spec, workers=workers))
+            assert result.report.to_json() == reference.report.to_json()
+            assert result.corpus.to_json() == reference.corpus.to_json()
+            assert result.pool == reference.pool
+
+    def test_same_seed_reproducible(self):
+        spec = small_spec(seed=11)
+        a = run_precision_campaign(spec)
+        b = run_precision_campaign(spec)
+        assert a.report.to_json() == b.report.to_json()
+
+    def test_different_seed_differs(self):
+        a = run_precision_campaign(small_spec(seed=1))
+        b = run_precision_campaign(small_spec(seed=2))
+        assert a.report.to_json() != b.report.to_json()
+
+
+class TestTelemetry:
+    def test_operators_observed(self):
+        result = run_precision_campaign(small_spec())
+        report = result.report
+        assert report.programs == 40
+        assert report.operators, "no transfer functions observed"
+        for stats in report.operators.values():
+            assert stats.occurrences >= 0
+            assert sum(stats.gamma_hist.values()) == stats.occurrences
+            assert stats.imprecision_mass == (
+                stats.tightness_sum + REJECT_COST_BITS * stats.rejected_clean
+            )
+
+    def test_rejections_attributed_exactly_once(self):
+        result = run_precision_campaign(
+            small_spec(budget=60, profile="memory")
+        )
+        report = result.report
+        assert sum(s.rejections for s in report.operators.values()) == \
+            report.rejected
+        assert sum(s.rejected_clean for s in report.operators.values()) == \
+            report.rejected_clean
+
+    def test_ranking_sorted_by_mass(self):
+        result = run_precision_campaign(small_spec())
+        ranked = result.report.ranked()
+        masses = [s.imprecision_mass for s in ranked]
+        assert masses == sorted(masses, reverse=True)
+
+    def test_json_round_trip(self):
+        result = run_precision_campaign(small_spec())
+        reloaded = PrecisionReport.from_json(result.report.to_json())
+        assert reloaded.to_json() == result.report.to_json()
+
+
+class TestMutationFeedback:
+    def test_mutants_fuzzed_after_round_one(self):
+        result = run_precision_campaign(
+            small_spec(budget=60, mutate_fraction=1.0)
+        )
+        assert result.stats.mutants > 0
+        assert result.report.mutants == result.stats.mutants
+        assert result.pool, "no mutation seeds admitted"
+        assert result.corpus.seeds(), "mutation seeds missing from corpus"
+
+    def test_no_mutation_with_zero_fraction(self):
+        result = run_precision_campaign(small_spec(mutate_fraction=0.0))
+        assert result.stats.mutants == 0
+
+    def test_pool_respects_limit(self):
+        result = run_precision_campaign(
+            small_spec(budget=80, rounds=4, pool_limit=3,
+                       mutate_fraction=1.0)
+        )
+        assert len(result.pool) <= 3
+
+    def test_seed_admissions_respect_per_round_cap(self):
+        spec = small_spec(budget=80, rounds=2, seeds_per_round=1,
+                          tightness_seed_threshold=4)
+        result = run_precision_campaign(spec)
+        assert result.stats.seeds_pooled <= spec.rounds * spec.seeds_per_round
+
+
+class TestResume:
+    def test_round_checkpoint_resume_matches_single_run(self, tmp_path):
+        spec = small_spec(seed=9)
+        reference = run_precision_campaign(spec)
+        partial = run_precision_campaign(
+            spec, state_dir=tmp_path, stop_after_rounds=1
+        )
+        assert partial.stats.rounds_completed == 1
+        resumed = run_precision_campaign(spec, state_dir=tmp_path)
+        assert resumed.stats.rounds_completed == spec.rounds
+        assert resumed.report.to_json() == reference.report.to_json()
+        assert resumed.corpus.to_json() == reference.corpus.to_json()
+
+    def test_completed_campaign_rerun_is_idempotent(self, tmp_path):
+        spec = small_spec(seed=9)
+        first = run_precision_campaign(spec, state_dir=tmp_path)
+        again = run_precision_campaign(spec, state_dir=tmp_path)
+        assert again.report.to_json() == first.report.to_json()
+        assert again.stats.executed == first.stats.executed
+
+    def test_mismatched_spec_rejected(self, tmp_path):
+        run_precision_campaign(small_spec(), state_dir=tmp_path)
+        with pytest.raises(ValueError):
+            run_precision_campaign(small_spec(seed=99), state_dir=tmp_path)
+
+    def test_resume_with_different_worker_count_allowed(self, tmp_path):
+        spec = small_spec(seed=9)
+        run_precision_campaign(spec, state_dir=tmp_path, stop_after_rounds=1)
+        resumed = run_precision_campaign(
+            replace(spec, workers=2), state_dir=tmp_path
+        )
+        reference = run_precision_campaign(spec)
+        assert resumed.report.to_json() == reference.report.to_json()
+
+
+class TestSoundnessStillChecked:
+    def test_injected_bug_caught_and_shrunk(self, monkeypatch):
+        import repro.domains.product as product
+
+        real_add = product.tnum_add
+
+        def buggy_add(p: Tnum, q: Tnum) -> Tnum:
+            t = real_add(p, q)
+            if t.is_bottom():
+                return t
+            return Tnum(t.value & ~1, t.mask & ~1, t.width)
+
+        monkeypatch.setattr(product, "tnum_add", buggy_add)
+        result = run_precision_campaign(
+            CampaignSpec(budget=40, rounds=1, seed=0, profile="alu")
+        )
+        assert not result.ok
+        assert result.report.violations > 0
+        entry = result.corpus.violations()[0]
+        assert entry.violation["kind"] == "containment"
+        assert entry.shrunk_program() is not None

@@ -63,6 +63,84 @@ class TestRebuildWithout:
         assert candidate is not None
 
 
+class TestShrinkEdgeCases:
+    def test_branch_to_final_instruction_survives_deletion(self):
+        """A jump targeting the trailing exit stays valid as the body
+        between jump and exit is deleted."""
+        b = ProgramBuilder()
+        b.mov_imm(0, 0)
+        b.jmp_imm("jeq", 0, 0, "end")
+        b.alu_imm("add", 0, 1)
+        b.alu_imm("add", 0, 2)
+        b.label("end")
+        b.exit_()
+        program = b.build()
+        candidate = rebuild_without(list(program.insns), [0, 1, 4])
+        assert candidate is not None
+        # The retargeted jump must still land exactly on the exit.
+        assert candidate.insns[1].is_cond_jump()
+        assert candidate.index_at_slot(candidate.jump_target_slot(1)) == 2
+        from repro.bpf import Machine
+        assert Machine().run(candidate).return_value == 0
+
+    def test_deleting_the_final_jump_target_is_rejected(self):
+        """When a jump's target (the last instruction) is deleted, no
+        survivor lies at-or-after it; the candidate must be discarded,
+        not mis-built."""
+        b = ProgramBuilder()
+        b.mov_imm(0, 0)
+        b.jmp_imm("jeq", 0, 0, "end")
+        b.alu_imm("add", 0, 1)
+        b.label("end")
+        b.exit_()
+        program = b.build()
+        candidate = rebuild_without(list(program.insns), [0, 1, 2])
+        assert candidate is None
+
+    def test_already_minimal_single_insn_witness(self):
+        """A 1-instruction program shrinks to itself and terminates."""
+        program = assemble("exit")
+        assert len(program) == 1
+        shrunk, stats = shrink_program(program, lambda p: True)
+        assert shrunk.to_bytes() == program.to_bytes()
+        assert stats.initial_insns == stats.final_insns == 1
+
+    def test_predicate_only_true_for_original_returns_input(self):
+        """Shrinking terminates unchanged when nothing smaller fails."""
+        program = assemble("mov r0, 7\nmov r1, 9\nadd r0, r1\nexit")
+        original = program.to_bytes()
+        shrunk, stats = shrink_program(
+            program, lambda p: p.to_bytes() == original
+        )
+        assert shrunk.to_bytes() == original
+        assert stats.candidates_tried > 0
+        assert stats.candidates_failing == 0
+
+    def test_branch_skipping_to_exit_minimizes_cleanly(self):
+        """End-to-end: predicate keeps the branch, body gets deleted and
+        the jump is retargeted to the surviving exit."""
+        b = ProgramBuilder()
+        b.mov_imm(0, 0)
+        b.jmp_imm("jne", 0, 5, "end")
+        for _ in range(6):
+            b.alu_imm("add", 0, 3)
+        b.label("end")
+        b.exit_()
+        program = b.build()
+
+        def has_cond_jump(p: Program) -> bool:
+            return any(insn.is_cond_jump() for insn in p.insns)
+
+        shrunk, _ = shrink_program(program, has_cond_jump)
+        assert has_cond_jump(shrunk)
+        assert len(shrunk) <= 3  # jump + exit (+ maybe one mov)
+        jump_idx = next(
+            i for i, insn in enumerate(shrunk.insns) if insn.is_cond_jump()
+        )
+        target = shrunk.index_at_slot(shrunk.jump_target_slot(jump_idx))
+        assert 0 <= target < len(shrunk)
+
+
 class TestShrinkQuality:
     def test_structural_predicate_shrinks_to_core(self):
         # "Still contains a mul" as stand-in for "still fails".

@@ -1,0 +1,93 @@
+"""Mutation engine: determinism, structural validity, operator families."""
+
+import random
+
+from repro.bpf import isa
+from repro.bpf.program import Program
+from repro.fuzz import generate_program
+from repro.fuzz.mutate import (
+    MUTATION_KINDS,
+    _constant_nudge,
+    _opcode_tweak,
+    _splice,
+    mutate_program,
+)
+
+
+def programs(seed_a: int = 1, seed_b: int = 2):
+    return (
+        generate_program(seed_a).program,
+        generate_program(seed_b).program,
+    )
+
+
+class TestDeterminism:
+    def test_same_rng_seed_same_mutant(self):
+        base, donor = programs()
+        a = mutate_program(base, donor, random.Random(5))
+        b = mutate_program(base, donor, random.Random(5))
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_different_rng_usually_differs(self):
+        base, donor = programs()
+        mutants = {
+            mutate_program(base, donor, random.Random(s)).to_bytes()
+            for s in range(10)
+        }
+        assert len(mutants) > 1
+
+
+class TestStructuralValidity:
+    def test_many_mutants_are_valid_programs(self):
+        rng = random.Random(0)
+        for seed in range(100):
+            base = generate_program(seed).program
+            donor = generate_program(seed + 1000).program
+            mutant = mutate_program(base, donor, rng)
+            # Re-encoding through the wire format re-validates structure.
+            round_tripped = Program.from_bytes(mutant.to_bytes())
+            assert round_tripped.insns[-1].is_exit()
+            assert len(round_tripped) <= 33  # max_insns + forced exit
+
+    def test_mutant_respects_max_insns(self):
+        rng = random.Random(3)
+        base = generate_program(8, max_insns=40).program
+        donor = generate_program(9, max_insns=40).program
+        mutant = mutate_program(base, donor, rng, max_insns=16)
+        assert len(mutant) <= 17
+
+
+class TestIndividualMutations:
+    def test_splice_joins_prefix_and_suffix(self):
+        base, donor = programs()
+        mutant = _splice(base, donor, random.Random(1), max_insns=64)
+        assert mutant is not None
+        assert mutant.insns[-1].is_exit()
+
+    def test_opcode_tweak_stays_in_family(self):
+        base, _ = programs()
+        mutant = _opcode_tweak(base, random.Random(2), max_insns=64)
+        assert mutant is not None
+        # Same instruction count, every ALU op still a scalar ALU op.
+        assert len(mutant) == len(base)
+        for insn in mutant.insns:
+            if insn.is_alu():
+                assert isa.BPF_OP(insn.opcode) in isa.ALU_OP_NAMES
+
+    def test_constant_nudge_changes_only_an_immediate(self):
+        base, _ = programs()
+        for seed in range(10):
+            mutant = _constant_nudge(base, random.Random(seed), max_insns=64)
+            assert mutant is not None
+            assert len(mutant) == len(base)
+            diffs = [
+                (a, b) for a, b in zip(base.insns, mutant.insns) if a != b
+            ]
+            assert len(diffs) <= 1
+            for a, b in diffs:
+                assert (a.opcode, a.dst, a.src, a.off) == \
+                    (b.opcode, b.dst, b.src, b.off)
+                assert a.imm != b.imm
+
+    def test_kinds_catalogued(self):
+        assert set(MUTATION_KINDS) == {"splice", "opcode", "constant"}

@@ -1,5 +1,8 @@
 """CLI integration tests (python -m repro)."""
 
+import json
+import re
+
 import pytest
 
 from repro.cli import main
@@ -100,6 +103,80 @@ class TestCheckOp:
 
     def test_unknown_op_exhaustive(self, capsys):
         assert main(["check-op", "nope", "--method", "exhaustive"]) == 2
+
+
+class TestCampaignCli:
+    ARGS = ["campaign", "--budget", "24", "--rounds", "2", "--seed", "7"]
+
+    def test_clean_run_exit_zero_and_schema(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        assert main(self.ARGS + ["--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "programs/sec" in out
+        assert "per-operator imprecision" in out
+
+        payload = json.loads(report_path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["programs"] == 24
+        assert payload["operators"], "report lists no operators"
+        assert payload["ranking"], "report has no operator ranking"
+        for entry in payload["operators"].values():
+            assert set(entry) >= {
+                "occurrences", "gamma_hist", "tightness_sum",
+                "tightness_max", "rejections", "rejected_clean",
+                "imprecision_mass",
+            }
+
+    def test_top_ranked_operator_matches_library_run(self, tmp_path):
+        from repro.fuzz import CampaignSpec, run_precision_campaign
+
+        report_path = tmp_path / "report.json"
+        assert main(self.ARGS + ["--report", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+
+        expected = run_precision_campaign(
+            CampaignSpec(budget=24, rounds=2, seed=7)
+        ).report.ranked()[0].op
+        assert payload["ranking"][0] == expected
+        # Labels follow the transfer-function naming scheme.
+        assert re.fullmatch(
+            r"(refine_)?[a-z]+(32|64)|cfg|load|store|lddw|exit|call|ja",
+            payload["ranking"][0],
+        )
+
+    def test_seed_propagation(self, tmp_path):
+        a, b, c = (tmp_path / n for n in ("a.json", "b.json", "c.json"))
+        assert main(self.ARGS + ["--report", str(a)]) == 0
+        assert main(self.ARGS + ["--report", str(b)]) == 0
+        assert a.read_text() == b.read_text()
+        assert main([
+            "campaign", "--budget", "24", "--rounds", "2", "--seed", "8",
+            "--report", str(c),
+        ]) == 0
+        assert a.read_text() != c.read_text()
+
+    def test_markdown_and_corpus_written(self, tmp_path, capsys):
+        md = tmp_path / "report.md"
+        corpus = tmp_path / "corpus.json"
+        assert main(self.ARGS + [
+            "--markdown", str(md), "--corpus", str(corpus),
+        ]) == 0
+        assert md.read_text().startswith("# Campaign precision report")
+        from repro.fuzz import Corpus
+        Corpus.load(corpus)  # parses
+
+    def test_state_resume(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(self.ARGS + [
+            "--state", str(state), "--report", str(first),
+        ]) == 0
+        assert (state / "state.json").exists()
+        assert main(self.ARGS + [
+            "--state", str(state), "--report", str(second),
+        ]) == 0
+        assert first.read_text() == second.read_text()
 
 
 class TestEval:
