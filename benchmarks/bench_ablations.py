@@ -13,12 +13,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines import (
     bitwise_mul_naive,
     bitwise_mul_opt,
-    kern_mul,
     ripple_add,
     ripple_sub,
 )

@@ -12,7 +12,6 @@ domain) carries the verifier, and ranges alone are hopeless there.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.eval.domain_ablation import ablation_study
 

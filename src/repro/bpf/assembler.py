@@ -24,7 +24,7 @@ arithmetic accounts for that.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from . import isa
 from .insn import Instruction

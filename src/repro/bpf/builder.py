@@ -21,7 +21,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from . import isa
 from .insn import Instruction
@@ -144,11 +144,9 @@ class ProgramBuilder:
     def build(self) -> Program:
         """Resolve labels and produce a validated :class:`Program`."""
         insns: List[Instruction] = []
-        slot = 0
         for kind, data in self._items:
             if kind == "insn":
                 insns.append(data)  # type: ignore[arg-type]
-                slot += data.slots()  # type: ignore[union-attr]
             else:
                 opcode, dst, src, imm, target, at_slot = data  # type: ignore[misc]
                 if isinstance(target, str):
@@ -160,7 +158,6 @@ class ProgramBuilder:
                 insns.append(
                     Instruction(opcode, dst=dst, src=src, off=off, imm=imm)
                 )
-                slot += 1
         return Program(insns, labels=dict(self._labels))
 
     # -- internals ------------------------------------------------------------------------------

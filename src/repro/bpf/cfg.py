@@ -11,7 +11,7 @@ under.  The check is the kernel's own DFS edge-classification
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from . import isa
 from .program import Program

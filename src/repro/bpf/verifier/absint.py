@@ -22,20 +22,20 @@ Safety checks enforced (each mirrors a kernel check):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.bpf import isa
 from repro.bpf.cfg import CFGError, build_cfg
 from repro.bpf.insn import Instruction
 from repro.bpf.program import Program
-from repro.domains.interval import to_signed
+from repro.domains.interval import Interval, to_signed
 from repro.domains.product import ScalarValue
-from repro.core.tnum import Tnum, mask_for_width
+from repro.core.tnum import Tnum
 from repro.core.lattice import meet as tnum_meet
 
 from .errors import VerificationResult, VerifierError
 from .memory import check_mem_access, load_stack, store_stack
-from .state import AbstractState, RegKind, RegState, Region
+from .state import AbstractState, RegState, Region
 
 __all__ = ["Verifier", "verify_program", "transfer_label"]
 
@@ -386,10 +386,21 @@ class Verifier:
 
     @staticmethod
     def _subreg(value: ScalarValue) -> ScalarValue:
-        """The zero-extended 32-bit subregister view (kernel ``tnum_subreg``)."""
+        """The zero-extended 32-bit subregister view (kernel ``tnum_subreg``).
+
+        The 64-bit interval survives truncation whenever the low 32 bits
+        provably do not wrap across the range: the span must fit in 32
+        bits and the low words must stay ordered (``lo32(umin) <=
+        lo32(umax)``), which together rule out crossing a 2^32 boundary.
+        """
         t32 = value.tnum.cast(32).cast(64)
-        if value.interval.umax <= 0xFFFF_FFFF:
-            return ScalarValue.make(t32, value.interval)
+        iv = value.interval
+        if not iv.is_bottom() and iv.umax - iv.umin <= 0xFFFF_FFFF:
+            lo, hi = iv.umin & 0xFFFF_FFFF, iv.umax & 0xFFFF_FFFF
+            if lo <= hi:
+                return ScalarValue.make(
+                    t32, Interval(lo, hi, value.width)
+                )
         return ScalarValue.from_tnum(t32)
 
     @classmethod

@@ -17,10 +17,9 @@ programs (see the tests) only verify path-sensitively.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
-from repro.bpf import isa
 from repro.bpf.cfg import CFGError, build_cfg
 from repro.bpf.program import Program
 

@@ -22,6 +22,11 @@ Subcommands
     Precision campaign: multi-round fuzzing with per-operator
     imprecision telemetry, mutation feedback, resumable state, and
     JSON/markdown report output.
+``campaign-diff BASELINE [CANDIDATE]``
+    Compare two saved ``PrecisionReport`` JSONs — or a baseline against
+    a fresh fixed-seed campaign — as a per-operator tightness /
+    rejected-clean delta table, with a CI gate that fails on soundness
+    violations or a tightness-mass regression.
 
 Subcommands that use randomness (``fuzz``, ``campaign``,
 ``check-op --method random``, ``eval fig5``) accept ``--seed`` so every
@@ -156,6 +161,54 @@ def build_parser() -> argparse.ArgumentParser:
                         help="operators shown in the ranking (default 10)")
     p_camp.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
+
+    p_diff = sub.add_parser(
+        "campaign-diff",
+        help="diff two precision reports (or baseline vs. a fresh "
+             "fixed-seed campaign) and gate on regressions",
+    )
+    p_diff.add_argument("baseline",
+                        help="baseline PrecisionReport JSON file")
+    p_diff.add_argument("candidate", nargs="?",
+                        help="candidate PrecisionReport JSON; omitted, a "
+                             "fixed-seed campaign is run instead")
+    p_diff.add_argument("--budget", type=int, default=150,
+                        help="campaign budget when running the candidate "
+                             "(default 150, the CI smoke budget)")
+    p_diff.add_argument("--rounds", type=int, default=2,
+                        help="campaign rounds for the candidate run "
+                             "(default 2)")
+    p_diff.add_argument("--seed", type=int, default=42,
+                        help="campaign seed for the candidate run "
+                             "(default 42; must match the baseline's)")
+    p_diff.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the candidate run "
+                             "(reports do not depend on worker count)")
+    p_diff.add_argument("--profile", default="mixed",
+                        choices=("mixed", "alu", "memory", "branchy"))
+    p_diff.add_argument("--max-insns", type=int, default=32)
+    p_diff.add_argument("--inputs", type=int, default=8)
+    p_diff.add_argument("--ctx-size", type=int, default=64)
+    p_diff.add_argument("--mutate-fraction", type=float, default=0.0,
+                        help="mutation feedback for the candidate run "
+                             "(default 0: with mutation, the round-2+ "
+                             "program stream depends on the verifier "
+                             "under test, so cross-version diffs would "
+                             "compare different streams)")
+    p_diff.add_argument("--report", metavar="PATH",
+                        help="save the candidate run's PrecisionReport "
+                             "as JSON (e.g. to refresh the baseline)")
+    p_diff.add_argument("--markdown", metavar="PATH",
+                        help="write the delta table as markdown")
+    p_diff.add_argument("--top", type=int, default=15,
+                        help="operators shown in the delta table "
+                             "(default 15)")
+    p_diff.add_argument("--max-regression", type=float, default=0.05,
+                        help="gate threshold: maximum tolerated "
+                             "fractional tightness-mass increase "
+                             "(default 0.05)")
+    p_diff.add_argument("--no-gate", action="store_true",
+                        help="report only; always exit 0")
 
     return parser
 
@@ -395,6 +448,103 @@ def _cmd_campaign(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_campaign_diff(args) -> int:
+    from pathlib import Path
+
+    from repro.eval import (
+        PrecisionReport,
+        diff_reports,
+        render_diff,
+        render_diff_markdown,
+    )
+
+    # Malformed reports (bad JSON, wrong top-level type, wrong-typed
+    # fields) are all usage errors, not tracebacks.
+    load_errors = (OSError, ValueError, KeyError, TypeError, AttributeError)
+    try:
+        base = PrecisionReport.from_json(Path(args.baseline).read_text())
+    except load_errors as exc:
+        print(f"error: cannot load baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    #: flags that only configure the candidate *campaign run* — with an
+    #: explicit candidate file they would be silently meaningless, so
+    #: passing a non-default value alongside one is a usage error.
+    campaign_flag_defaults = {
+        "budget": 150, "rounds": 2, "seed": 42, "workers": 1,
+        "profile": "mixed", "max_insns": 32, "inputs": 8, "ctx_size": 64,
+        "mutate_fraction": 0.0,
+    }
+    if args.candidate is not None:
+        if args.report:
+            print("error: --report saves the candidate campaign's report "
+                  "and conflicts with an explicit candidate file",
+                  file=sys.stderr)
+            return 2
+        overridden = [
+            name for name, default in campaign_flag_defaults.items()
+            if getattr(args, name) != default
+        ]
+        if overridden:
+            flags = ", ".join(
+                "--" + name.replace("_", "-") for name in overridden
+            )
+            print(f"error: {flags} only configure the candidate campaign "
+                  "run and have no effect with an explicit candidate file",
+                  file=sys.stderr)
+            return 2
+        try:
+            new = PrecisionReport.from_json(
+                Path(args.candidate).read_text()
+            )
+        except load_errors as exc:
+            print(f"error: cannot load candidate {args.candidate}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        from repro.fuzz import CampaignSpec, run_precision_campaign
+
+        try:
+            spec = CampaignSpec(
+                budget=args.budget,
+                rounds=args.rounds,
+                seed=args.seed,
+                workers=args.workers,
+                profile=args.profile,
+                max_insns=args.max_insns,
+                ctx_size=args.ctx_size,
+                inputs_per_program=args.inputs,
+                mutate_fraction=args.mutate_fraction,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"candidate campaign: seed={args.seed} budget={args.budget} "
+              f"rounds={args.rounds} workers={args.workers}")
+        new = run_precision_campaign(spec).report
+
+    diff = diff_reports(base, new)
+    print(render_diff(diff, top=args.top))
+    if args.report:
+        Path(args.report).write_text(new.to_json() + "\n")
+        print(f"\ncandidate report: JSON -> {args.report}")
+    if args.markdown:
+        Path(args.markdown).write_text(
+            render_diff_markdown(diff, top=args.top) + "\n"
+        )
+        print(f"diff: markdown -> {args.markdown}")
+    failures = diff.gate_failures(max_regression=args.max_regression)
+    if failures:
+        for reason in failures:
+            print(f"GATE: {reason}",
+                  file=sys.stdout if args.no_gate else sys.stderr)
+        return 0 if args.no_gate else 1
+    print(f"gate: ok (mass {diff.base_mass} -> {diff.new_mass} bits, "
+          f"violations {diff.new_violations})")
+    return 0
+
+
 _DISPATCH = {
     "verify": _cmd_verify,
     "run": _cmd_run,
@@ -405,6 +555,7 @@ _DISPATCH = {
     "eval": _cmd_eval,
     "fuzz": _cmd_fuzz,
     "campaign": _cmd_campaign,
+    "campaign-diff": _cmd_campaign_diff,
 }
 
 

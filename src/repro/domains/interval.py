@@ -7,20 +7,145 @@ precisely (e.g. ``[3, 5]`` abstracts to ``0µµ`` ⊇ {0..7} over 3 bits), so
 the two domains cooperate (see :mod:`repro.domains.product`).
 
 This module implements the unsigned interval lattice with the abstract
-transformers the verifier needs: add/sub/mul with overflow-aware widening
-to ⊤, bitwise ops bounded via tnum conversion, and branch refinement for
-the BPF conditional jumps (``<``, ``<=``, ``>``, ``>=``, ``==``, ``!=`` in
-both signednesses).
+transformers the verifier needs: add/sub/mul with wraparound-aware
+widening to ⊤, exact bitwise bounds (the Hacker's Delight ``minOR`` /
+``maxAND`` family, the interval analogue of the kernel's
+``scalar_min_max_*`` known-bit reasoning), division/modulo bounds under
+BPF's defined ``x/0 == 0`` / ``x%0 == x`` semantics, and branch
+refinement for the BPF conditional jumps (``<``, ``<=``, ``>``, ``>=``,
+``==``, ``!=`` in both signednesses).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.core.tnum import Tnum, mask_for_width
 
-__all__ = ["Interval", "signed_bounds", "to_signed", "to_unsigned"]
+__all__ = [
+    "Interval",
+    "signed_bounds",
+    "to_signed",
+    "to_unsigned",
+    "min_and",
+    "max_and",
+    "min_or",
+    "max_or",
+    "min_xor",
+    "max_xor",
+]
+
+
+# -- exact bitwise bounds (Hacker's Delight §4-3) -------------------------------
+#
+# Each function returns the exact minimum/maximum of ``x <op> y`` over all
+# ``x ∈ [a, b]`` and ``y ∈ [c, d]`` (unsigned).  The scan walks bits high
+# to low looking for the first position where raising a lower bound (or
+# lowering an upper bound) buys freedom in the other operand; exactness
+# is exhaustively checked against brute force in the test suite.
+
+
+def min_or(a: int, b: int, c: int, d: int, width: int) -> int:
+    """Exact minimum of ``x | y`` for ``x ∈ [a, b]``, ``y ∈ [c, d]``."""
+    m = 1 << (width - 1)
+    while m:
+        if ~a & c & m:
+            t = (a | m) & ~(m - 1)
+            if t <= b:
+                a = t
+                break
+        elif a & ~c & m:
+            t = (c | m) & ~(m - 1)
+            if t <= d:
+                c = t
+                break
+        m >>= 1
+    return a | c
+
+
+def max_or(a: int, b: int, c: int, d: int, width: int) -> int:
+    """Exact maximum of ``x | y`` for ``x ∈ [a, b]``, ``y ∈ [c, d]``."""
+    m = 1 << (width - 1)
+    while m:
+        if b & d & m:
+            t = (b - m) | (m - 1)
+            if t >= a:
+                b = t
+                break
+            t = (d - m) | (m - 1)
+            if t >= c:
+                d = t
+                break
+        m >>= 1
+    return b | d
+
+
+def min_and(a: int, b: int, c: int, d: int, width: int) -> int:
+    """Exact minimum of ``x & y`` for ``x ∈ [a, b]``, ``y ∈ [c, d]``."""
+    m = 1 << (width - 1)
+    while m:
+        if ~a & ~c & m:
+            t = (a | m) & ~(m - 1)
+            if t <= b:
+                a = t
+                break
+            t = (c | m) & ~(m - 1)
+            if t <= d:
+                c = t
+                break
+        m >>= 1
+    return a & c
+
+
+def max_and(a: int, b: int, c: int, d: int, width: int) -> int:
+    """Exact maximum of ``x & y`` for ``x ∈ [a, b]``, ``y ∈ [c, d]``."""
+    m = 1 << (width - 1)
+    while m:
+        if b & ~d & m:
+            t = (b & ~m) | (m - 1)
+            if t >= a:
+                b = t
+                break
+        elif ~b & d & m:
+            t = (d & ~m) | (m - 1)
+            if t >= c:
+                d = t
+                break
+        m >>= 1
+    return b & d
+
+
+def min_xor(a: int, b: int, c: int, d: int, width: int) -> int:
+    """Exact minimum of ``x ^ y`` for ``x ∈ [a, b]``, ``y ∈ [c, d]``."""
+    m = 1 << (width - 1)
+    while m:
+        if ~a & c & m:
+            t = (a | m) & ~(m - 1)
+            if t <= b:
+                a = t
+        elif a & ~c & m:
+            t = (c | m) & ~(m - 1)
+            if t <= d:
+                c = t
+        m >>= 1
+    return a ^ c
+
+
+def max_xor(a: int, b: int, c: int, d: int, width: int) -> int:
+    """Exact maximum of ``x ^ y`` for ``x ∈ [a, b]``, ``y ∈ [c, d]``."""
+    m = 1 << (width - 1)
+    while m:
+        if b & d & m:
+            t = (b - m) | (m - 1)
+            if t >= a:
+                b = t
+            else:
+                t = (d - m) | (m - 1)
+                if t >= c:
+                    d = t
+        m >>= 1
+    return b ^ d
 
 
 def to_signed(x: int, width: int) -> int:
@@ -146,26 +271,42 @@ class Interval:
     # -- transformers --------------------------------------------------------
 
     def add(self, other: "Interval") -> "Interval":
-        """Abstract addition; widens to ⊤ on possible unsigned overflow."""
+        """Abstract addition, wraparound-aware.
+
+        Exact unless the sum *may* overflow: when every pair overflows the
+        wrapped bounds are still contiguous, so only the mixed case widens
+        to ⊤.
+        """
         self._check(other)
         if self.is_bottom() or other.is_bottom():
             return Interval.bottom(self.width)
         limit = mask_for_width(self.width)
         lo = self.umin + other.umin
         hi = self.umax + other.umax
-        if hi > limit:
-            return Interval.top(self.width)
-        return Interval(lo, hi, self.width)
+        if hi <= limit:
+            return Interval(lo, hi, self.width)
+        if lo > limit:
+            return Interval(lo - limit - 1, hi - limit - 1, self.width)
+        return Interval.top(self.width)
 
     def sub(self, other: "Interval") -> "Interval":
-        """Abstract subtraction; widens to ⊤ on possible underflow."""
+        """Abstract subtraction, wraparound-aware.
+
+        Exact unless the difference *may* underflow: all-pairs underflow
+        (``self.umax < other.umin``) wraps to a contiguous high range;
+        only the mixed case widens to ⊤.
+        """
         self._check(other)
         if self.is_bottom() or other.is_bottom():
             return Interval.bottom(self.width)
         lo = self.umin - other.umax
-        if lo < 0:
-            return Interval.top(self.width)
-        return Interval(lo, self.umax - other.umin, self.width)
+        hi = self.umax - other.umin
+        if lo >= 0:
+            return Interval(lo, hi, self.width)
+        if hi < 0:
+            wrap = mask_for_width(self.width) + 1
+            return Interval(lo + wrap, hi + wrap, self.width)
+        return Interval.top(self.width)
 
     def mul(self, other: "Interval") -> "Interval":
         """Abstract multiplication; widens to ⊤ on possible overflow."""
@@ -179,12 +320,104 @@ class Interval:
         return Interval(self.umin * other.umin, hi, self.width)
 
     def neg(self) -> "Interval":
-        """Abstract negation (exact only for constants; else ⊤)."""
+        """Abstract negation (``0 - x``); exact when 0 is excluded.
+
+        For ``0 < umin <= umax`` negation reverses the range within the
+        high wraparound band; a range containing 0 alongside other values
+        negates to {0} ∪ [2^w - umax, 2^w - 1], whose hull is ⊤.
+        """
         if self.is_bottom():
             return self
         if self.is_const():
             return Interval.const(-self.umin, self.width)
+        if self.umin > 0:
+            wrap = mask_for_width(self.width) + 1
+            return Interval(wrap - self.umax, wrap - self.umin, self.width)
         return Interval.top(self.width)
+
+    # -- bitwise transformers (exact) -----------------------------------------
+
+    def and_(self, other: "Interval") -> "Interval":
+        """Exact abstract bitwise AND (Hacker's Delight bounds)."""
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        args = (self.umin, self.umax, other.umin, other.umax, self.width)
+        return Interval(min_and(*args), max_and(*args), self.width)
+
+    def or_(self, other: "Interval") -> "Interval":
+        """Exact abstract bitwise OR (Hacker's Delight bounds)."""
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        args = (self.umin, self.umax, other.umin, other.umax, self.width)
+        return Interval(min_or(*args), max_or(*args), self.width)
+
+    def xor(self, other: "Interval") -> "Interval":
+        """Exact abstract bitwise XOR (Hacker's Delight bounds)."""
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        args = (self.umin, self.umax, other.umin, other.umax, self.width)
+        return Interval(min_xor(*args), max_xor(*args), self.width)
+
+    # -- division transformers (BPF semantics: x/0 == 0, x%0 == x) ------------
+
+    def udiv(self, other: "Interval") -> "Interval":
+        """Abstract unsigned division.
+
+        With a nonzero divisor the quotient is monotone in both operands:
+        ``[umin // div_umax, umax // div_umin]``.  A possibly-zero divisor
+        contributes 0 results (BPF defines ``x / 0 == 0``), and the
+        smallest nonzero divisor 1 leaves the dividend intact, so the
+        bounds become ``[0, umax]``.
+        """
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        if other.umax == 0:
+            return Interval.const(0, self.width)
+        if other.umin == 0:
+            return Interval(0, self.umax, self.width)
+        return Interval(
+            self.umin // other.umax, self.umax // other.umin, self.width
+        )
+
+    def umod(self, other: "Interval") -> "Interval":
+        """Abstract unsigned modulo.
+
+        The remainder never exceeds the dividend (``x % 0 == x`` included),
+        so ``umax`` always bounds it; a provably-nonzero divisor caps it
+        further at ``div_umax - 1``, and a dividend provably below the
+        divisor passes through unchanged.
+        """
+        self._check(other)
+        if self.is_bottom() or other.is_bottom():
+            return Interval.bottom(self.width)
+        if other.umax == 0:
+            return self  # divisor is constant 0: identity
+        if other.umin == 0:
+            return Interval(0, self.umax, self.width)
+        if self.umax < other.umin:
+            return self  # dividend always below divisor: identity
+        return Interval(0, min(self.umax, other.umax - 1), self.width)
+
+    # -- shift transformers ---------------------------------------------------
+
+    def lshift(self, shift: int) -> "Interval":
+        """Abstract left shift by a constant; ⊤ on possible overflow."""
+        if self.is_bottom():
+            return self
+        hi = self.umax << shift
+        if hi <= mask_for_width(self.width):
+            return Interval(self.umin << shift, hi, self.width)
+        return Interval.top(self.width)
+
+    def rshift(self, shift: int) -> "Interval":
+        """Abstract logical right shift by a constant (exact: monotone)."""
+        if self.is_bottom():
+            return self
+        return Interval(self.umin >> shift, self.umax >> shift, self.width)
 
     # -- branch refinement -----------------------------------------------------
 

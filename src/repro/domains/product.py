@@ -158,46 +158,52 @@ class ScalarValue:
     def mul(self, other: "ScalarValue") -> "ScalarValue":
         return self._binary(other, our_mul, Interval.mul)
 
+    # Bitwise and division ops run a *native* interval transfer alongside
+    # the tnum one; :meth:`make`'s reduction then meets the two results,
+    # so whichever domain is sharper wins per bound.  (The kernel gets the
+    # same effect from ``scalar_min_max_*`` + ``reg_bounds_sync``.)  The
+    # interval transfers are exact for and/or/xor and wraparound-aware for
+    # add/sub, which is where the tnum-derived fallback used to discard
+    # all operand range knowledge.
+
     def and_(self, other: "ScalarValue") -> "ScalarValue":
-        # Bitwise ops: tnum is the precise domain; interval falls back to
-        # the tnum-derived bounds (kernel does exactly this).
-        t = tnum_and(self.tnum, other.tnum)
-        return ScalarValue.make(t, Interval.from_tnum(t))
+        return self._binary(other, tnum_and, Interval.and_)
 
     def or_(self, other: "ScalarValue") -> "ScalarValue":
-        t = tnum_or(self.tnum, other.tnum)
-        return ScalarValue.make(t, Interval.from_tnum(t))
+        return self._binary(other, tnum_or, Interval.or_)
 
     def xor(self, other: "ScalarValue") -> "ScalarValue":
-        t = tnum_xor(self.tnum, other.tnum)
-        return ScalarValue.make(t, Interval.from_tnum(t))
+        return self._binary(other, tnum_xor, Interval.xor)
 
     def div(self, other: "ScalarValue") -> "ScalarValue":
-        t = tnum_div(self.tnum, other.tnum)
-        return ScalarValue.make(t, Interval.from_tnum(t))
+        return self._binary(other, tnum_div, Interval.udiv)
 
     def mod(self, other: "ScalarValue") -> "ScalarValue":
-        t = tnum_mod(self.tnum, other.tnum)
-        return ScalarValue.make(t, Interval.from_tnum(t))
+        return self._binary(other, tnum_mod, Interval.umod)
 
     def neg(self) -> "ScalarValue":
         t = tnum_neg(self.tnum)
-        return ScalarValue.make(t, self.interval.neg().meet(Interval.from_tnum(t)))
+        return ScalarValue.make(t, self.interval.neg())
 
     def lshift(self, shift: int) -> "ScalarValue":
         t = tnum_lshift(self.tnum, shift)
-        return ScalarValue.make(t, Interval.from_tnum(t))
+        return ScalarValue.make(t, self.interval.lshift(shift))
 
     def rshift(self, shift: int) -> "ScalarValue":
         t = tnum_rshift(self.tnum, shift)
-        iv = Interval(self.interval.umin >> shift, self.interval.umax >> shift,
-                      self.width) if not self.interval.is_bottom() else \
-            Interval.bottom(self.width)
-        return ScalarValue.make(t, iv.meet(Interval.from_tnum(t)))
+        return ScalarValue.make(t, self.interval.rshift(shift))
 
     def arshift(self, shift: int) -> "ScalarValue":
+        # The unsigned interval routes through the signed domain: an
+        # arithmetic shift is monotone on the signed view, and the result
+        # maps back exactly whenever it stays within one sign half.
+        from .signed_interval import SignedInterval
+
         t = tnum_arshift(self.tnum, shift)
-        return ScalarValue.make(t, Interval.from_tnum(t))
+        if self.interval.is_bottom():
+            return ScalarValue.make(t, self.interval)
+        iv = SignedInterval.from_unsigned(self.interval).arshift(shift).to_unsigned()
+        return ScalarValue.make(t, iv)
 
     # -- branch refinement --------------------------------------------------------
 

@@ -13,6 +13,25 @@ This module provides the signed lattice (over two's-complement
 * when a signed range lies entirely within one sign half, it maps to an
   unsigned range (and vice versa) — each can tighten the other;
 * a tnum bounds both views through its min/max values.
+
+Transfer-function architecture
+------------------------------
+Unlike the kernel, which stores ``smin``/``smax`` alongside
+``umin``/``umax`` in every register, the reduced product
+(:mod:`repro.domains.product`) keeps only tnum × unsigned bounds and
+*derives* the signed view on demand.  Under that architecture the
+bitwise and division operators need no dedicated signed transfer: the
+unsigned bounds for ``and``/``or``/``xor`` are exact on contiguous
+unsigned ranges (Hacker's Delight §4-3, see
+:mod:`repro.domains.interval`), so the signed view derived from the
+exact unsigned result is at least as tight as any sign-half-split
+computation, and BPF ``div``/``mod`` are unsigned operations outright.
+The one operator where signedness is load-bearing is the arithmetic
+right shift — monotone on the signed view, order-breaking on the
+unsigned one — so :meth:`ScalarValue.arshift
+<repro.domains.product.ScalarValue.arshift>` routes its interval through
+:meth:`SignedInterval.arshift` via :meth:`from_unsigned` /
+:meth:`to_unsigned`.
 """
 
 from __future__ import annotations
@@ -20,7 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.core.tnum import Tnum, mask_for_width
+from repro.core.tnum import Tnum
 
 from .interval import Interval, to_signed, to_unsigned
 

@@ -1,6 +1,13 @@
 """Evaluation harnesses reproducing §IV: precision (Fig. 4, Table I) and
 performance (Fig. 5), plus text renderers for paper-style output."""
 
+from .diff import (
+    OperatorDelta,
+    PrecisionDiff,
+    diff_reports,
+    render_diff,
+    render_diff_markdown,
+)
 from .performance import (
     PERF_ALGORITHMS,
     TimingResult,
@@ -47,6 +54,11 @@ __all__ = [
     "PrecisionReport",
     "REJECT_COST_BITS",
     "gamma_bits",
+    "OperatorDelta",
+    "PrecisionDiff",
+    "diff_reports",
+    "render_diff",
+    "render_diff_markdown",
     "render_table1",
     "render_fig4",
     "render_fig5",

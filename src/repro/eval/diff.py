@@ -1,0 +1,203 @@
+"""Campaign precision diffs: compare two :class:`PrecisionReport` runs.
+
+The campaign telemetry (:mod:`repro.eval.precision`) is deterministic for
+a fixed seed, so two reports — a committed baseline and a fresh run on
+the current tree — are directly comparable operator by operator.  This
+module computes that comparison and renders it as the per-operator delta
+table used both as PR acceptance evidence and as the CI
+``precision-gate``: the gate fails when the new run shows any soundness
+violation, or when total tightness mass (summed per-operator
+``imprecision_mass``, i.e. tightness bits plus the priced-in
+rejected-but-clean events) regresses by more than a configured fraction.
+
+Regression is directional: *more* mass means *less* precision.  Large
+negative deltas are improvements and never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .precision import PrecisionReport
+
+__all__ = [
+    "OperatorDelta",
+    "PrecisionDiff",
+    "diff_reports",
+    "render_diff",
+    "render_diff_markdown",
+]
+
+
+@dataclass(frozen=True)
+class OperatorDelta:
+    """Before/after telemetry for one operator label."""
+
+    op: str
+    base_occurrences: int
+    new_occurrences: int
+    base_tightness: int
+    new_tightness: int
+    base_rejected_clean: int
+    new_rejected_clean: int
+    base_mass: int
+    new_mass: int
+
+    @property
+    def mass_delta(self) -> int:
+        return self.new_mass - self.base_mass
+
+    @property
+    def tightness_delta(self) -> int:
+        return self.new_tightness - self.base_tightness
+
+    @property
+    def rejected_clean_delta(self) -> int:
+        return self.new_rejected_clean - self.base_rejected_clean
+
+
+@dataclass
+class PrecisionDiff:
+    """The full comparison of a baseline report against a new one."""
+
+    base_programs: int
+    new_programs: int
+    base_violations: int
+    new_violations: int
+    base_rejected_clean: int
+    new_rejected_clean: int
+    base_mass: int
+    new_mass: int
+    #: per-operator deltas, biggest absolute mass movement first
+    operators: List[OperatorDelta] = field(default_factory=list)
+
+    @property
+    def mass_delta(self) -> int:
+        return self.new_mass - self.base_mass
+
+    @property
+    def mass_regression(self) -> float:
+        """Fractional tightness-mass change; positive means regression.
+
+        A zero-mass baseline regresses only if the new run has mass at
+        all (reported as +inf so any threshold trips).
+        """
+        if self.base_mass == 0:
+            return float("inf") if self.new_mass > 0 else 0.0
+        return self.mass_delta / self.base_mass
+
+    def gate_failures(self, max_regression: float = 0.05) -> List[str]:
+        """Reasons the precision gate fails; empty means it passes."""
+        failures = []
+        if self.new_violations > 0:
+            failures.append(
+                f"{self.new_violations} soundness violation(s) in the "
+                f"new run (baseline had {self.base_violations})"
+            )
+        if self.mass_regression > max_regression:
+            failures.append(
+                f"total tightness mass regressed "
+                f"{100.0 * self.mass_regression:.1f}% "
+                f"({self.base_mass} -> {self.new_mass} bits; "
+                f"limit {100.0 * max_regression:.1f}%)"
+            )
+        return failures
+
+
+def diff_reports(base: PrecisionReport, new: PrecisionReport) -> PrecisionDiff:
+    """Compare two precision reports operator by operator.
+
+    Operators missing from one side diff against zeroed stats — a new
+    operator label contributes its whole mass as a delta, a vanished one
+    contributes its negation.
+    """
+    deltas = []
+    for op in sorted(set(base.operators) | set(new.operators)):
+        b = base.operators.get(op)
+        n = new.operators.get(op)
+        deltas.append(
+            OperatorDelta(
+                op=op,
+                base_occurrences=b.occurrences if b else 0,
+                new_occurrences=n.occurrences if n else 0,
+                base_tightness=b.tightness_sum if b else 0,
+                new_tightness=n.tightness_sum if n else 0,
+                base_rejected_clean=b.rejected_clean if b else 0,
+                new_rejected_clean=n.rejected_clean if n else 0,
+                base_mass=b.imprecision_mass if b else 0,
+                new_mass=n.imprecision_mass if n else 0,
+            )
+        )
+    deltas.sort(key=lambda d: (-abs(d.mass_delta), d.op))
+    return PrecisionDiff(
+        base_programs=base.programs,
+        new_programs=new.programs,
+        base_violations=base.violations,
+        new_violations=new.violations,
+        base_rejected_clean=base.rejected_clean,
+        new_rejected_clean=new.rejected_clean,
+        base_mass=sum(s.imprecision_mass for s in base.operators.values()),
+        new_mass=sum(s.imprecision_mass for s in new.operators.values()),
+        operators=deltas,
+    )
+
+
+def _pct(diff: PrecisionDiff) -> str:
+    if diff.base_mass == 0:
+        return "n/a" if diff.new_mass == 0 else "+inf"
+    return f"{100.0 * diff.mass_regression:+.1f}%"
+
+
+def render_diff(diff: PrecisionDiff, top: int = 15) -> str:
+    """The delta table as terminal text, biggest movers first."""
+    header = (
+        f"{'operator':>14} | {'obs':>9} | {'tight Σ Δ':>9} | "
+        f"{'rej-clean Δ':>11} | {'mass':>13} | {'Δ mass':>7}"
+    )
+    lines = [
+        f"precision diff: {diff.base_programs} -> {diff.new_programs} "
+        f"programs, violations {diff.base_violations} -> "
+        f"{diff.new_violations}, rejected-but-clean "
+        f"{diff.base_rejected_clean} -> {diff.new_rejected_clean}",
+        f"total tightness mass: {diff.base_mass} -> {diff.new_mass} bits "
+        f"({_pct(diff)})",
+        header,
+        "-" * len(header),
+    ]
+    for d in diff.operators[:top]:
+        lines.append(
+            f"{d.op:>14} | {d.base_occurrences:>4}/{d.new_occurrences:<4} | "
+            f"{d.tightness_delta:>+9} | {d.rejected_clean_delta:>+11} | "
+            f"{d.base_mass:>6}/{d.new_mass:<6} | {d.mass_delta:>+7}"
+        )
+    return "\n".join(lines)
+
+
+def render_diff_markdown(diff: PrecisionDiff, top: int = 15) -> str:
+    """The delta table as markdown (CI artifact)."""
+    lines = [
+        "# Campaign precision diff",
+        "",
+        f"- programs: {diff.base_programs} (baseline) vs "
+        f"{diff.new_programs} (new)",
+        f"- soundness violations: {diff.base_violations} -> "
+        f"**{diff.new_violations}**",
+        f"- rejected-but-clean: {diff.base_rejected_clean} -> "
+        f"**{diff.new_rejected_clean}**",
+        f"- total tightness mass: {diff.base_mass} -> "
+        f"**{diff.new_mass}** bits ({_pct(diff)})",
+        "",
+        "## Per-operator deltas (biggest movers first)",
+        "",
+        "| operator | obs (base/new) | tightness Σ Δ | rejected-clean Δ | "
+        "mass (base/new) | mass Δ |",
+        "|---|---:|---:|---:|---:|---:|",
+    ]
+    for d in diff.operators[:top]:
+        lines.append(
+            f"| `{d.op}` | {d.base_occurrences}/{d.new_occurrences} | "
+            f"{d.tightness_delta:+} | {d.rejected_clean_delta:+} | "
+            f"{d.base_mass}/{d.new_mass} | {d.mass_delta:+} |"
+        )
+    return "\n".join(lines)

@@ -8,7 +8,7 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from .performance import TimingResult
 from .precision import PrecisionComparison, PrecisionReport, TrendRow

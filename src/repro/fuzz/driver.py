@@ -20,7 +20,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.bpf.program import Program
 

@@ -14,8 +14,8 @@ they exercise the same verification conditions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.core.galois import abstract
 from repro.core.lattice import enumerate_tnums

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product as iter_product
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.galois import abstract
-from repro.core.lattice import enumerate_tnums, leq
+from repro.core.lattice import enumerate_tnums
 from repro.core.multiply import our_mul
 from repro.core.arithmetic import tnum_add, tnum_sub
 from repro.core.tnum import Tnum, mask_for_width

@@ -16,8 +16,8 @@ well-formed, and all well-formed tnums are reachable this way).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.core.ops import BINARY_OPS, SHIFT_OPS, UNARY_OPS
 from repro.core.tnum import Tnum, mask_for_width

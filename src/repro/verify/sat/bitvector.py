@@ -14,7 +14,7 @@ CDCL solver.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from .cnf import CNFBuilder
 

@@ -23,7 +23,7 @@ described in Supplementary D).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from .bitvector import BitVec, BitVecBuilder
 from .cnf import CNFBuilder

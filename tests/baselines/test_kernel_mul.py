@@ -1,7 +1,7 @@
 """Tests for the pre-paper kernel multiplication (kern_mul, Listing 2)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.baselines.kernel_mul import hma, kern_mul
 from repro.core.lattice import enumerate_tnums, leq

@@ -19,7 +19,7 @@ from repro.baselines.ripple import (
 )
 from repro.core.arithmetic import tnum_add, tnum_sub
 from repro.core.lattice import enumerate_tnums, leq, lt
-from repro.core.tnum import Tnum, mask_for_width
+from repro.core.tnum import Tnum
 from tests.conftest import tnums
 
 W = 8

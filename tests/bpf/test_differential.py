@@ -12,11 +12,7 @@ import random
 
 import pytest
 
-from repro.bpf import CTX_BASE, Machine, assemble
-from repro.bpf.assembler import assemble
-from repro.bpf.insn import Instruction
-from repro.bpf.program import Program
-from repro.bpf import isa
+from repro.bpf import CTX_BASE, Machine, assemble, isa
 from repro.bpf.verifier import Verifier
 from repro.bpf.verifier.state import RegKind
 
@@ -80,11 +76,7 @@ def check_containment(text: str, rng: random.Random, runs: int = 5) -> None:
     for _ in range(runs):
         ctx = bytes(rng.randrange(256) for _ in range(64))
         machine = Machine(ctx=ctx, record_trace=True)
-        # Re-run instruction by instruction, snapshotting registers.
-        snapshots = []
-
-        # Instrument by stepping manually through the trace.
-        outcome = machine.run(program, r1=CTX_BASE)
+        machine.run(program, r1=CTX_BASE)
 
         # Replay: execute again and capture register state per insn.
         machine2 = Machine(ctx=bytes(ctx))

@@ -1,6 +1,5 @@
 """Edge-path tests for verifier state machinery (slots, joins, errors)."""
 
-import pytest
 
 from repro.bpf import assemble
 from repro.bpf.verifier import Verifier
@@ -11,7 +10,6 @@ from repro.bpf.verifier.state import (
     Region,
     StackSlot,
 )
-from repro.domains.product import ScalarValue
 
 
 def verify(text: str):

@@ -1,6 +1,5 @@
 """Verifier accept/reject tests: the safety policy in action."""
 
-import pytest
 
 from repro.bpf import assemble
 from repro.bpf.verifier import Verifier, verify_program
@@ -443,3 +442,52 @@ class TestStateCollection:
     def test_insns_processed_counted(self):
         res = verify_program(assemble("mov r0, 0\nexit"))
         assert res.insns_processed == 2
+
+
+class TestSubregTruncation:
+    """The 32-bit subregister view keeps 64-bit interval knowledge
+    whenever the low words provably do not wrap."""
+
+    U32 = (1 << 32) - 1
+
+    def _subreg(self, lo, hi):
+        from repro.domains.product import ScalarValue
+
+        return Verifier._subreg(ScalarValue.from_range(lo, hi))
+
+    def test_fits_in_32_bits(self):
+        r = self._subreg(10, 20)
+        assert (r.umin(), r.umax()) == (10, 20)
+
+    def test_high_range_preserves_low_word(self):
+        base = 5 << 32
+        r = self._subreg(base + 5, base + 10)
+        assert (r.umin(), r.umax()) == (5, 10)
+
+    def test_wrapping_low_word_falls_back(self):
+        # [2^32 - 2, 2^32 + 1]: low words wrap 0xFFFFFFFE -> 1.
+        r = self._subreg((1 << 32) - 2, (1 << 32) + 1)
+        assert r.umin() == 0
+        for v in (self.U32 - 1, self.U32, 0, 1):
+            assert r.contains(v)
+
+    def test_huge_span_falls_back(self):
+        r = self._subreg(0, 1 << 40)
+        assert (r.umin(), r.umax()) == (0, self.U32)
+
+    def test_mod32_keeps_dividend_bounds(self):
+        # End to end through the 32-bit ALU path: even with an unknown,
+        # possibly-zero divisor the remainder never exceeds the
+        # (subregister) dividend bound.
+        v = Verifier(ctx_size=64, collect_states=True)
+        res = v.verify(assemble("""
+            ldxw r2, [r1+0]
+            ldxw r3, [r1+4]
+            and r2, 15
+            mod32 r2, r3
+            mov r0, r2
+            exit
+        """))
+        assert res.ok
+        state = v.states_at[4]
+        assert state.regs[2].scalar.umax() <= 15

@@ -6,7 +6,7 @@ both exhaustively at small widths and property-based at width 8.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.core.arithmetic import tnum_add, tnum_neg, tnum_sub
 from repro.core.galois import abstract, best_transformer_binary, gamma

@@ -7,7 +7,7 @@ transformer must satisfy (x ⊑ y ⇒ f(x) ⊑ f(y)) — the property that lets
 a verifier prune states soundly.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.core import (
     Tnum,

@@ -1,7 +1,7 @@
 """Galois-connection tests (Eqn. 5-7, Theorem 28)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.galois import (

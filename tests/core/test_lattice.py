@@ -1,7 +1,7 @@
 """Lattice-structure tests: ordering, join, meet (Eqn. 2 and Fig. 1)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.core.galois import gamma
 from repro.core.lattice import (

@@ -2,7 +2,6 @@
 
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.galois import abstract
 from repro.core.lattice import enumerate_tnums, leq

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.tnum import DEFAULT_WIDTH, Tnum, mask_for_width
+from repro.core.tnum import DEFAULT_WIDTH, Tnum
 from tests.conftest import tnums
 
 

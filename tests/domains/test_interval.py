@@ -87,8 +87,14 @@ class TestTransformers:
             for y in (b.umin, b.umax):
                 assert r.contains((x + y) & 255)
 
-    def test_add_overflow_widens_to_top(self):
-        assert Interval(200, 255, W).add(Interval(100, 100, W)).is_top()
+    def test_add_guaranteed_overflow_wraps_exactly(self):
+        # [300, 355] mod 256 stays contiguous: every pair overflows.
+        assert Interval(200, 255, W).add(Interval(100, 100, W)) == Interval(
+            44, 99, W
+        )
+
+    def test_add_possible_overflow_widens_to_top(self):
+        assert Interval(0, 255, W).add(Interval(100, 100, W)).is_top()
 
     @given(intervals(), intervals())
     def test_sub_sound(self, a, b):
@@ -97,8 +103,14 @@ class TestTransformers:
             for y in (b.umin, b.umax):
                 assert r.contains((x - y) & 255)
 
-    def test_sub_underflow_widens_to_top(self):
+    def test_sub_possible_underflow_widens_to_top(self):
         assert Interval(0, 5, W).sub(Interval(3, 3, W)).is_top()
+
+    def test_sub_guaranteed_underflow_wraps_exactly(self):
+        # Every pair borrows: [0-5, 3-4] + 256 = [251, 255].
+        assert Interval(0, 3, W).sub(Interval(4, 5, W)) == Interval(
+            251, 255, W
+        )
 
     @given(intervals(), intervals())
     def test_mul_sound(self, a, b):

@@ -3,13 +3,10 @@
 import random
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.core.tnum import Tnum
 from repro.domains.interval import Interval
 from repro.domains.product import ScalarValue
-from tests.conftest import tnums
 
 W = 64
 

@@ -1,0 +1,122 @@
+"""Tests for the campaign precision diff and its CI gate."""
+
+import pytest
+
+from repro.eval.diff import diff_reports, render_diff, render_diff_markdown
+from repro.eval.precision import PrecisionReport
+
+
+def report(ops, violations=0, rejected_clean=0, programs=100):
+    r = PrecisionReport(
+        programs=programs,
+        accepted=programs - rejected_clean,
+        rejected=rejected_clean,
+        rejected_clean=rejected_clean,
+        violations=violations,
+    )
+    for op, tightness, rej_clean in ops:
+        stats = r.operator(op)
+        stats.occurrences = 10
+        stats.tightness_sum = tightness
+        stats.tightness_count = 10
+        stats.rejections = rej_clean
+        stats.rejected_clean = rej_clean
+    return r
+
+
+class TestDiffReports:
+    def test_operator_union_and_order(self):
+        base = report([("mod64", 900, 0), ("sub64", 500, 0)])
+        new = report([("sub64", 450, 0), ("xor64", 30, 0)])
+        diff = diff_reports(base, new)
+        assert [d.op for d in diff.operators] == ["mod64", "sub64", "xor64"]
+        mod = diff.operators[0]
+        assert (mod.base_mass, mod.new_mass, mod.mass_delta) == (900, 0, -900)
+
+    def test_totals(self):
+        base = report([("a", 100, 0), ("b", 50, 0)])
+        new = report([("a", 80, 0), ("b", 40, 0)])
+        diff = diff_reports(base, new)
+        assert (diff.base_mass, diff.new_mass, diff.mass_delta) == (
+            150, 120, -30,
+        )
+        assert diff.mass_regression == pytest.approx(-0.2)
+
+    def test_rejected_clean_priced_into_mass(self):
+        base = report([("a", 0, 0)])
+        new = report([("a", 0, 2)], rejected_clean=2)
+        diff = diff_reports(base, new)
+        # REJECT_COST_BITS = 8 per rejected-but-clean event.
+        assert diff.new_mass == 16
+        assert diff.operators[0].rejected_clean_delta == 2
+
+
+class TestGate:
+    def test_passes_on_improvement(self):
+        diff = diff_reports(report([("a", 100, 0)]), report([("a", 10, 0)]))
+        assert diff.gate_failures() == []
+
+    def test_passes_within_threshold(self):
+        diff = diff_reports(report([("a", 100, 0)]), report([("a", 104, 0)]))
+        assert diff.gate_failures(max_regression=0.05) == []
+
+    def test_fails_beyond_threshold(self):
+        diff = diff_reports(report([("a", 100, 0)]), report([("a", 106, 0)]))
+        failures = diff.gate_failures(max_regression=0.05)
+        assert len(failures) == 1 and "tightness mass" in failures[0]
+
+    def test_fails_on_new_violations(self):
+        diff = diff_reports(
+            report([("a", 100, 0)]), report([("a", 10, 0)], violations=1)
+        )
+        failures = diff.gate_failures()
+        assert len(failures) == 1 and "soundness violation" in failures[0]
+
+    def test_zero_baseline_mass(self):
+        clean = diff_reports(report([]), report([]))
+        assert clean.mass_regression == 0.0
+        appeared = diff_reports(report([]), report([("a", 1, 0)]))
+        assert appeared.mass_regression == float("inf")
+        assert appeared.gate_failures()
+
+    def test_violation_and_regression_both_reported(self):
+        diff = diff_reports(
+            report([("a", 100, 0)]), report([("a", 200, 0)], violations=2)
+        )
+        assert len(diff.gate_failures()) == 2
+
+
+class TestRenderers:
+    def test_text_mentions_totals_and_movers(self):
+        diff = diff_reports(
+            report([("mod64", 900, 0)]), report([("mod64", 255, 0)])
+        )
+        text = render_diff(diff)
+        assert "900 -> 255" in text
+        assert "mod64" in text and "-645" in text
+
+    def test_markdown_table(self):
+        diff = diff_reports(
+            report([("mod64", 900, 0)], violations=0),
+            report([("mod64", 255, 0)], violations=0),
+        )
+        md = render_diff_markdown(diff)
+        assert "| `mod64` |" in md
+        assert "Per-operator deltas" in md
+
+    def test_top_limits_rows(self):
+        base = report([(f"op{i}", 10 + i, 0) for i in range(20)])
+        new = report([(f"op{i}", i, 0) for i in range(20)])
+        text = render_diff(diff_reports(base, new), top=5)
+        assert len(text.splitlines()) == 4 + 5  # header block + 5 rows
+
+
+class TestRoundTrip:
+    def test_diff_of_serialized_reports(self):
+        base = report([("mod64", 900, 1)], rejected_clean=1)
+        new = report([("mod64", 255, 0)])
+        base2 = PrecisionReport.from_json(base.to_json())
+        new2 = PrecisionReport.from_json(new.to_json())
+        d1 = diff_reports(base, new)
+        d2 = diff_reports(base2, new2)
+        assert render_diff(d1) == render_diff(d2)

@@ -1,6 +1,5 @@
 """Tests for the precision-evaluation harness (Fig. 4 / Table I)."""
 
-import math
 
 import pytest
 

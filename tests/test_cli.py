@@ -191,3 +191,111 @@ class TestEval:
     def test_fig5(self, capsys):
         assert main(["eval", "fig5", "--pairs", "30"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+
+class TestCampaignDiffCli:
+    # Mutation off to match campaign-diff's run-mode default (identical
+    # program streams are what make cross-run diffs meaningful).
+    CAMPAIGN = ["campaign", "--budget", "24", "--rounds", "2", "--seed", "7",
+                "--mutate-fraction", "0"]
+
+    @pytest.fixture
+    def saved_report(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        assert main(self.CAMPAIGN + ["--report", str(path)]) == 0
+        return path
+
+    def test_identical_reports_pass_gate(self, saved_report, tmp_path, capsys):
+        copy = tmp_path / "copy.json"
+        copy.write_text(saved_report.read_text())
+        assert main([
+            "campaign-diff", str(saved_report), str(copy),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gate: ok" in out
+        assert "+0.0%" in out
+
+    def test_run_mode_matches_baseline(self, saved_report, capsys):
+        # Omitting the candidate runs a campaign with the given spec;
+        # determinism makes it byte-identical to the saved baseline.
+        assert main([
+            "campaign-diff", str(saved_report),
+            "--budget", "24", "--rounds", "2", "--seed", "7",
+        ]) == 0
+        assert "gate: ok" in capsys.readouterr().out
+
+    def test_regression_fails_gate(self, saved_report, tmp_path, capsys):
+        payload = json.loads(saved_report.read_text())
+        label, entry = next(iter(payload["operators"].items()))
+        entry["tightness_sum"] += 10_000
+        entry["imprecision_mass"] += 10_000
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(payload))
+        assert main(["campaign-diff", str(saved_report), str(worse)]) == 1
+        assert "tightness mass regressed" in capsys.readouterr().err
+
+    def test_no_gate_reports_only(self, saved_report, tmp_path, capsys):
+        payload = json.loads(saved_report.read_text())
+        label, entry = next(iter(payload["operators"].items()))
+        entry["tightness_sum"] += 10_000
+        entry["imprecision_mass"] += 10_000
+        worse = tmp_path / "worse.json"
+        worse.write_text(json.dumps(payload))
+        assert main([
+            "campaign-diff", str(saved_report), str(worse), "--no-gate",
+        ]) == 0
+        assert "GATE:" in capsys.readouterr().out
+
+    def test_violations_fail_gate(self, saved_report, tmp_path, capsys):
+        payload = json.loads(saved_report.read_text())
+        payload["violations"] = 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(payload))
+        assert main(["campaign-diff", str(saved_report), str(bad)]) == 1
+        assert "soundness violation" in capsys.readouterr().err
+
+    def test_markdown_artifact(self, saved_report, tmp_path):
+        md = tmp_path / "diff.md"
+        assert main([
+            "campaign-diff", str(saved_report), str(saved_report),
+            "--markdown", str(md),
+        ]) == 0
+        assert md.read_text().startswith("# Campaign precision diff")
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main(["campaign-diff", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_corrupt_candidate_is_usage_error(self, saved_report, tmp_path,
+                                              capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["campaign-diff", str(saved_report), str(bad)]) == 2
+        assert "cannot load candidate" in capsys.readouterr().err
+
+
+    def test_report_conflicts_with_explicit_candidate(self, saved_report,
+                                                      tmp_path, capsys):
+        out = tmp_path / "out.json"
+        assert main([
+            "campaign-diff", str(saved_report), str(saved_report),
+            "--report", str(out),
+        ]) == 2
+        assert "conflicts" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_non_object_json_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["campaign-diff", str(bad)]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_campaign_flags_conflict_with_explicit_candidate(
+            self, saved_report, capsys):
+        assert main([
+            "campaign-diff", str(saved_report), str(saved_report),
+            "--seed", "9", "--budget", "500",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--budget" in err and "--seed" in err
+        assert "no effect" in err

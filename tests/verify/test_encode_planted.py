@@ -6,7 +6,6 @@ kinds of mask mistakes the BPF verifier CVEs came from) and checks the
 solver produces a genuine counterexample.
 """
 
-import pytest
 
 from repro.core.tnum import Tnum
 from repro.verify.sat.bitvector import BitVecBuilder

@@ -1,6 +1,5 @@
 """Tests for exhaustive and randomized verification pipelines."""
 
-import random
 
 import pytest
 

@@ -10,9 +10,8 @@ import random
 
 import pytest
 
-from repro.core.ops import BINARY_OPS, OpSpec
+from repro.core.ops import BINARY_OPS
 from repro.core.tnum import Tnum, mask_for_width
-from repro.core._raw import add_raw
 from repro.verify.exhaustive import check_soundness
 from repro.verify.random_check import random_member, random_tnum
 

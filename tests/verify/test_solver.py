@@ -4,8 +4,6 @@ import itertools
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.verify.sat.solver import SatResult, Solver
 
