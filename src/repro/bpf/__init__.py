@@ -8,6 +8,7 @@ proves memory safety through abstract interpretation with tnums.
 
 from .assembler import AssemblyError, assemble
 from .cfg import CFGError, ControlFlowGraph, build_cfg
+from .compiled import CompiledProgram, compile_program
 from .disassembler import format_instruction, format_program
 from .insn import Instruction, decode, decode_program, encode, encode_program
 from .interpreter import (
@@ -34,6 +35,8 @@ __all__ = [
     "build_cfg",
     "ControlFlowGraph",
     "CFGError",
+    "CompiledProgram",
+    "compile_program",
     "Machine",
     "ExecutionError",
     "ExecutionResult",

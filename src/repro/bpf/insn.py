@@ -19,6 +19,8 @@ __all__ = ["Instruction", "encode", "decode", "encode_program", "decode_program"
 
 _STRUCT = struct.Struct("<BBhi")  # opcode, regs, off, imm
 
+_LDDW_OPCODE = isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM
+
 
 @dataclass(frozen=True)
 class Instruction:
@@ -84,7 +86,7 @@ class Instruction:
         return self.cls() in (isa.CLS_ST, isa.CLS_STX)
 
     def is_lddw(self) -> bool:
-        return self.opcode == (isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM)
+        return self.opcode == _LDDW_OPCODE
 
     def uses_imm(self) -> bool:
         return isa.BPF_SRC(self.opcode) == isa.SRC_K
@@ -121,18 +123,22 @@ def _as_s32(x: int) -> int:
 
 
 def decode(data: bytes, offset: int = 0) -> Instruction:
-    """Decode one instruction starting at ``offset``; lddw consumes 16 bytes."""
+    """Decode one instruction starting at ``offset``; lddw consumes 16 bytes.
+
+    Each instruction is constructed exactly once: the lddw check happens
+    on the raw opcode byte, before any :class:`Instruction` exists, so
+    wide immediates don't pay for a throwaway intermediate object.
+    """
     opcode, regs, off, imm = _STRUCT.unpack_from(data, offset)
     dst = regs & 0x0F
     src = (regs >> 4) & 0x0F
-    insn = Instruction(opcode, dst, src, off, imm)
-    if insn.is_lddw():
+    if opcode == _LDDW_OPCODE:
         if len(data) < offset + 16:
             raise ValueError("truncated lddw instruction")
         _, _, _, hi = _STRUCT.unpack_from(data, offset + 8)
         imm64 = (imm & 0xFFFFFFFF) | ((hi & 0xFFFFFFFF) << 32)
         return Instruction(opcode, dst, src, off, imm64)
-    return insn
+    return Instruction(opcode, dst, src, off, imm)
 
 
 def encode_program(insns: Iterable[Instruction]) -> bytes:

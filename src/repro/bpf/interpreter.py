@@ -11,16 +11,25 @@ Pointers are modelled as integers in a flat address space with the stack
 and the context placed at fixed, well-separated bases.  That keeps
 pointer arithmetic honest (r10-8 really is an address) while letting the
 machine detect out-of-bounds accesses.
+
+Execution has two paths with identical semantics:
+
+* :meth:`Machine.run` — the default: executes the program's decode-once
+  compiled form (:mod:`repro.bpf.compiled`), whose hot loop is a single
+  closure call per step;
+* :meth:`Machine.run_reference` — the original step decoder, kept as the
+  behavioral reference the compiled path is differentially tested
+  against (``tests/bpf/test_compiled.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from . import isa
 from .insn import Instruction
-from .program import Program
+from .program import Program, ProgramError
 
 __all__ = ["Machine", "ExecutionError", "ExecutionResult", "STACK_BASE", "CTX_BASE"]
 
@@ -31,6 +40,9 @@ U32 = (1 << 32) - 1
 #: valid stack bytes are [STACK_BASE, STACK_BASE + STACK_SIZE).
 STACK_BASE = 0x1000_0000
 CTX_BASE = 0x2000_0000
+
+#: Zero template for in-place stack resets (see :meth:`Machine.reset`).
+_ZERO_STACK = bytes(isa.STACK_SIZE)
 
 
 class ExecutionError(RuntimeError):
@@ -43,11 +55,17 @@ class ExecutionError(RuntimeError):
 
 @dataclass
 class ExecutionResult:
-    """Outcome of a concrete run."""
+    """Outcome of a concrete run.
+
+    ``trace`` is ``None`` unless the machine was built with
+    ``record_trace=True`` — the replay loop runs millions of steps per
+    campaign, so the common no-trace path must not allocate a list per
+    run.
+    """
 
     return_value: int
     steps: int
-    trace: List[int] = field(default_factory=list)
+    trace: Optional[List[int]] = None
 
 
 def _s64(x: int) -> int:
@@ -75,6 +93,17 @@ class Machine:
         self.step_limit = step_limit
         self.record_trace = record_trace
         self.regs = [0] * isa.MAX_REG
+
+    def reset(self, ctx: bytes) -> None:
+        """Reuse this machine for a fresh run with new context bytes.
+
+        Equivalent to constructing ``Machine(ctx=ctx, ...)`` with the
+        same helpers/limits, but without reallocating the stack — the
+        differential oracle resets one machine per replay input instead
+        of building ``inputs_per_program`` machines per program.
+        """
+        self.ctx = bytearray(ctx)
+        self.stack[:] = _ZERO_STACK
 
     # -- memory ------------------------------------------------------------
 
@@ -109,11 +138,75 @@ class Machine:
         ``on_step`` is invoked with ``(insn_index, regs)`` before each
         instruction executes — the observation point differential oracles
         compare against the verifier's per-instruction entry states.
+
+        Executes the program's decode-once compiled form; semantics are
+        identical to :meth:`run_reference` (differentially tested).
+        """
+        compiled = program.compiled()
+        code = compiled.steps
+        slots = compiled.slots
+        n = len(code)
+        regs = self.regs = [0] * isa.MAX_REG
+        regs[1] = r1
+        regs[isa.FP_REG] = STACK_BASE + isa.STACK_SIZE
+
+        limit = self.step_limit
+        steps = 0
+        idx = 0
+        trace: Optional[List[int]] = [] if self.record_trace else None
+
+        if on_step is None and trace is None:
+            # The replay hot loop: one closure call per step.
+            while True:
+                if steps >= limit:
+                    pc = slots[idx] if idx < n else compiled.total_slots
+                    raise ExecutionError(pc, "step limit exceeded")
+                steps += 1
+                if idx >= n:
+                    raise ProgramError(
+                        f"slot {compiled.total_slots} is not an "
+                        f"instruction boundary"
+                    )
+                nxt = code[idx](self, regs)
+                if nxt < 0:
+                    return ExecutionResult(regs[0], steps)
+                idx = nxt
+
+        while True:
+            if steps >= limit:
+                pc = slots[idx] if idx < n else compiled.total_slots
+                raise ExecutionError(pc, "step limit exceeded")
+            steps += 1
+            if idx >= n:
+                raise ProgramError(
+                    f"slot {compiled.total_slots} is not an "
+                    f"instruction boundary"
+                )
+            if trace is not None:
+                trace.append(idx)
+            if on_step is not None:
+                on_step(idx, regs)
+            nxt = code[idx](self, regs)
+            if nxt < 0:
+                return ExecutionResult(regs[0], steps, trace)
+            idx = nxt
+
+    def run_reference(
+        self,
+        program: Program,
+        r1: int = CTX_BASE,
+        on_step: Optional[Callable[[int, List[int]], None]] = None,
+    ) -> ExecutionResult:
+        """The original decode-every-step interpreter.
+
+        Kept as the behavioral reference for the compiled path: both must
+        produce identical results, register files, step counts, and
+        errors on every program.
         """
         self.regs = [0] * isa.MAX_REG
         self.regs[1] = r1
         self.regs[isa.FP_REG] = STACK_BASE + isa.STACK_SIZE
-        trace: List[int] = []
+        trace: Optional[List[int]] = [] if self.record_trace else None
 
         pc_slot = 0
         steps = 0
@@ -123,7 +216,7 @@ class Machine:
             steps += 1
             idx = program.index_at_slot(pc_slot)
             insn = program.insns[idx]
-            if self.record_trace:
+            if trace is not None:
                 trace.append(idx)
             if on_step is not None:
                 on_step(idx, self.regs)
@@ -138,39 +231,52 @@ class Machine:
         self, program: Program, idx: int, insn: Instruction, next_slot: int
     ) -> int:
         cls = insn.cls()
-        pc = program.slot_of(idx)
 
         if insn.is_lddw():
             self.regs[insn.dst] = insn.imm & U64
             return next_slot
 
         if cls in (isa.CLS_ALU, isa.CLS_ALU64):
-            self._alu(pc, insn, is64=(cls == isa.CLS_ALU64))
+            self._alu(program, idx, insn, is64=(cls == isa.CLS_ALU64))
             return next_slot
 
         if cls in (isa.CLS_JMP, isa.CLS_JMP32):
             return self._jump(program, idx, insn, next_slot)
 
+        # Only the error paths below need the slot address; computing it
+        # on every step was pure overhead.
         if cls == isa.CLS_LDX:
             addr = (self.regs[insn.src] + insn.off) & U64
-            self.regs[insn.dst] = self._load(pc, addr, insn.size_bytes())
+            self.regs[insn.dst] = self._load(
+                program.slot_of(idx), addr, insn.size_bytes()
+            )
             return next_slot
 
         if cls == isa.CLS_STX:
             addr = (self.regs[insn.dst] + insn.off) & U64
-            self._store(pc, addr, insn.size_bytes(), self.regs[insn.src])
+            self._store(
+                program.slot_of(idx), addr, insn.size_bytes(),
+                self.regs[insn.src],
+            )
             return next_slot
 
         if cls == isa.CLS_ST:
             addr = (self.regs[insn.dst] + insn.off) & U64
-            self._store(pc, addr, insn.size_bytes(), insn.imm & U64)
+            self._store(
+                program.slot_of(idx), addr, insn.size_bytes(),
+                insn.imm & U64,
+            )
             return next_slot
 
-        raise ExecutionError(pc, f"unsupported opcode {insn.opcode:#04x}")
+        raise ExecutionError(
+            program.slot_of(idx), f"unsupported opcode {insn.opcode:#04x}"
+        )
 
     # -- ALU ------------------------------------------------------------------
 
-    def _alu(self, pc: int, insn: Instruction, is64: bool) -> None:
+    def _alu(
+        self, program: Program, idx: int, insn: Instruction, is64: bool
+    ) -> None:
         op = isa.BPF_OP(insn.opcode)
         dst = self.regs[insn.dst]
         src = insn.imm & U64 if insn.uses_imm() else self.regs[insn.src]
@@ -208,7 +314,9 @@ class Machine:
         elif op == isa.ALU_NEG:
             result = -dst
         else:
-            raise ExecutionError(pc, f"unsupported ALU op {op:#04x}")
+            raise ExecutionError(
+                program.slot_of(idx), f"unsupported ALU op {op:#04x}"
+            )
         # 32-bit ops zero-extend their result into the full register.
         self.regs[insn.dst] = result & width_mask
 
@@ -218,7 +326,6 @@ class Machine:
         self, program: Program, idx: int, insn: Instruction, next_slot: int
     ) -> int:
         op = isa.BPF_OP(insn.opcode)
-        pc = program.slot_of(idx)
 
         if op == isa.JMP_JA:
             return program.jump_target_slot(idx)
@@ -226,7 +333,9 @@ class Machine:
         if op == isa.JMP_CALL:
             helper = self.helpers.get(insn.imm)
             if helper is None:
-                raise ExecutionError(pc, f"unknown helper {insn.imm}")
+                raise ExecutionError(
+                    program.slot_of(idx), f"unknown helper {insn.imm}"
+                )
             self.regs[0] = helper(*self.regs[1:6]) & U64
             # r1-r5 are clobbered by calls, per the BPF ABI.
             for r in range(1, 6):
@@ -256,5 +365,7 @@ class Machine:
             isa.JMP_JSLE: sdst <= ssrc,
         }.get(op)
         if taken is None:
-            raise ExecutionError(pc, f"unsupported jump op {op:#04x}")
+            raise ExecutionError(
+                program.slot_of(idx), f"unsupported jump op {op:#04x}"
+            )
         return program.jump_target_slot(idx) if taken else next_slot

@@ -9,10 +9,13 @@ to flat bytecode.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from . import isa
 from .insn import Instruction, decode_program, encode_program
+
+if TYPE_CHECKING:
+    from .compiled import CompiledProgram
 
 __all__ = ["Program", "ProgramError"]
 
@@ -33,14 +36,20 @@ class Program:
             raise ProgramError(
                 f"program too large: {len(self.insns)} > {isa.MAX_INSNS}"
             )
+        # Dense arrays, not dicts: slot->index lookups happen on every
+        # interpreted step and on every jump-retargeting pass in the
+        # shrinker, so both directions are O(1) list indexing.  Slots in
+        # the middle of an lddw map to -1 (not an instruction boundary).
         self._slot_of_index: List[int] = []
-        self._index_of_slot: Dict[int, int] = {}
-        slot = 0
+        index_of_slot: List[int] = []
         for idx, insn in enumerate(self.insns):
-            self._slot_of_index.append(slot)
-            self._index_of_slot[slot] = idx
-            slot += insn.slots()
-        self._total_slots = slot
+            self._slot_of_index.append(len(index_of_slot))
+            index_of_slot.append(idx)
+            if insn.slots() == 2:
+                index_of_slot.append(-1)
+        self._index_of_slot: List[int] = index_of_slot
+        self._total_slots = len(index_of_slot)
+        self._compiled: Optional["CompiledProgram"] = None
         self._validate_jumps()
 
     # -- addressing -----------------------------------------------------------
@@ -59,14 +68,30 @@ class Program:
 
         Raises :class:`ProgramError` for mid-``lddw`` or out-of-range slots.
         """
-        if slot not in self._index_of_slot:
-            raise ProgramError(f"slot {slot} is not an instruction boundary")
-        return self._index_of_slot[slot]
+        if 0 <= slot < self._total_slots:
+            index = self._index_of_slot[slot]
+            if index >= 0:
+                return index
+        raise ProgramError(f"slot {slot} is not an instruction boundary")
 
     def jump_target_slot(self, index: int) -> int:
         """Slot a (conditional or unconditional) jump at ``index`` targets."""
         insn = self.insns[index]
         return self.slot_of(index) + insn.slots() + insn.off
+
+    def compiled(self) -> "CompiledProgram":
+        """The decode-once compiled form, built lazily and cached.
+
+        Programs are immutable in practice (mutation passes build new
+        ``Program`` objects), so compiling once per object is safe and
+        lets every replay of the same program share the work.
+        """
+        cp = self._compiled
+        if cp is None:
+            from .compiled import compile_program
+
+            cp = self._compiled = compile_program(self)
+        return cp
 
     def _validate_jumps(self) -> None:
         for idx, insn in enumerate(self.insns):
@@ -74,7 +99,10 @@ class Program:
                 insn.opcode
             ) != isa.JMP_CALL:
                 target = self.jump_target_slot(idx)
-                if target not in self._index_of_slot:
+                if not (
+                    0 <= target < self._total_slots
+                    and self._index_of_slot[target] >= 0
+                ):
                     raise ProgramError(
                         f"insn {idx}: jump target slot {target} invalid"
                     )

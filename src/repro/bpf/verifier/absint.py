@@ -68,6 +68,20 @@ def transfer_label(insn: Instruction) -> Optional[str]:
         return f"refine_{name}{width}" if name else None
     return None
 
+#: Dispatch table for the plain binary scalar transfers — resolved once
+#: at import instead of an if-chain per instruction (shift and mov/neg
+#: ops need width-aware handling and stay in :meth:`Verifier._scalar_alu`).
+_SCALAR_BINOP: Dict[int, Callable[[ScalarValue, ScalarValue], ScalarValue]] = {
+    isa.ALU_ADD: ScalarValue.add,
+    isa.ALU_SUB: ScalarValue.sub,
+    isa.ALU_MUL: ScalarValue.mul,
+    isa.ALU_AND: ScalarValue.and_,
+    isa.ALU_OR: ScalarValue.or_,
+    isa.ALU_XOR: ScalarValue.xor,
+    isa.ALU_DIV: ScalarValue.div,
+    isa.ALU_MOD: ScalarValue.mod,
+}
+
 #: Comparison mirroring for "constant <op> register" refinement:
 #: ``c <op> r`` holds iff ``r <mirror(op)> c``.
 _MIRRORED_OPS = {
@@ -305,22 +319,9 @@ class Verifier:
         idx: int,
         is64: bool = True,
     ) -> ScalarValue:
-        if op == isa.ALU_ADD:
-            return dst.add(src)
-        if op == isa.ALU_SUB:
-            return dst.sub(src)
-        if op == isa.ALU_MUL:
-            return dst.mul(src)
-        if op == isa.ALU_AND:
-            return dst.and_(src)
-        if op == isa.ALU_OR:
-            return dst.or_(src)
-        if op == isa.ALU_XOR:
-            return dst.xor(src)
-        if op == isa.ALU_DIV:
-            return dst.div(src)
-        if op == isa.ALU_MOD:
-            return dst.mod(src)
+        binop = _SCALAR_BINOP.get(op)
+        if binop is not None:
+            return binop(dst, src)
         if op in (isa.ALU_LSH, isa.ALU_RSH, isa.ALU_ARSH):
             if dst.is_bottom() or src.is_bottom():
                 return ScalarValue.bottom()

@@ -27,6 +27,11 @@ Subcommands
     a fresh fixed-seed campaign — as a per-operator tightness /
     rejected-clean delta table, with a CI gate that fails on soundness
     violations or a tightness-mass regression.
+``bench``
+    Measure fuzz-pipeline throughput (programs/sec) across the driver
+    profiles and the precision campaign; emits a ``BENCH_*.json``
+    baseline and optionally diffs against a committed one (advisory by
+    default — machines differ).
 
 Subcommands that use randomness (``fuzz``, ``campaign``,
 ``check-op --method random``, ``eval fig5``) accept ``--seed`` so every
@@ -209,6 +214,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 0.05)")
     p_diff.add_argument("--no-gate", action="store_true",
                         help="report only; always exit 0")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure fuzz-pipeline throughput and emit a BENCH baseline",
+    )
+    p_bench.add_argument("--budget", type=int, default=200,
+                         help="programs per driver measurement "
+                              "(default 200)")
+    p_bench.add_argument("--campaign-budget", type=int, default=None,
+                         help="programs per campaign measurement "
+                              "(default: same as --budget)")
+    p_bench.add_argument("--seed", type=int, default=42,
+                         help="campaign seed (default 42)")
+    p_bench.add_argument("--repeats", type=int, default=2,
+                         help="repetitions per measurement, best kept "
+                              "(default 2)")
+    p_bench.add_argument("--out", metavar="PATH",
+                         help="write the throughput report as JSON "
+                              "(the BENCH baseline format)")
+    p_bench.add_argument("--baseline", metavar="PATH",
+                         help="diff against a saved throughput baseline")
+    p_bench.add_argument("--max-regression", type=float, default=0.15,
+                         help="fractional slowdown that triggers a "
+                              "warning (default 0.15)")
+    p_bench.add_argument("--strict", action="store_true",
+                         help="exit 1 on baseline regressions instead "
+                              "of warning (off by default: throughput "
+                              "is machine-dependent)")
 
     return parser
 
@@ -545,6 +578,44 @@ def _cmd_campaign_diff(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.eval import ThroughputReport, measure_fuzz_throughput
+
+    try:
+        report = measure_fuzz_throughput(
+            budget=args.budget,
+            seed=args.seed,
+            repeats=args.repeats,
+            campaign_budget=args.campaign_budget,
+        )
+    except (ValueError, KeyError) as exc:   # bad option values
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"\nbaseline: JSON -> {args.out}")
+    if not args.baseline:
+        return 0
+    try:
+        baseline = ThroughputReport.from_json(Path(args.baseline).read_text())
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot load baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    warnings = report.compare(baseline, max_regression=args.max_regression)
+    if warnings:
+        for message in warnings:
+            print(f"WARN: {message}",
+                  file=sys.stderr if args.strict else sys.stdout)
+        return 1 if args.strict else 0
+    print(f"baseline: ok (no metric more than "
+          f"{100 * args.max_regression:.0f}% below {args.baseline})")
+    return 0
+
+
 _DISPATCH = {
     "verify": _cmd_verify,
     "run": _cmd_run,
@@ -556,6 +627,7 @@ _DISPATCH = {
     "fuzz": _cmd_fuzz,
     "campaign": _cmd_campaign,
     "campaign-diff": _cmd_campaign_diff,
+    "bench": _cmd_bench,
 }
 
 

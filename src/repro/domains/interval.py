@@ -18,8 +18,7 @@ refinement for the BPF conditional jumps (``<``, ``<=``, ``>``, ``>=``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.core.tnum import Tnum, mask_for_width
 
@@ -159,40 +158,91 @@ def to_unsigned(x: int, width: int) -> int:
     return x & mask_for_width(width)
 
 
-@dataclass(frozen=True)
+#: Interned ⊤ / ⊥ per width, and small constants per (value, width) —
+#: the verifier constructs these on every transfer, and immutability
+#: makes the shared instances safe.
+_TOP: Dict[int, "Interval"] = {}
+_BOTTOM: Dict[int, "Interval"] = {}
+_CONST_CACHE: Dict[Tuple[int, int], "Interval"] = {}
+_CONST_CACHE_MAX = 256
+
+
 class Interval:
     """An unsigned interval ``[umin, umax]`` over width-bit words.
 
     ``umin > umax`` is normalized to the canonical bottom (empty) interval.
     The signed view is derived on demand (:meth:`smin` / :meth:`smax`),
     mirroring how the kernel keeps both bound families in sync.
+
+    Implemented as an immutable ``__slots__`` class (not a frozen
+    dataclass): interval construction sits on the verifier's transfer-
+    function hot path, and the dataclass machinery (``__post_init__``
+    dispatch, generated ``__init__``) is measurable overhead there.
+    ⊤ and ⊥ are interned per width — immutability makes sharing safe.
     """
+
+    __slots__ = ("umin", "umax", "width")
 
     umin: int
     umax: int
-    width: int = 64
+    width: int
 
-    def __post_init__(self) -> None:
-        limit = mask_for_width(self.width)
-        if not (0 <= self.umin <= limit and 0 <= self.umax <= limit):
-            if self.umin <= self.umax:  # genuine out-of-range, not bottom
+    def __init__(self, umin: int, umax: int, width: int = 64) -> None:
+        limit = mask_for_width(width)
+        if not (0 <= umin <= limit and 0 <= umax <= limit):
+            if umin <= umax:  # genuine out-of-range, not bottom
                 raise ValueError(
-                    f"bounds [{self.umin}, {self.umax}] out of width-{self.width} range"
+                    f"bounds [{umin}, {umax}] out of width-{width} range"
                 )
+        object.__setattr__(self, "umin", umin)
+        object.__setattr__(self, "umax", umax)
+        object.__setattr__(self, "width", width)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Interval instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return (
+            self.umin == other.umin
+            and self.umax == other.umax
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.umin, self.umax, self.width))
+
+    def __repr__(self) -> str:
+        return (
+            f"Interval(umin={self.umin}, umax={self.umax}, "
+            f"width={self.width})"
+        )
 
     # -- constructors --------------------------------------------------------
 
     @classmethod
     def top(cls, width: int = 64) -> "Interval":
-        return cls(0, mask_for_width(width), width)
+        cached = _TOP.get(width)
+        if cached is None:
+            cached = _TOP[width] = cls(0, mask_for_width(width), width)
+        return cached
 
     @classmethod
     def bottom(cls, width: int = 64) -> "Interval":
-        return cls(1, 0, width)
+        cached = _BOTTOM.get(width)
+        if cached is None:
+            cached = _BOTTOM[width] = cls(1, 0, width)
+        return cached
 
     @classmethod
     def const(cls, value: int, width: int = 64) -> "Interval":
         v = value & mask_for_width(width)
+        if v < _CONST_CACHE_MAX:
+            cached = _CONST_CACHE.get((v, width))
+            if cached is None:
+                cached = _CONST_CACHE[(v, width)] = cls(v, v, width)
+            return cached
         return cls(v, v, width)
 
     @classmethod

@@ -16,7 +16,7 @@ This mutual refinement is what lets the verifier prove facts like
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Dict
 
 from repro.core import (
     our_mul,
@@ -41,17 +41,45 @@ from .interval import Interval
 
 __all__ = ["ScalarValue"]
 
+#: Interned ⊤ / ⊥ per width — every widening and every infeasible branch
+#: produces one of these; sharing them skips the construction entirely.
+_TOP: Dict[int, "ScalarValue"] = {}
+_BOTTOM: Dict[int, "ScalarValue"] = {}
 
-@dataclass(frozen=True)
+
 class ScalarValue:
     """A scalar abstract value: tnum × unsigned interval, kept in sync.
 
     Construct via :meth:`make` (which reduces) or the ``const`` / ``top`` /
     ``bottom`` helpers.  All transformer methods return reduced products.
+
+    Immutable ``__slots__`` class: the verifier builds one of these per
+    scalar transfer, so construction cost is throughput (see the
+    decode-once pipeline notes in :mod:`repro.bpf.compiled`).
     """
+
+    __slots__ = ("tnum", "interval")
 
     tnum: Tnum
     interval: Interval
+
+    def __init__(self, tnum: Tnum, interval: Interval) -> None:
+        object.__setattr__(self, "tnum", tnum)
+        object.__setattr__(self, "interval", interval)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ScalarValue instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScalarValue):
+            return NotImplemented
+        return self.tnum == other.tnum and self.interval == other.interval
+
+    def __hash__(self) -> int:
+        return hash((self.tnum, self.interval))
+
+    def __repr__(self) -> str:
+        return f"ScalarValue(tnum={self.tnum!r}, interval={self.interval!r})"
 
     # -- constructors ------------------------------------------------------
 
@@ -66,11 +94,21 @@ class ScalarValue:
 
     @classmethod
     def top(cls, width: int = 64) -> "ScalarValue":
-        return cls(Tnum.unknown(width), Interval.top(width))
+        cached = _TOP.get(width)
+        if cached is None:
+            cached = _TOP[width] = cls(
+                Tnum.unknown(width), Interval.top(width)
+            )
+        return cached
 
     @classmethod
     def bottom(cls, width: int = 64) -> "ScalarValue":
-        return cls(Tnum.bottom(width), Interval.bottom(width))
+        cached = _BOTTOM.get(width)
+        if cached is None:
+            cached = _BOTTOM[width] = cls(
+                Tnum.bottom(width), Interval.bottom(width)
+            )
+        return cached
 
     @classmethod
     def from_tnum(cls, t: Tnum) -> "ScalarValue":

@@ -36,8 +36,7 @@ unsigned one — so :meth:`ScalarValue.arshift
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.core.tnum import Tnum
 
@@ -45,32 +44,74 @@ from .interval import Interval, to_signed, to_unsigned
 
 __all__ = ["SignedInterval", "deduce_bounds"]
 
+#: Interned ⊤ / ⊥ per width (see :class:`Interval` for rationale).
+_TOP: Dict[int, "SignedInterval"] = {}
+_BOTTOM: Dict[int, "SignedInterval"] = {}
 
-@dataclass(frozen=True)
+
 class SignedInterval:
-    """A signed interval ``[smin, smax]`` over two's-complement words."""
+    """A signed interval ``[smin, smax]`` over two's-complement words.
+
+    Immutable ``__slots__`` class with interned ⊤/⊥ — the arithmetic
+    right shift and every signed branch refinement construct these on
+    the verifier's hot path.
+    """
+
+    __slots__ = ("smin", "smax", "width")
 
     smin: int
     smax: int
-    width: int = 64
+    width: int
 
-    def __post_init__(self) -> None:
-        lo = -(1 << (self.width - 1))
-        hi = (1 << (self.width - 1)) - 1
-        if self.smin <= self.smax and not (lo <= self.smin and self.smax <= hi):
+    def __init__(self, smin: int, smax: int, width: int = 64) -> None:
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+        if smin <= smax and not (lo <= smin and smax <= hi):
             raise ValueError(
-                f"bounds [{self.smin}, {self.smax}] exceed s{self.width}"
+                f"bounds [{smin}, {smax}] exceed s{width}"
             )
+        object.__setattr__(self, "smin", smin)
+        object.__setattr__(self, "smax", smax)
+        object.__setattr__(self, "width", width)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("SignedInterval instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SignedInterval):
+            return NotImplemented
+        return (
+            self.smin == other.smin
+            and self.smax == other.smax
+            and self.width == other.width
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.smin, self.smax, self.width))
+
+    def __repr__(self) -> str:
+        return (
+            f"SignedInterval(smin={self.smin}, smax={self.smax}, "
+            f"width={self.width})"
+        )
 
     # -- constructors ----------------------------------------------------------
 
     @classmethod
     def top(cls, width: int = 64) -> "SignedInterval":
-        return cls(-(1 << (width - 1)), (1 << (width - 1)) - 1, width)
+        cached = _TOP.get(width)
+        if cached is None:
+            cached = _TOP[width] = cls(
+                -(1 << (width - 1)), (1 << (width - 1)) - 1, width
+            )
+        return cached
 
     @classmethod
     def bottom(cls, width: int = 64) -> "SignedInterval":
-        return cls(1, 0, width)
+        cached = _BOTTOM.get(width)
+        if cached is None:
+            cached = _BOTTOM[width] = cls(1, 0, width)
+        return cached
 
     @classmethod
     def const(cls, value: int, width: int = 64) -> "SignedInterval":

@@ -9,9 +9,12 @@ from .diff import (
     render_diff_markdown,
 )
 from .performance import (
+    BENCH_PROFILES,
     PERF_ALGORITHMS,
+    ThroughputReport,
     TimingResult,
     generate_pairs,
+    measure_fuzz_throughput,
     speedup_summary,
     time_algorithms,
 )
@@ -50,6 +53,9 @@ __all__ = [
     "speedup_summary",
     "TimingResult",
     "PERF_ALGORITHMS",
+    "ThroughputReport",
+    "measure_fuzz_throughput",
+    "BENCH_PROFILES",
     "OperatorStats",
     "PrecisionReport",
     "REJECT_COST_BITS",

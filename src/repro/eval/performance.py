@@ -1,4 +1,4 @@
-"""Performance evaluation: Figure 5 of the paper.
+"""Performance evaluation: Figure 5 of the paper, plus pipeline benchmarks.
 
 The paper times 40 million random 64-bit tnum pairs with RDTSC, taking
 the minimum of 10 trials per pair, and reports the CDF of cycles for
@@ -10,10 +10,19 @@ Substitution (see DESIGN.md): RDTSC → ``time.perf_counter_ns``; sample
 counts default far below 40M because pure Python is ~100× slower per
 multiply.  Relative ordering and CDF shape — who is fastest, by roughly
 what factor — are the reproduction targets.
+
+Beyond the paper's operator microbenchmarks, this module measures the
+*system-level* number the fuzzing ROADMAP tracks — differential-fuzz
+pipeline throughput in programs/sec (:func:`measure_fuzz_throughput`).
+The result serializes as a ``BENCH_*.json`` baseline
+(:class:`ThroughputReport`) that CI diffs new runs against: machines
+vary, so the diff is a warning channel (default tolerance 15%), not a
+hard gate.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import time
 from dataclasses import dataclass, field
@@ -32,6 +41,9 @@ __all__ = [
     "generate_pairs",
     "PERF_ALGORITHMS",
     "speedup_summary",
+    "ThroughputReport",
+    "measure_fuzz_throughput",
+    "BENCH_PROFILES",
 ]
 
 #: Algorithms timed in Fig. 5, plus the naive baseline quoted in §IV.B.
@@ -111,3 +123,150 @@ def speedup_summary(results: Dict[str, TimingResult]) -> Dict[str, float]:
         for name, result in results.items()
         if name != "our_mul"
     }
+
+
+# -- fuzz-pipeline throughput (repro bench) -----------------------------------
+
+_THROUGHPUT_SCHEMA = 1
+
+#: Opcode profiles measured per driver run.
+BENCH_PROFILES = ("mixed", "alu", "memory", "branchy")
+
+
+@dataclass
+class ThroughputReport:
+    """Measured fuzz-pipeline throughput, serializable as a baseline.
+
+    ``metrics`` maps metric name to programs/sec: ``driver_<profile>``
+    for the plain differential driver per opcode profile,
+    ``campaign_telemetry`` for the precision campaign with telemetry but
+    no feedback, and ``campaign_feedback`` for the full two-round
+    mutation-feedback loop.  Numbers are machine-dependent; comparisons
+    are advisory.
+    """
+
+    budget: int
+    seed: int
+    repeats: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "schema_version": _THROUGHPUT_SCHEMA,
+            "budget": self.budget,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "metrics": {k: round(v, 1) for k, v in sorted(self.metrics.items())},
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ThroughputReport":
+        payload = json.loads(text)
+        version = payload.get("schema_version")
+        if version != _THROUGHPUT_SCHEMA:
+            raise ValueError(
+                f"unsupported throughput baseline schema {version!r}"
+            )
+        return cls(
+            budget=int(payload["budget"]),
+            seed=int(payload["seed"]),
+            repeats=int(payload["repeats"]),
+            metrics={k: float(v) for k, v in payload["metrics"].items()},
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"Fuzz-pipeline throughput (budget {self.budget}, "
+            f"seed {self.seed}, best of {self.repeats}):"
+        ]
+        for name in sorted(self.metrics):
+            lines.append(f"  {name:<20}: {self.metrics[name]:8.1f} programs/sec")
+        return "\n".join(lines)
+
+    def compare(
+        self, baseline: "ThroughputReport", max_regression: float = 0.15
+    ) -> List[str]:
+        """Advisory regression warnings against a saved baseline.
+
+        Returns one message per metric that fell more than
+        ``max_regression`` below the baseline.  Metrics missing from
+        either side are skipped: a new metric has no baseline to
+        regress from.
+        """
+        warnings = []
+        for name in sorted(self.metrics):
+            old = baseline.metrics.get(name)
+            new = self.metrics[name]
+            if not old or old <= 0:
+                continue
+            drop = 1.0 - new / old
+            if drop > max_regression:
+                warnings.append(
+                    f"{name}: {new:.1f} programs/sec is {100 * drop:.1f}% "
+                    f"below baseline {old:.1f}"
+                )
+        return warnings
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best if best is not None else 0.0
+
+
+def measure_fuzz_throughput(
+    budget: int = 200,
+    seed: int = 42,
+    repeats: int = 2,
+    profiles: Sequence[str] = BENCH_PROFILES,
+    campaign_budget: Optional[int] = None,
+) -> ThroughputReport:
+    """Measure end-to-end pipeline throughput (programs/sec).
+
+    Runs the plain differential driver per opcode profile, the
+    telemetry-only precision campaign, and the full mutation-feedback
+    campaign, each ``repeats`` times keeping the best.  This is the
+    workload behind ``repro bench`` and the committed
+    ``benchmarks/baselines/BENCH_throughput.json``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if budget < 1:
+        raise ValueError("budget must be >= 1")
+    # Imported lazily: repro.fuzz pulls in repro.eval.precision, so a
+    # module-level import here would be circular.
+    from repro.fuzz import (
+        CampaignConfig,
+        CampaignSpec,
+        run_campaign,
+        run_precision_campaign,
+    )
+
+    campaign_budget = budget if campaign_budget is None else campaign_budget
+    metrics: Dict[str, float] = {}
+
+    for profile in profiles:
+        config = CampaignConfig(budget=budget, seed=seed, profile=profile)
+        seconds = _best_of(lambda: run_campaign(config), repeats)
+        metrics[f"driver_{profile}"] = budget / seconds
+
+    telemetry = CampaignSpec(
+        budget=campaign_budget, rounds=1, seed=seed, mutate_fraction=0.0,
+        seeds_per_round=0, seed_shrink_per_round=0,
+    )
+    seconds = _best_of(lambda: run_precision_campaign(telemetry), repeats)
+    metrics["campaign_telemetry"] = campaign_budget / seconds
+
+    feedback = CampaignSpec(budget=campaign_budget, rounds=2, seed=seed)
+    seconds = _best_of(lambda: run_precision_campaign(feedback), repeats)
+    metrics["campaign_feedback"] = campaign_budget / seconds
+
+    return ThroughputReport(
+        budget=budget, seed=seed, repeats=repeats, metrics=metrics
+    )

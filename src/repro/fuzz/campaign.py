@@ -234,13 +234,16 @@ _ZERO_OP_COUNTERS = {
     "rejections": 0, "rejected_clean": 0,
 }
 
-#: Mutation-seed pool for the current round, installed once per worker
-#: (fork/spawn initializer or inline) instead of pickled per work item.
+#: Per-round worker state — the campaign spec and the mutation-seed
+#: pool — installed once per worker (fork/spawn initializer or inline)
+#: instead of pickled per work item.
+_worker_spec: Optional[CampaignSpec] = None
 _worker_pool: Tuple[str, ...] = ()
 
 
-def _set_worker_pool(pool: Tuple[str, ...]) -> None:
-    global _worker_pool
+def _set_worker_state(spec: CampaignSpec, pool: Tuple[str, ...]) -> None:
+    global _worker_spec, _worker_pool
+    _worker_spec = spec
     _worker_pool = pool
 
 
@@ -266,13 +269,14 @@ def _iter_tightness(collector: TransferCollector, report):
         yield label, max(0, abstract_bits - observed_bits)
 
 
-def _fuzz_one(args: Tuple[int, CampaignSpec]) -> Dict:
+def _fuzz_one(index: int) -> Dict:
     """Fuzz one campaign index with telemetry; JSON-friendly result.
 
-    Top-level so it pickles for ``multiprocessing.Pool``; the mutation
-    pool arrives via :func:`_set_worker_pool`.
+    Top-level so it pickles for ``multiprocessing.Pool``; the spec and
+    mutation pool arrive via :func:`_set_worker_state`.
     """
-    index, spec = args
+    spec = _worker_spec
+    assert spec is not None, "worker spec not installed"
     pool = _worker_pool
     seed = program_seed(spec.seed, index)
     generated = generate_program(
@@ -544,21 +548,21 @@ def run_precision_campaign(
             break
         start_index = sum(budgets[:rnd])
         indices = range(start_index, start_index + budgets[rnd])
-        work = [(i, spec) for i in indices]
-        # The seed pool is shipped once per worker per round (not once
-        # per work item) — it can hold pool_limit programs of bytecode.
+        # The spec and seed pool are shipped once per worker per round
+        # (not once per work item) — the pool alone can hold pool_limit
+        # programs of bytecode, so work items stay bare indices.
         round_pool = tuple(pool)
-        if spec.workers > 1 and len(work) > 1:
-            chunk = max(1, len(work) // (spec.workers * 8))
+        if spec.workers > 1 and len(indices) > 1:
+            chunk = max(1, len(indices) // (spec.workers * 8))
             with multiprocessing.Pool(
                 spec.workers,
-                initializer=_set_worker_pool,
-                initargs=(round_pool,),
+                initializer=_set_worker_state,
+                initargs=(spec, round_pool),
             ) as mp_pool:
-                results = mp_pool.map(_fuzz_one, work, chunksize=chunk)
+                results = mp_pool.map(_fuzz_one, indices, chunksize=chunk)
         else:
-            _set_worker_pool(round_pool)
-            results = [_fuzz_one(item) for item in work]
+            _set_worker_state(spec, round_pool)
+            results = [_fuzz_one(index) for index in indices]
         results.sort(key=lambda r: r["index"])
 
         for res in results:

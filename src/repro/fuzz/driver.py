@@ -20,7 +20,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.bpf.program import Program
 
@@ -127,12 +127,24 @@ class CampaignResult:
         return self.stats.violations == 0
 
 
-def _fuzz_index(args: Tuple[int, CampaignConfig]) -> Dict:
+#: Campaign config, installed once per worker (pool initializer or
+#: inline) instead of pickled into every work item.
+_worker_config: Optional[CampaignConfig] = None
+
+
+def _set_worker_config(config: CampaignConfig) -> None:
+    global _worker_config
+    _worker_config = config
+
+
+def _fuzz_index(index: int) -> Dict:
     """Fuzz one program index; returns a JSON-friendly summary.
 
-    Top-level so it pickles for ``multiprocessing.Pool``.
+    Top-level so it pickles for ``multiprocessing.Pool``; the config
+    arrives via :func:`_set_worker_config`.
     """
-    index, config = args
+    config = _worker_config
+    assert config is not None, "worker config not installed"
     seed = program_seed(config.seed, index)
     generated = generate_program(
         seed, config.profile, config.max_insns, config.ctx_size
@@ -197,13 +209,21 @@ def run_campaign(
     stats = CampaignStats(budget=config.budget)
     started = time.perf_counter()
 
-    work = [(i, config) for i in range(config.budget)]
+    # Workers get the config once (initializer), work items are bare
+    # indices — a budget-size stream of pickled configs was pure
+    # serialization overhead.
+    indices = range(config.budget)
     if config.workers > 1:
         chunk = max(1, config.budget // (config.workers * 8))
-        with multiprocessing.Pool(config.workers) as pool:
-            results = pool.map(_fuzz_index, work, chunksize=chunk)
+        with multiprocessing.Pool(
+            config.workers,
+            initializer=_set_worker_config,
+            initargs=(config,),
+        ) as pool:
+            results = pool.map(_fuzz_index, indices, chunksize=chunk)
     else:
-        results = [_fuzz_index(item) for item in work]
+        _set_worker_config(config)
+        results = [_fuzz_index(index) for index in indices]
 
     # Aggregate in index order so reports are stable across worker counts.
     results.sort(key=lambda r: r["index"])

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bpf import isa
 from repro.bpf.interpreter import CTX_BASE, STACK_BASE, ExecutionError, Machine
@@ -150,23 +150,79 @@ class DifferentialOracle:
             return report
 
         report = OracleReport(verdict="accepted")
+        # Replay batching: everything that is per-program (not per-input)
+        # is computed exactly once here — the observation plan derived
+        # from the verifier's states, the ALU destination map for range
+        # tracking, the per-input seeds and their context buffers — and
+        # a single Machine is reset per input instead of reallocated.
+        plans = self._build_plans(program, verifier.states_at)
         # Destination register per ALU instruction, shared by every
         # replay — the result written by instruction i is observable in
-        # the registers at the *next* step.
-        alu_dst: Optional[Dict[int, int]] = None
+        # the registers at the *next* step.  -1 marks untracked slots.
+        dst_arr: Optional[List[int]] = None
         if self.collect_ranges:
-            alu_dst = {
-                i: insn.dst
-                for i, insn in enumerate(program.insns)
-                if insn.is_alu()
-            }
-        for i in range(self.inputs_per_program):
-            seed = (input_seed_base * 1_000_003 + i) & U64
-            self._run_one(program, verifier.states_at, seed, report, alu_dst)
+            dst_arr = [
+                insn.dst if insn.is_alu() else -1 for insn in program.insns
+            ]
+        seeds = [
+            (input_seed_base * 1_000_003 + i) & U64
+            for i in range(self.inputs_per_program)
+        ]
+        ctxs = [self._make_ctx(seed) for seed in seeds]
+        machine = Machine(step_limit=self.step_limit)
+        for seed, ctx in zip(seeds, ctxs):
+            machine.reset(ctx)
+            self._run_one(machine, program, plans, seed, report, dst_arr)
             report.runs += 1
             if len(report.violations) >= self.max_violations:
                 break
         return report
+
+    # -- observation plan -----------------------------------------------------
+
+    def _build_plans(
+        self, program: Program, states_at: Dict[int, AbstractState]
+    ) -> List[Optional[List[Tuple]]]:
+        """Per-instruction containment plan, computed once per program.
+
+        Every replay checks the same abstract state at the same program
+        point, so the per-register work — skipping NOT_INIT registers,
+        unpacking the tnum/interval pair, resolving the pointer region
+        base — is hoisted out of the replay loop.  A plan entry is
+        ``(reg, tnum_notmask, tnum_value, umin, umax, base, obj,
+        region)``: membership of a concrete value ``c`` reduces to two
+        integer comparisons (``c & notmask == value`` and ``umin <= c <=
+        umax``), applied to ``(c - base) & U64`` for pointers.  ``obj``
+        (the abstract scalar) and ``region`` are kept only for violation
+        messages.  ``None`` marks a program point the verifier never
+        reached.
+        """
+        plans: List[Optional[List[Tuple]]] = []
+        for idx in range(len(program.insns)):
+            state = states_at.get(idx)
+            if state is None:
+                plans.append(None)
+                continue
+            entries: List[Tuple] = []
+            for r in range(isa.MAX_REG):
+                abstract = state.regs[r]
+                if abstract.kind == RegKind.NOT_INIT:
+                    continue  # no claim made; nothing to contradict
+                if abstract.kind == RegKind.SCALAR:
+                    scalar = abstract.scalar
+                    base = None
+                    region = None
+                else:
+                    scalar = abstract.offset
+                    base = _REGION_BASE[abstract.region.value]
+                    region = abstract.region.value
+                t, iv = scalar.tnum, scalar.interval
+                entries.append((
+                    r, ~t.mask & U64, t.value, iv.umin, iv.umax,
+                    base, scalar, region,
+                ))
+            plans.append(entries)
+        return plans
 
     # -- concrete replay ------------------------------------------------------
 
@@ -185,89 +241,82 @@ class DifferentialOracle:
 
     def _run_one(
         self,
+        machine: Machine,
         program: Program,
-        states_at: Dict[int, AbstractState],
+        plans: List[Optional[List[Tuple]]],
         seed: int,
         report: OracleReport,
-        alu_dst: Optional[Dict[int, int]] = None,
+        dst_arr: Optional[List[int]] = None,
     ) -> None:
-        machine = Machine(ctx=self._make_ctx(seed), step_limit=self.step_limit)
         # Range tracking remembers the previously executed index: the
         # result instruction p wrote is read from the registers at the
         # step that follows it.  Interpreter registers are already masked
         # to 64 bits.
-        prev: List[Optional[int]] = [None]
-        dst_of = alu_dst.get if alu_dst is not None else None
+        prev: List[int] = [-1]
         ranges = report.concrete_ranges
+        violations = report.violations
+        max_violations = self.max_violations
 
         def on_step(idx: int, regs: List[int]) -> None:
-            if dst_of is not None:
+            if dst_arr is not None:
                 p = prev[0]
                 prev[0] = idx
-                dst = dst_of(p)
-                if dst is not None:
-                    value = regs[dst]
-                    span = ranges.get(p)
-                    if span is None:
-                        ranges[p] = [value, value]
-                    elif value < span[0]:
-                        span[0] = value
-                    elif value > span[1]:
-                        span[1] = value
-            state = states_at.get(idx)
-            if state is None:
-                report.violations.append(Violation(
+                if p >= 0:
+                    dst = dst_arr[p]
+                    if dst >= 0:
+                        value = regs[dst]
+                        span = ranges.get(p)
+                        if span is None:
+                            ranges[p] = [value, value]
+                        elif value < span[0]:
+                            span[0] = value
+                        elif value > span[1]:
+                            span[1] = value
+            plan = plans[idx]
+            if plan is None:
+                violations.append(Violation(
                     "unverified_pc", idx, None, None, seed,
                     "execution reached an instruction the verifier "
                     "considered unreachable",
                 ))
                 return
-            self._check_state(idx, regs, state, seed, report)
+            checks = 0
+            for r, notmask, value, umin, umax, base, obj, region in plan:
+                concrete = regs[r]
+                checks += 1
+                if base is None:
+                    if not (
+                        concrete & notmask == value
+                        and umin <= concrete <= umax
+                    ):
+                        violations.append(Violation(
+                            "containment", idx, r, concrete, seed,
+                            f"r{r} = {concrete:#x} escapes abstract {obj}",
+                        ))
+                else:  # pointer: base + offset must account for the address
+                    offset = (concrete - base) & U64
+                    if not (
+                        offset & notmask == value
+                        and umin <= offset <= umax
+                    ):
+                        violations.append(Violation(
+                            "pointer", idx, r, concrete, seed,
+                            f"r{r} = {concrete:#x} has {region} "
+                            f"offset {offset:#x} outside {obj}",
+                        ))
+                if len(violations) >= max_violations:
+                    break
+            report.checks += checks
 
         try:
             machine.run(program, on_step=on_step)
         except ExecutionError as exc:
-            report.violations.append(Violation(
+            violations.append(Violation(
                 "accepted_crash", exc.pc, None, None, seed,
                 f"accepted program crashed concretely: {exc}",
             ))
         except ProgramError as exc:
-            report.violations.append(Violation(
+            violations.append(Violation(
                 "accepted_crash", None, None, None, seed,
                 f"accepted program fell off the instruction stream: {exc}",
             ))
-
-    # -- containment ----------------------------------------------------------
-
-    def _check_state(
-        self,
-        idx: int,
-        regs: List[int],
-        state: AbstractState,
-        seed: int,
-        report: OracleReport,
-    ) -> None:
-        for r in range(isa.MAX_REG):
-            abstract = state.regs[r]
-            if abstract.kind == RegKind.NOT_INIT:
-                continue  # no claim made; nothing to contradict
-            concrete = regs[r] & U64
-            report.checks += 1
-            if abstract.kind == RegKind.SCALAR:
-                if not abstract.scalar.contains(concrete):
-                    report.violations.append(Violation(
-                        "containment", idx, r, concrete, seed,
-                        f"r{r} = {concrete:#x} escapes abstract "
-                        f"{abstract.scalar}",
-                    ))
-            else:  # pointer: base + offset must account for the address
-                base = _REGION_BASE[abstract.region.value]
-                offset = (concrete - base) & U64
-                if not abstract.offset.contains(offset):
-                    report.violations.append(Violation(
-                        "pointer", idx, r, concrete, seed,
-                        f"r{r} = {concrete:#x} has {abstract.region.value} "
-                        f"offset {offset:#x} outside {abstract.offset}",
-                    ))
-            if len(report.violations) >= self.max_violations:
-                return

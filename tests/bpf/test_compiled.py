@@ -1,0 +1,305 @@
+"""Differential tests: compiled interpreter vs. the reference step decoder.
+
+The compiled pipeline (:mod:`repro.bpf.compiled`) must be *semantically
+invisible*: for every program and input, :meth:`Machine.run` (compiled)
+and :meth:`Machine.run_reference` (decode-every-step) must produce the
+same return value, step count, final register file, trace, observation
+sequence, and — on failing programs — the same error type and message.
+
+Coverage is two-pronged: an exhaustive opcode × width × operand-source
+sweep over hand-built programs with boundary operands, and a fuzz sweep
+over generator-produced programs from every opcode profile.
+"""
+
+import random
+
+import pytest
+
+from repro.bpf import CTX_BASE, Machine, Program, assemble
+from repro.bpf import isa
+from repro.bpf.insn import Instruction
+from repro.bpf.interpreter import ExecutionError
+from repro.bpf.program import ProgramError
+from repro.fuzz import generate_program
+
+U64 = (1 << 64) - 1
+
+#: Operand values that exercise carries, sign boundaries and subregister
+#: truncation for every ALU/jump operator.
+OPERANDS = [
+    0, 1, 2, 5, 63, 64,
+    0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 0x1_0000_0000,
+    (1 << 63) - 1, 1 << 63, U64, 0x1122_3344_5566_7788,
+]
+
+#: Immediates must fit in s32 for non-lddw instructions.
+IMMEDIATES = [0, 1, 5, 31, -1, -5, 0x7FFF_FFFF, -0x8000_0000]
+
+ALU_OPS = [
+    isa.ALU_ADD, isa.ALU_SUB, isa.ALU_MUL, isa.ALU_DIV, isa.ALU_OR,
+    isa.ALU_AND, isa.ALU_LSH, isa.ALU_RSH, isa.ALU_MOD, isa.ALU_XOR,
+    isa.ALU_MOV, isa.ALU_ARSH,
+]
+
+COND_JUMP_OPS = [
+    isa.JMP_JEQ, isa.JMP_JNE, isa.JMP_JGT, isa.JMP_JGE, isa.JMP_JLT,
+    isa.JMP_JLE, isa.JMP_JSET, isa.JMP_JSGT, isa.JMP_JSGE, isa.JMP_JSLT,
+    isa.JMP_JSLE,
+]
+
+LDDW = isa.CLS_LD | isa.SZ_DW | isa.MODE_IMM
+
+
+def both(program, ctx=b"\x00" * 64, **kw):
+    """Run compiled and reference on identical machines; compare outcomes.
+
+    Returns the (compared-equal) compiled outcome, or the exception both
+    raised.
+    """
+    m_compiled = Machine(ctx=ctx, **kw)
+    m_reference = Machine(ctx=ctx, **kw)
+
+    def outcome(machine, runner):
+        try:
+            return runner(program), None
+        except (ExecutionError, ProgramError) as exc:
+            return None, exc
+
+    got, got_exc = outcome(m_compiled, m_compiled.run)
+    want, want_exc = outcome(m_reference, m_reference.run_reference)
+
+    if want_exc is not None:
+        assert got_exc is not None, (
+            f"reference raised {want_exc!r}, compiled returned {got!r}"
+        )
+        assert type(got_exc) is type(want_exc)
+        assert str(got_exc) == str(want_exc)
+        return got_exc
+    assert got_exc is None, (
+        f"reference returned {want!r}, compiled raised {got_exc!r}"
+    )
+    assert got.return_value == want.return_value
+    assert got.steps == want.steps
+    assert got.trace == want.trace
+    assert m_compiled.regs == m_reference.regs
+    assert m_compiled.stack == m_reference.stack
+    assert m_compiled.ctx == m_reference.ctx
+    return got
+
+
+class TestALUSweep:
+    """Every ALU op × width × operand source over boundary operands."""
+
+    @pytest.mark.parametrize("op", ALU_OPS)
+    @pytest.mark.parametrize("cls", [isa.CLS_ALU, isa.CLS_ALU64])
+    def test_register_source(self, op, cls):
+        for a in OPERANDS:
+            for b in OPERANDS:
+                program = Program([
+                    Instruction(LDDW, dst=1, imm=a),
+                    Instruction(LDDW, dst=2, imm=b),
+                    Instruction(cls | isa.SRC_X | op, dst=1, src=2),
+                    Instruction(isa.CLS_ALU64 | isa.SRC_X | isa.ALU_MOV,
+                                dst=0, src=1),
+                    Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+                ])
+                both(program)
+
+    @pytest.mark.parametrize("op", ALU_OPS)
+    @pytest.mark.parametrize("cls", [isa.CLS_ALU, isa.CLS_ALU64])
+    def test_immediate_source(self, op, cls):
+        for a in OPERANDS:
+            for imm in IMMEDIATES:
+                program = Program([
+                    Instruction(LDDW, dst=1, imm=a),
+                    Instruction(cls | isa.SRC_K | op, dst=1, imm=imm),
+                    Instruction(isa.CLS_ALU64 | isa.SRC_X | isa.ALU_MOV,
+                                dst=0, src=1),
+                    Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+                ])
+                both(program)
+
+    @pytest.mark.parametrize("cls", [isa.CLS_ALU, isa.CLS_ALU64])
+    def test_neg(self, cls):
+        for a in OPERANDS:
+            program = Program([
+                Instruction(LDDW, dst=1, imm=a),
+                Instruction(cls | isa.ALU_NEG, dst=1),
+                Instruction(isa.CLS_ALU64 | isa.SRC_X | isa.ALU_MOV,
+                            dst=0, src=1),
+                Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+            ])
+            both(program)
+
+
+class TestJumpSweep:
+    """Every conditional jump × width × operand source, both outcomes."""
+
+    @staticmethod
+    def _jump_program(jump_insn, a, b):
+        return Program([
+            Instruction(LDDW, dst=1, imm=a),
+            Instruction(LDDW, dst=2, imm=b),
+            jump_insn,                                        # slot 4
+            Instruction(isa.CLS_ALU64 | isa.SRC_K | isa.ALU_MOV,
+                        dst=0, imm=1),                        # slot 5
+            Instruction(isa.CLS_JMP | isa.JMP_EXIT),          # slot 6
+            Instruction(isa.CLS_ALU64 | isa.SRC_K | isa.ALU_MOV,
+                        dst=0, imm=2),                        # slot 7
+            Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+        ])
+
+    @pytest.mark.parametrize("op", COND_JUMP_OPS)
+    @pytest.mark.parametrize("cls", [isa.CLS_JMP, isa.CLS_JMP32])
+    def test_register_source(self, op, cls):
+        for a in OPERANDS:
+            for b in OPERANDS:
+                jump = Instruction(cls | isa.SRC_X | op, dst=1, src=2, off=2)
+                result = both(self._jump_program(jump, a, b))
+                assert result.return_value in (1, 2)
+
+    @pytest.mark.parametrize("op", COND_JUMP_OPS)
+    @pytest.mark.parametrize("cls", [isa.CLS_JMP, isa.CLS_JMP32])
+    def test_immediate_source(self, op, cls):
+        for a in OPERANDS:
+            for imm in IMMEDIATES:
+                jump = Instruction(cls | isa.SRC_K | op, dst=1, imm=imm, off=2)
+                both(self._jump_program(jump, a, 0))
+
+    def test_unconditional(self):
+        program = self._jump_program(
+            Instruction(isa.CLS_JMP | isa.JMP_JA, off=2), 0, 0
+        )
+        assert both(program).return_value == 2
+
+
+class TestMemorySweep:
+    """Loads and stores at every access width, stack and ctx regions."""
+
+    @pytest.mark.parametrize("size", [isa.SZ_B, isa.SZ_H, isa.SZ_W, isa.SZ_DW])
+    def test_stack_roundtrip(self, size):
+        for value in OPERANDS:
+            program = Program([
+                Instruction(LDDW, dst=1, imm=value),
+                Instruction(isa.CLS_STX | size | isa.MODE_MEM,
+                            dst=isa.FP_REG, src=1, off=-8),
+                Instruction(isa.CLS_LDX | size | isa.MODE_MEM,
+                            dst=0, src=isa.FP_REG, off=-8),
+                Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+            ])
+            both(program)
+
+    @pytest.mark.parametrize("size", [isa.SZ_B, isa.SZ_H, isa.SZ_W, isa.SZ_DW])
+    def test_ctx_load(self, size):
+        ctx = bytes(range(1, 65))
+        program = Program([
+            Instruction(isa.CLS_LDX | size | isa.MODE_MEM,
+                        dst=0, src=1, off=8),
+            Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+        ])
+        both(program, ctx=ctx)
+
+    @pytest.mark.parametrize("size", [isa.SZ_B, isa.SZ_H, isa.SZ_W, isa.SZ_DW])
+    def test_store_immediate(self, size):
+        for imm in IMMEDIATES:
+            program = Program([
+                Instruction(isa.CLS_ST | size | isa.MODE_MEM,
+                            dst=isa.FP_REG, imm=imm, off=-16),
+                Instruction(isa.CLS_LDX | isa.SZ_DW | isa.MODE_MEM,
+                            dst=0, src=isa.FP_REG, off=-16),
+                Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+            ])
+            both(program)
+
+    def test_out_of_bounds_errors_match(self):
+        program = assemble("mov r1, 64\nldxdw r0, [r1+0]\nexit")
+        exc = both(program)
+        assert isinstance(exc, ExecutionError)
+
+    def test_ctx_boundary_errors_match(self):
+        # One byte past the 64-byte context.
+        program = assemble("ldxb r0, [r1+64]\nexit")
+        both(program, ctx=b"\x00" * 64)
+
+
+class TestControlEdges:
+    def test_helper_call_parity(self):
+        helpers = {7: lambda *args: sum(args)}
+        program = assemble("mov r1, 2\nmov r2, 3\ncall 7\nexit")
+        result = both(program, helpers=helpers)
+        assert result.return_value == 5
+
+    def test_unknown_helper_errors_match(self):
+        program = assemble("call 99\nexit")
+        exc = both(program)
+        assert "unknown helper 99" in str(exc)
+
+    def test_step_limit_errors_match(self):
+        program = assemble("mov r0, 0\nadd r0, 1\nexit")
+        exc = both(program, step_limit=2)
+        assert "step limit exceeded" in str(exc)
+
+    def test_fall_off_end_errors_match(self):
+        program = Program([
+            Instruction(isa.CLS_ALU64 | isa.SRC_K | isa.ALU_MOV, dst=0),
+        ])
+        exc = both(program)
+        assert isinstance(exc, ProgramError)
+
+    def test_unsupported_opcode_lazy_parity(self):
+        # An unsupported opcode on a *skipped* path must not fail
+        # compilation; on an executed path both modes raise identically.
+        unsupported = Instruction(isa.CLS_ALU64 | 0xD0, dst=1)  # BPF_END
+        skipped = Program([
+            Instruction(isa.CLS_JMP | isa.JMP_JA, off=1),
+            unsupported,
+            Instruction(isa.CLS_ALU64 | isa.SRC_K | isa.ALU_MOV, dst=0),
+            Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+        ])
+        assert both(skipped).return_value == 0
+
+        executed = Program([
+            unsupported,
+            Instruction(isa.CLS_JMP | isa.JMP_EXIT),
+        ])
+        exc = both(executed)
+        assert "unsupported ALU op" in str(exc)
+
+    def test_trace_parity(self):
+        program = assemble("mov r0, 1\nja +1\nmov r0, 9\nexit")
+        result = both(program, record_trace=True)
+        assert result.trace == [0, 1, 3]
+
+    def test_trace_none_without_recording(self):
+        result = Machine().run(assemble("mov r0, 0\nexit"))
+        assert result.trace is None
+
+    def test_on_step_observation_parity(self):
+        program = assemble(
+            "mov r1, 10\nmov r2, 3\nsub r1, r2\nmov r0, r1\nexit"
+        )
+
+        def observe(log):
+            return lambda idx, regs: log.append((idx, list(regs)))
+
+        compiled_log, reference_log = [], []
+        Machine().run(program, on_step=observe(compiled_log))
+        Machine().run_reference(program, on_step=observe(reference_log))
+        assert compiled_log == reference_log
+
+
+class TestGeneratedPrograms:
+    """Fuzzed whole-program parity across every opcode profile."""
+
+    @pytest.mark.parametrize("profile", ["mixed", "alu", "memory", "branchy"])
+    def test_generator_differential(self, profile):
+        rng = random.Random(0xC0FFEE)
+        for seed in range(60):
+            program = generate_program(seed, profile=profile).program
+            for _ in range(2):
+                ctx = rng.randbytes(64)
+                both(program, ctx=ctx, step_limit=100_000)
+
+    def test_compiled_form_is_cached(self):
+        program = generate_program(1).program
+        assert program.compiled() is program.compiled()

@@ -1,0 +1,31 @@
+"""Golden test: the decode-once pipeline must not move campaign results.
+
+The committed golden was produced by the pre-compiled-pipeline oracle
+(step-decoding interpreter, per-replay ``Machine`` construction,
+``ScalarValue.contains`` containment checks, frozen-dataclass domains).
+A fixed-seed campaign re-run through the current pipeline must serialize
+a byte-identical :class:`PrecisionReport` — the determinism guarantee
+campaigns have carried since PR 2, now doubling as a regression harness
+for the performance work: any semantic drift in the interpreter, the
+oracle's replay batching, or the domain interning shows up here as a
+diff, not as a silently different campaign.
+"""
+
+from pathlib import Path
+
+from repro.fuzz import CampaignSpec, run_precision_campaign
+
+GOLDEN = Path(__file__).parent / "golden" / "precision-seed42-b40.json"
+
+
+def test_fixed_seed_campaign_report_byte_identical():
+    # Mutation feedback deliberately left on (the default): the round-2
+    # program stream then depends on round-1 verdicts, shrinking, and
+    # pool admission order, so this exercises the whole loop — not just
+    # the generator.
+    result = run_precision_campaign(CampaignSpec(budget=40, rounds=2, seed=42))
+    assert result.stats.violations == 0
+    assert result.report.to_json() + "\n" == GOLDEN.read_text(), (
+        "fixed-seed campaign report diverged from the pre-refactor golden; "
+        "the execution pipeline changed observable semantics"
+    )

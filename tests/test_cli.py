@@ -299,3 +299,79 @@ class TestCampaignDiffCli:
         err = capsys.readouterr().err
         assert "--budget" in err and "--seed" in err
         assert "no effect" in err
+
+
+class TestBenchCli:
+    def test_measures_and_writes_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_throughput.json"
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--out", str(out),
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "programs/sec" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        assert set(payload["metrics"]) == {
+            "driver_mixed", "driver_alu", "driver_memory", "driver_branchy",
+            "campaign_telemetry", "campaign_feedback",
+        }
+        assert all(v > 0 for v in payload["metrics"].values())
+
+    def test_self_baseline_passes(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        # Re-measuring against our own numbers with a huge tolerance
+        # cannot regress.
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--baseline", str(out),
+            "--max-regression", "1000",
+        ]) == 0
+        assert "baseline: ok" in capsys.readouterr().out
+
+    def test_regression_warns_but_passes(self, tmp_path, capsys):
+        baseline = tmp_path / "fast.json"
+        baseline.write_text(json.dumps({
+            "schema_version": 1, "budget": 4, "seed": 42, "repeats": 1,
+            "metrics": {"driver_mixed": 1e9},
+        }))
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--baseline", str(baseline),
+        ]) == 0
+        assert "WARN: driver_mixed" in capsys.readouterr().out
+
+    def test_regression_fails_when_strict(self, tmp_path, capsys):
+        baseline = tmp_path / "fast.json"
+        baseline.write_text(json.dumps({
+            "schema_version": 1, "budget": 4, "seed": 42, "repeats": 1,
+            "metrics": {"driver_mixed": 1e9},
+        }))
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--baseline", str(baseline), "--strict",
+        ]) == 1
+        assert "WARN: driver_mixed" in capsys.readouterr().err
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--baseline", str(bad),
+        ]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
+
+    def test_wrong_schema_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "v0.json"
+        bad.write_text(json.dumps({"schema_version": 0, "metrics": {}}))
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--baseline", str(bad),
+        ]) == 2
+        assert "cannot load baseline" in capsys.readouterr().err
