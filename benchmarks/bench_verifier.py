@@ -58,6 +58,39 @@ def test_verify_branchy(benchmark, branches):
     assert result.ok
 
 
+@pytest.mark.parametrize("size", [200])
+def test_verify_reference_straightline(benchmark, size):
+    # The retained decode-every-visit walk: the compiled engine's
+    # before/after partner (same program as test_verify_straightline).
+    program = assemble(straightline_program(size))
+    verifier = Verifier(ctx_size=64)
+    result = benchmark(verifier.verify_reference, program)
+    assert result.ok
+
+
+@pytest.mark.parametrize("branches", [32])
+def test_verify_reference_branchy(benchmark, branches):
+    program = assemble(branchy_program(branches))
+    verifier = Verifier(ctx_size=64)
+    result = benchmark(verifier.verify_reference, program)
+    assert result.ok
+
+
+def test_verify_cold_compile(benchmark):
+    # Worst case for the compile-once design: a fresh Program each call
+    # (container + CFG + closure-cache lookups all inside the timer).
+    from repro.bpf.program import Program
+
+    insns = list(assemble(straightline_program(200)).insns)
+    verifier = Verifier(ctx_size=64)
+
+    def run():
+        return verifier.verify(Program(insns))
+
+    result = benchmark(run)
+    assert result.ok
+
+
 def test_interpret_straightline(benchmark):
     program = assemble(straightline_program(500))
     machine = Machine(ctx=bytes(64))

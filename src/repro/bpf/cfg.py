@@ -11,7 +11,7 @@ under.  The check is the kernel's own DFS edge-classification
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from . import isa
 from .program import Program
@@ -43,75 +43,103 @@ class BasicBlock:
 
 
 class ControlFlowGraph:
-    """Basic blocks plus traversal orders for the abstract interpreter."""
+    """Basic blocks plus traversal orders for the abstract interpreter.
+
+    The structural DFS (:meth:`validate`) runs once at construction and
+    doubles as the post-order computation, so the reverse post-order the
+    verifier walks is a cached by-product of validation rather than a
+    second traversal.
+    """
 
     def __init__(self, program: Program, blocks: List[BasicBlock]) -> None:
         self.program = program
         self.blocks = blocks
-        self._block_of_insn: Dict[int, int] = {}
-        for block in blocks:
-            for idx in range(block.start, block.end + 1):
-                self._block_of_insn[idx] = block.block_id
+        self._block_of_insn: Optional[Dict[int, int]] = None
+        self._rpo: Optional[List[int]] = None
 
     def block_containing(self, insn_index: int) -> BasicBlock:
-        return self.blocks[self._block_of_insn[insn_index]]
+        mapping = self._block_of_insn
+        if mapping is None:  # built lazily: only diagnostics need it
+            mapping = self._block_of_insn = {}
+            for block in self.blocks:
+                for idx in range(block.start, block.end + 1):
+                    mapping[idx] = block.block_id
+        return self.blocks[mapping[insn_index]]
 
     @property
     def entry(self) -> BasicBlock:
         return self.blocks[0]
 
     def reverse_post_order(self) -> List[int]:
-        """Block ids in reverse post-order from the entry (analysis order)."""
-        visited: Set[int] = set()
-        post: List[int] = []
+        """Block ids in reverse post-order from the entry (analysis order).
 
-        def dfs(block_id: int) -> None:
-            visited.add(block_id)
-            for succ in self.blocks[block_id].successors:
-                if succ not in visited:
-                    dfs(succ)
-            post.append(block_id)
+        Returns a copy: the cached order must survive callers that
+        mutate the list they get back.
+        """
+        if self._rpo is None:
+            self.validate()
+        return list(self._rpo)
 
-        dfs(0)
-        return list(reversed(post))
+    def validate(self) -> None:
+        """One DFS, kernel-style: reject back-edges and unreachable blocks.
 
-    def check_acyclic(self) -> None:
-        """Reject back-edges, kernel-style (iterative DFS colouring)."""
+        Combines the kernel's ``check_cfg`` edge classification (the
+        GREY-hit is a back-edge ⇒ loop) with its unreachable-insn
+        rejection, and records the post-order as it unwinds.
+        """
+        blocks = self.blocks
         WHITE, GREY, BLACK = 0, 1, 2
-        colour = {b.block_id: WHITE for b in self.blocks}
-        stack: List[tuple] = [(0, iter(self.blocks[0].successors))]
+        colour = [WHITE] * len(blocks)
+        post: List[int] = []
+        stack: List[tuple] = [(0, iter(blocks[0].successors))]
         colour[0] = GREY
         while stack:
             block_id, succs = stack[-1]
             advanced = False
             for succ in succs:
-                if colour[succ] == GREY:
+                c = colour[succ]
+                if c == GREY:
                     raise CFGError(
                         f"back-edge from block {block_id} to block {succ}: "
                         "loops are not allowed"
                     )
-                if colour[succ] == WHITE:
+                if c == WHITE:
                     colour[succ] = GREY
-                    stack.append((succ, iter(self.blocks[succ].successors)))
+                    stack.append((succ, iter(blocks[succ].successors)))
                     advanced = True
                     break
             if not advanced:
                 colour[block_id] = BLACK
+                post.append(block_id)
                 stack.pop()
-
-    def check_reachable(self) -> None:
-        """Reject unreachable blocks (the kernel rejects unreachable insns)."""
-        seen: Set[int] = set()
-        work = [0]
-        while work:
-            bid = work.pop()
-            if bid in seen:
-                continue
-            seen.add(bid)
-            work.extend(self.blocks[bid].successors)
-        unreachable = [b.block_id for b in self.blocks if b.block_id not in seen]
+        unreachable = [
+            b.block_id for b in blocks if colour[b.block_id] == WHITE
+        ]
         if unreachable:
             raise CFGError(f"unreachable blocks: {unreachable}")
+        self._rpo = post[::-1]
+
+    def check_acyclic(self) -> None:
+        """Structural check, kept as API.
+
+        Note: this now runs the full :meth:`validate` (one fused DFS),
+        so it also rejects unreachable blocks — callers get the whole
+        structural contract, not just the back-edge half.
+        """
+        self.validate()
+
+    def check_reachable(self) -> None:
+        """Structural check, kept as API.
+
+        Note: this now runs the full :meth:`validate` (one fused DFS),
+        so it also rejects back-edges — callers get the whole structural
+        contract, not just the reachability half.
+        """
+        self.validate()
+
+
+#: Instruction roles for CFG construction (internal).
+_STRAIGHT, _COND, _JA, _EXIT = 0, 1, 2, 3
 
 
 def build_cfg(program: Program) -> ControlFlowGraph:
@@ -119,23 +147,34 @@ def build_cfg(program: Program) -> ControlFlowGraph:
 
     Raises :class:`CFGError` if any path can fall off the end of the
     program (the kernel requires every path to reach ``exit``).
+
+    Control-relevant classification and jump targets are computed once
+    per instruction in a single pass — this runs for every verified
+    program, so the leader and edge passes must not re-derive them.
     """
     n = len(program)
     if n == 0:
         raise CFGError("empty program")
 
+    # One classification pass: role per insn, target index for jumps.
     # Leaders: first insn, jump targets, insns after jumps/exits.
+    roles = [_STRAIGHT] * n
+    targets = [-1] * n
     leaders: Set[int] = {0}
-    for idx, insn in enumerate(program):
-        if insn.is_jump() and not insn.is_exit() and isa.BPF_OP(
-            insn.opcode
-        ) != isa.JMP_CALL:
-            target_idx = program.index_at_slot(program.jump_target_slot(idx))
-            leaders.add(target_idx)
+    for idx, insn in enumerate(program.insns):
+        if insn.cls() not in (isa.CLS_JMP, isa.CLS_JMP32):
+            continue
+        op = insn.opcode & 0xF0
+        if op == isa.JMP_EXIT:
+            roles[idx] = _EXIT
             if idx + 1 < n:
                 leaders.add(idx + 1)
-        elif insn.is_exit() and idx + 1 < n:
-            leaders.add(idx + 1)
+        elif op != isa.JMP_CALL:
+            roles[idx] = _JA if op == isa.JMP_JA else _COND
+            targets[idx] = program.index_at_slot(program.jump_target_slot(idx))
+            leaders.add(targets[idx])
+            if idx + 1 < n:
+                leaders.add(idx + 1)
 
     ordered = sorted(leaders)
     blocks: List[BasicBlock] = []
@@ -145,28 +184,26 @@ def build_cfg(program: Program) -> ControlFlowGraph:
     block_of_start = {b.start: b.block_id for b in blocks}
 
     for block in blocks:
-        last = program.insns[block.end]
-        if last.is_exit():
+        end = block.end
+        role = roles[end]
+        if role == _EXIT:
             continue
-        if last.is_ja():
-            target_idx = program.index_at_slot(program.jump_target_slot(block.end))
-            block.successors.append(block_of_start[target_idx])
-        elif last.is_cond_jump():
-            if block.end + 1 >= n:
-                raise CFGError(f"conditional jump at insn {block.end} can fall off the end")
-            target_idx = program.index_at_slot(program.jump_target_slot(block.end))
-            block.successors.append(block_of_start[block.end + 1])  # fall-through
-            block.successors.append(block_of_start[target_idx])     # taken
+        if role == _JA:
+            block.successors.append(block_of_start[targets[end]])
+        elif role == _COND:
+            if end + 1 >= n:
+                raise CFGError(f"conditional jump at insn {end} can fall off the end")
+            block.successors.append(block_of_start[end + 1])      # fall-through
+            block.successors.append(block_of_start[targets[end]])  # taken
         else:
-            if block.end + 1 >= n:
+            if end + 1 >= n:
                 raise CFGError("control falls off the end of the program")
-            block.successors.append(block_of_start[block.end + 1])
+            block.successors.append(block_of_start[end + 1])
 
     for block in blocks:
         for succ in block.successors:
             blocks[succ].predecessors.append(block.block_id)
 
     cfg = ControlFlowGraph(program, blocks)
-    cfg.check_acyclic()
-    cfg.check_reachable()
+    cfg.validate()
     return cfg

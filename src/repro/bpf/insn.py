@@ -46,6 +46,13 @@ class Instruction:
             raise ValueError(f"src register r{self.src} invalid")
         if not -(1 << 15) <= self.off < (1 << 15):
             raise ValueError(f"offset {self.off} out of s16 range")
+        # Classification is pure opcode arithmetic, queried many times per
+        # instruction by the CFG builder, the verifier compilers, and the
+        # assembler round-trips — compute the class bits once.  (A frozen
+        # dataclass still permits object.__setattr__; ``_cls`` is not a
+        # field, so equality/repr/hashing are untouched.)
+        cls = self.opcode & 0x07
+        object.__setattr__(self, "_cls", cls)
         if self.is_lddw():
             if not -(1 << 63) <= self.imm < (1 << 64):
                 raise ValueError("lddw immediate out of 64-bit range")
@@ -55,29 +62,29 @@ class Instruction:
     # -- classification helpers ------------------------------------------------
 
     def cls(self) -> int:
-        return isa.BPF_CLASS(self.opcode)
+        return self._cls  # type: ignore[attr-defined]
 
     def is_alu(self) -> bool:
-        return self.cls() in (isa.CLS_ALU, isa.CLS_ALU64)
+        return self._cls in (isa.CLS_ALU, isa.CLS_ALU64)  # type: ignore[attr-defined]
 
     def is_alu64(self) -> bool:
-        return self.cls() == isa.CLS_ALU64
+        return self._cls == isa.CLS_ALU64  # type: ignore[attr-defined]
 
     def is_jump(self) -> bool:
-        return self.cls() in (isa.CLS_JMP, isa.CLS_JMP32)
+        return self._cls in (isa.CLS_JMP, isa.CLS_JMP32)  # type: ignore[attr-defined]
 
     def is_cond_jump(self) -> bool:
-        return self.is_jump() and isa.BPF_OP(self.opcode) not in (
+        return self.is_jump() and self.opcode & 0xF0 not in (
             isa.JMP_JA,
             isa.JMP_CALL,
             isa.JMP_EXIT,
         )
 
     def is_exit(self) -> bool:
-        return self.is_jump() and isa.BPF_OP(self.opcode) == isa.JMP_EXIT
+        return self.is_jump() and self.opcode & 0xF0 == isa.JMP_EXIT
 
     def is_ja(self) -> bool:
-        return self.is_jump() and isa.BPF_OP(self.opcode) == isa.JMP_JA
+        return self.is_jump() and self.opcode & 0xF0 == isa.JMP_JA
 
     def is_load(self) -> bool:
         return self.cls() == isa.CLS_LDX

@@ -12,10 +12,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from . import isa
-from .insn import Instruction, decode_program, encode_program
+from .insn import _LDDW_OPCODE, Instruction, decode_program, encode_program
 
 if TYPE_CHECKING:
     from .compiled import CompiledProgram
+    from .verifier.compiled import CompiledVerifierProgram
 
 __all__ = ["Program", "ProgramError"]
 
@@ -40,16 +41,21 @@ class Program:
         # interpreted step and on every jump-retargeting pass in the
         # shrinker, so both directions are O(1) list indexing.  Slots in
         # the middle of an lddw map to -1 (not an instruction boundary).
-        self._slot_of_index: List[int] = []
+        # The lddw test is inlined (opcode compare): this loop runs for
+        # every program the fuzz pipeline constructs.
+        slot_of_index: List[int] = []
         index_of_slot: List[int] = []
+        lddw = _LDDW_OPCODE
         for idx, insn in enumerate(self.insns):
-            self._slot_of_index.append(len(index_of_slot))
+            slot_of_index.append(len(index_of_slot))
             index_of_slot.append(idx)
-            if insn.slots() == 2:
+            if insn.opcode == lddw:
                 index_of_slot.append(-1)
+        self._slot_of_index = slot_of_index
         self._index_of_slot: List[int] = index_of_slot
         self._total_slots = len(index_of_slot)
         self._compiled: Optional["CompiledProgram"] = None
+        self._compiled_verifier: Dict[int, "CompiledVerifierProgram"] = {}
         self._validate_jumps()
 
     # -- addressing -----------------------------------------------------------
@@ -93,19 +99,41 @@ class Program:
             cp = self._compiled = compile_program(self)
         return cp
 
+    def compiled_verifier(self, ctx_size: int = 64) -> "CompiledVerifierProgram":
+        """The compile-once abstract-verifier form, cached per ctx size.
+
+        Mirrors :meth:`compiled` on the abstract side: the step/branch
+        closures, the CFG, and its reverse post-order are built once, so
+        every re-verification of the same program (shrinker predicates,
+        campaign replays) pays only the walk.  Raises
+        :class:`~repro.bpf.cfg.CFGError` for structurally invalid
+        programs (never cached — the caller reports those per attempt).
+        """
+        cv = self._compiled_verifier.get(ctx_size)
+        if cv is None:
+            from .verifier.compiled import compile_verifier
+
+            cv = self._compiled_verifier[ctx_size] = compile_verifier(
+                self, ctx_size
+            )
+        return cv
+
     def _validate_jumps(self) -> None:
+        total = self._total_slots
+        index_of_slot = self._index_of_slot
+        slot_of_index = self._slot_of_index
         for idx, insn in enumerate(self.insns):
-            if insn.is_jump() and not insn.is_exit() and isa.BPF_OP(
-                insn.opcode
-            ) != isa.JMP_CALL:
-                target = self.jump_target_slot(idx)
-                if not (
-                    0 <= target < self._total_slots
-                    and self._index_of_slot[target] >= 0
-                ):
-                    raise ProgramError(
-                        f"insn {idx}: jump target slot {target} invalid"
-                    )
+            if insn.cls() not in (isa.CLS_JMP, isa.CLS_JMP32):
+                continue
+            op = insn.opcode & 0xF0
+            if op == isa.JMP_EXIT or op == isa.JMP_CALL:
+                continue
+            # Jumps occupy one slot, so the target is slot+1+off.
+            target = slot_of_index[idx] + 1 + insn.off
+            if not (0 <= target < total and index_of_slot[target] >= 0):
+                raise ProgramError(
+                    f"insn {idx}: jump target slot {target} invalid"
+                )
 
     # -- conveniences ----------------------------------------------------------
 

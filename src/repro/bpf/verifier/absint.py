@@ -17,6 +17,22 @@ Safety checks enforced (each mirrors a kernel check):
 * no pointer stores into the context (pointer-leak prevention);
 * ``exit`` requires an initialized scalar r0 (no pointer leaks via r0);
 * r10 (frame pointer) is read-only.
+
+Two execution engines share these semantics:
+
+* :meth:`Verifier.verify` runs the *compiled* walk: each instruction is
+  compiled exactly once (per program × ctx size) into a specialized
+  abstract-step closure (:mod:`repro.bpf.verifier.compiled`), cached on
+  the :class:`~repro.bpf.program.Program`, so the hot loop is one
+  closure call per instruction;
+* :meth:`Verifier.verify_reference` is the original decode-every-visit
+  walk, retained as the differential-testing baseline
+  (``tests/bpf/test_verifier_compiled.py`` holds the two byte-equal).
+
+The transfer primitives below (register reads/writes, scalar ALU,
+pointer arithmetic, subregister truncation, branch refinement) are
+module-level functions used by *both* engines, so the compiled closures
+cannot drift from the reference semantics.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ from repro.bpf.insn import Instruction
 from repro.bpf.program import Program
 from repro.domains.interval import Interval, to_signed
 from repro.domains.product import ScalarValue
+from repro.domains.signed_interval import SignedInterval, deduce_bounds
 from repro.core.tnum import Tnum
 from repro.core.lattice import meet as tnum_meet
 
@@ -52,7 +69,22 @@ def transfer_label(insn: Instruction) -> Optional[str]:
     stores, ``ja``/``call``/``exit`` — return ``None``.  32-bit moves
     are labelled (``mov32``) because subregister truncation is itself a
     transfer the campaign wants attributed.
+
+    The label depends only on the opcode byte, so results are memoized —
+    the verifier compiler resolves one per instruction and the reference
+    walk one per telemetry event.
     """
+    try:
+        return _LABEL_CACHE[insn.opcode]
+    except KeyError:
+        label = _LABEL_CACHE[insn.opcode] = _transfer_label_uncached(insn)
+        return label
+
+
+_LABEL_CACHE: Dict[int, Optional[str]] = {}
+
+
+def _transfer_label_uncached(insn: Instruction) -> Optional[str]:
     cls = insn.cls()
     if cls in (isa.CLS_ALU, isa.CLS_ALU64):
         op = isa.BPF_OP(insn.opcode)
@@ -70,7 +102,7 @@ def transfer_label(insn: Instruction) -> Optional[str]:
 
 #: Dispatch table for the plain binary scalar transfers — resolved once
 #: at import instead of an if-chain per instruction (shift and mov/neg
-#: ops need width-aware handling and stay in :meth:`Verifier._scalar_alu`).
+#: ops need width-aware handling and stay in :func:`_scalar_alu`).
 _SCALAR_BINOP: Dict[int, Callable[[ScalarValue, ScalarValue], ScalarValue]] = {
     isa.ALU_ADD: ScalarValue.add,
     isa.ALU_SUB: ScalarValue.sub,
@@ -98,6 +130,230 @@ _MIRRORED_OPS = {
 }
 
 
+# -- shared transfer primitives (reference walk + compiled closures) ----------
+
+
+def _read_reg(state: AbstractState, reg: int, idx: int) -> RegState:
+    r = state.get_reg(reg)
+    if not r.is_init():
+        raise VerifierError(idx, f"read of uninitialized register r{reg}")
+    return r
+
+
+def _write_reg(state: AbstractState, reg: int, value: RegState, idx: int) -> None:
+    if reg == isa.FP_REG:
+        raise VerifierError(idx, "write to read-only frame pointer r10")
+    state.set_reg(reg, value)
+
+
+def _subreg(value: ScalarValue) -> ScalarValue:
+    """The zero-extended 32-bit subregister view (kernel ``tnum_subreg``).
+
+    The 64-bit interval survives truncation whenever the low 32 bits
+    provably do not wrap across the range: the span must fit in 32
+    bits and the low words must stay ordered (``lo32(umin) <=
+    lo32(umax)``), which together rule out crossing a 2^32 boundary.
+    """
+    iv = value.interval
+    if iv.umin == iv.umax:
+        # Reduced constants truncate exactly — skip the cast/meet chain.
+        return ScalarValue.const(iv.umin & 0xFFFF_FFFF)
+    t32 = value.tnum.cast(32).cast(64)
+    if not iv.is_bottom() and iv.umax - iv.umin <= 0xFFFF_FFFF:
+        lo, hi = iv.umin & 0xFFFF_FFFF, iv.umax & 0xFFFF_FFFF
+        if lo <= hi:
+            return ScalarValue.make(
+                t32, Interval(lo, hi, value.width)
+            )
+    return ScalarValue.from_tnum(t32)
+
+
+def _truncate32(reg: RegState, idx: int) -> RegState:
+    if reg.is_ptr():
+        raise VerifierError(idx, "32-bit operation on pointer")
+    return RegState.from_scalar(_subreg(reg.scalar))
+
+
+def _shift_method(op: int, is64: bool) -> Callable[[ScalarValue, int], ScalarValue]:
+    """Pre-resolved shift transfer for one (op, width)."""
+    if op == isa.ALU_ARSH and not is64:
+        # 32-bit arithmetic shift replicates bit 31, which the 64-bit
+        # arshift transfer cannot see.  Hoist the subregister into the
+        # top half, shift there (bit 31 is now the sign bit), and bring
+        # it back down — each step is a sound 64-bit transfer, so the
+        # composition is too.
+        def method(d: ScalarValue, s: int) -> ScalarValue:
+            return d.lshift(32).arshift(s).rshift(32)
+
+        return method
+    return {
+        isa.ALU_LSH: ScalarValue.lshift,
+        isa.ALU_RSH: ScalarValue.rshift,
+        isa.ALU_ARSH: ScalarValue.arshift,
+    }[op]
+
+
+def _shift_alu(
+    method: Callable[[ScalarValue, int], ScalarValue],
+    width: int,
+    dst: ScalarValue,
+    src: ScalarValue,
+) -> ScalarValue:
+    if dst.is_bottom() or src.is_bottom():
+        return ScalarValue.bottom()
+    if src.is_const():
+        # Concrete semantics mask the count to the op width.
+        return method(dst, src.const_value() & (width - 1))
+    # Unknown shift amount: join over feasible counts via tnums.
+    if src.umax() < width:
+        results = [method(dst, s) for s in range(src.umin(), src.umax() + 1)]
+        out = results[0]
+        for r in results[1:]:
+            out = out.join(r)
+        return out
+    return ScalarValue.top()
+
+
+def _scalar_alu(
+    op: int, dst: ScalarValue, src: ScalarValue, idx: int, is64: bool
+) -> ScalarValue:
+    binop = _SCALAR_BINOP.get(op)
+    if binop is not None:
+        return binop(dst, src)
+    if op in (isa.ALU_LSH, isa.ALU_RSH, isa.ALU_ARSH):
+        width = 64 if is64 else 32
+        return _shift_alu(_shift_method(op, is64), width, dst, src)
+    raise VerifierError(idx, f"unsupported ALU op {op:#04x}")
+
+
+def _pointer_alu(
+    state: AbstractState,
+    dst_reg: int,
+    idx: int,
+    op: int,
+    dst: RegState,
+    src: RegState,
+) -> RegState:
+    """Pointer add/sub (64-bit only); writes the result and returns it."""
+    if op == isa.ALU_ADD:
+        if dst.is_ptr() and src.is_scalar():
+            result = RegState.pointer(dst.region, dst.offset.add(src.scalar))
+        elif dst.is_scalar() and src.is_ptr():
+            result = RegState.pointer(src.region, src.offset.add(dst.scalar))
+        else:
+            raise VerifierError(idx, "addition of two pointers")
+    elif op == isa.ALU_SUB:
+        if dst.is_ptr() and src.is_scalar():
+            result = RegState.pointer(dst.region, dst.offset.sub(src.scalar))
+        elif dst.is_ptr() and src.is_ptr():
+            if dst.region != src.region:
+                raise VerifierError(idx, "subtraction of cross-region pointers")
+            result = RegState.from_scalar(dst.offset.sub(src.offset))
+        else:
+            raise VerifierError(idx, "cannot subtract pointer from scalar")
+    else:
+        raise VerifierError(
+            idx, f"pointer arithmetic only supports add/sub, got {op:#04x}"
+        )
+    _write_reg(state, dst_reg, result, idx)
+    return result
+
+
+# -- branch refinement builders ------------------------------------------------
+#
+# ``_REFINERS[op](value, bound)`` returns the refined ``(taken,
+# fall-through)`` scalars for ``value <op> bound`` — the compiled walk
+# pre-selects the builder per jump instruction; the reference walk
+# resolves it per visit through :meth:`Verifier._refine`.
+
+
+def _refine_jset(value: ScalarValue, bound: int) -> Tuple[None, ScalarValue]:
+    # Fall-through means (value & bound) == 0: those bits are 0.
+    cleared = tnum_meet(value.tnum, Tnum(0, ~bound & U64, 64))
+    return None, ScalarValue.make(cleared, value.interval)
+
+
+def _signed_refiner(
+    taken_op: Callable[[SignedInterval, int], SignedInterval],
+    fall_op: Callable[[SignedInterval, int], SignedInterval],
+) -> Callable[[ScalarValue, int], Tuple[ScalarValue, ScalarValue]]:
+    # Signed comparisons refine through the signed-interval domain and
+    # the kernel-style bounds deduction maps the result back onto the
+    # unsigned interval and the tnum.
+    def refine(value: ScalarValue, bound: int) -> Tuple[ScalarValue, ScalarValue]:
+        sbound = to_signed(bound, 64)
+        base = SignedInterval.from_unsigned(value.interval).meet(
+            SignedInterval.from_tnum(value.tnum)
+        )
+
+        def rebuild(si: SignedInterval) -> ScalarValue:
+            if si.is_bottom():
+                return ScalarValue.bottom()
+            t, iv, _ = deduce_bounds(value.tnum, value.interval, si)
+            return ScalarValue.make(t, iv)
+
+        return rebuild(taken_op(base, sbound)), rebuild(fall_op(base, sbound))
+
+    return refine
+
+
+def _apply_refinement(
+    taken: AbstractState,
+    fall: AbstractState,
+    reg: int,
+    taken_scalar: Optional[ScalarValue],
+    fall_scalar: Optional[ScalarValue],
+    note: Optional[Callable[[int, str, ScalarValue], None]],
+    idx: int,
+    label: Optional[str],
+) -> None:
+    """Install a refinement pair into the branch successor states.
+
+    Single source of truth for the write / infeasibility-flag /
+    telemetry protocol — both engines and both operand orientations
+    (register-vs-bound and mirrored constant-on-left) go through here,
+    so compiled/reference parity cannot drift.
+    """
+    if taken_scalar is not None:
+        taken.set_reg(reg, RegState.from_scalar(taken_scalar))
+        if taken_scalar.is_bottom():
+            taken.infeasible = True
+    if fall_scalar is not None:
+        fall.set_reg(reg, RegState.from_scalar(fall_scalar))
+        if fall_scalar.is_bottom():
+            fall.infeasible = True
+    if note is not None and label is not None:
+        if taken_scalar is not None:
+            note(idx, label, taken_scalar)
+        if fall_scalar is not None:
+            note(idx, label, fall_scalar)
+
+
+_REFINERS: Dict[
+    int, Callable[[ScalarValue, int], Tuple[Optional[ScalarValue], Optional[ScalarValue]]]
+] = {
+    isa.JMP_JEQ: lambda v, b: (v.refine_eq(b), v.refine_ne(b)),
+    isa.JMP_JNE: lambda v, b: (v.refine_ne(b), v.refine_eq(b)),
+    isa.JMP_JGT: lambda v, b: (v.refine_ugt(b), v.refine_ule(b)),
+    isa.JMP_JGE: lambda v, b: (v.refine_uge(b), v.refine_ult(b)),
+    isa.JMP_JLT: lambda v, b: (v.refine_ult(b), v.refine_uge(b)),
+    isa.JMP_JLE: lambda v, b: (v.refine_ule(b), v.refine_ugt(b)),
+    isa.JMP_JSET: _refine_jset,
+    isa.JMP_JSGT: _signed_refiner(
+        SignedInterval.refine_sgt, SignedInterval.refine_sle
+    ),
+    isa.JMP_JSGE: _signed_refiner(
+        SignedInterval.refine_sge, SignedInterval.refine_slt
+    ),
+    isa.JMP_JSLT: _signed_refiner(
+        SignedInterval.refine_slt, SignedInterval.refine_sge
+    ),
+    isa.JMP_JSLE: _signed_refiner(
+        SignedInterval.refine_sle, SignedInterval.refine_sgt
+    ),
+}
+
+
 @dataclass
 class Verifier:
     """Verify one program; optionally retain per-instruction states.
@@ -105,6 +361,15 @@ class Verifier:
     ``ctx_size`` is the size in bytes of the context object r1 points to
     at entry (kernel programs get a type-specific ctx; we use a flat
     blob).
+
+    Subclassing note: :meth:`verify` executes pre-compiled closures that
+    call the *module-level* transfer primitives directly — overriding
+    the per-instruction internals (``_refine``, ``_transfer``,
+    ``_branch``, ``_read_reg``, ...) in a subclass affects only
+    :meth:`verify_reference` (and :class:`PathSensitiveVerifier`, which
+    dispatches through them).  Experiments that hook the transfer layer
+    should run through ``verify_reference`` or patch the module
+    functions, which both engines honor.
     """
 
     ctx_size: int = 64
@@ -121,6 +386,66 @@ class Verifier:
     # -- public API -----------------------------------------------------------
 
     def verify(self, program: Program) -> VerificationResult:
+        """Compiled walk: one pre-specialized closure per instruction.
+
+        The compiled form (closures + CFG + traversal order) is built
+        once per (program, ctx_size) and cached on the program, so
+        re-verifying — shrinker predicates, campaign replays — pays only
+        the walk.  Semantics are byte-equal to
+        :meth:`verify_reference` (differentially tested).
+        """
+        try:
+            compiled = program.compiled_verifier(self.ctx_size)
+        except CFGError as exc:
+            err = VerifierError(0, f"bad control flow: {exc}", structural=True)
+            return VerificationResult(False, [err])
+
+        note = self.on_transfer
+        collect = self.collect_states
+        in_states: Dict[int, AbstractState] = {0: AbstractState.entry_state()}
+        merge = self._merge_into
+        processed = 0
+        try:
+            for block in compiled.blocks:
+                entry = in_states.get(block.block_id)
+                if entry is None:
+                    continue  # no feasible path in (dead branch)
+                state = entry.copy()
+                if collect:
+                    record = self._record
+                    for idx, step in zip(block.indices, block.steps):
+                        record(idx, state)
+                        processed += 1
+                        step(state, note, idx)
+                else:
+                    for idx, step in zip(block.indices, block.steps):
+                        processed += 1
+                        step(state, note, idx)
+                branch = block.branch
+                if branch is not None:
+                    if collect:
+                        self._record(block.term_idx, state)
+                    processed += 1
+                    fall, taken = branch(state, note, block.term_idx)
+                    succs = block.successors
+                    # Refinement can prove an edge infeasible (a register
+                    # refined to ⊥); such edges are dead paths and must
+                    # not be analyzed.
+                    if not fall.infeasible:
+                        merge(in_states, succs[0], fall)
+                    if not taken.infeasible:
+                        merge(in_states, succs[1], taken)
+                elif block.is_exit:
+                    self._check_exit(state, block.term_idx)
+                else:
+                    for succ in block.successors:
+                        merge(in_states, succ, state)
+        except VerifierError as exc:
+            return VerificationResult(False, [exc], processed)
+        return VerificationResult(True, [], processed)
+
+    def verify_reference(self, program: Program) -> VerificationResult:
+        """The original decode-every-visit walk (differential baseline)."""
         try:
             cfg = build_cfg(program)
         except CFGError as exc:
@@ -154,6 +479,9 @@ class Verifier:
     # -- state plumbing -----------------------------------------------------------
 
     def _record(self, idx: int, state: AbstractState) -> None:
+        # ``copy`` is O(1) (copy-on-write), so recording every
+        # instruction shares containers within straight-line runs
+        # instead of cloning the full state per visit.
         if idx in self.states_at:
             self.states_at[idx] = self.states_at[idx].join(state)
         else:
@@ -186,22 +514,29 @@ class Verifier:
 
     @staticmethod
     def _feasible(state: AbstractState) -> bool:
-        """A state with any ⊥ scalar register describes no execution."""
-        return not any(
-            r.is_scalar() and r.scalar.is_bottom() for r in state.regs
-        )
+        """A refined-to-⊥ state describes no execution — O(1) flag check.
+
+        The flag is set at refinement time (the only place a ⊥ scalar
+        can enter a register: transfers and joins of feasible states
+        never produce one).
+        """
+        return not state.infeasible
 
     @staticmethod
     def _merge_into(
         in_states: Dict[int, AbstractState], block_id: int, state: AbstractState
     ) -> None:
-        if block_id in in_states:
-            in_states[block_id] = in_states[block_id].join(state)
-        else:
+        existing = in_states.get(block_id)
+        if existing is None:
             in_states[block_id] = state.copy()
+        elif not state.leq(existing):
+            in_states[block_id] = existing.join(state)
+        # else: the recorded state already covers this one — joining
+        # would rebuild an equal state (join is exact at the lub when
+        # one side is below the other), so keep the existing object.
 
     def _check_exit(self, state: AbstractState, idx: int) -> None:
-        r0 = state.regs[0]
+        r0 = state.get_reg(0)
         if not r0.is_init():
             raise VerifierError(idx, "exit with uninitialized r0")
         if r0.is_ptr():
@@ -214,7 +549,7 @@ class Verifier:
         if insn.is_exit():
             return  # checked by _propagate at block exit
         if insn.is_lddw():
-            state.regs[insn.dst] = RegState.const(insn.imm & U64)
+            state.set_reg(insn.dst, RegState.const(insn.imm & U64))
             return
         if cls in (isa.CLS_ALU, isa.CLS_ALU64):
             self._alu(state, insn, idx, is64=(cls == isa.CLS_ALU64))
@@ -235,15 +570,15 @@ class Verifier:
         raise VerifierError(idx, f"unsupported opcode {insn.opcode:#04x}")
 
     def _read_reg(self, state: AbstractState, reg: int, idx: int) -> RegState:
-        r = state.regs[reg]
-        if not r.is_init():
-            raise VerifierError(idx, f"read of uninitialized register r{reg}")
-        return r
+        return _read_reg(state, reg, idx)
 
     def _write_reg(self, state: AbstractState, reg: int, value: RegState, idx: int) -> None:
-        if reg == isa.FP_REG:
-            raise VerifierError(idx, "write to read-only frame pointer r10")
-        state.regs[reg] = value
+        _write_reg(state, reg, value, idx)
+
+    # Module-level primitives re-exposed for tests/subclasses that poke
+    # at the transfer machinery directly.
+    _subreg = staticmethod(_subreg)
+    _truncate32 = staticmethod(_truncate32)
 
     # -- ALU ------------------------------------------------------------------------
 
@@ -261,37 +596,38 @@ class Verifier:
             src = (
                 RegState.const(insn.imm & U64)
                 if insn.uses_imm()
-                else self._read_reg(state, insn.src, idx)
+                else _read_reg(state, insn.src, idx)
             )
             if not is64:
-                src = self._truncate32(src, idx)
-            self._write_reg(state, insn.dst, src, idx)
+                src = _truncate32(src, idx)
+            _write_reg(state, insn.dst, src, idx)
             self._note_transfer(idx, insn, src)
             return
 
         if op == isa.ALU_NEG:
-            dst = self._read_reg(state, insn.dst, idx)
+            dst = _read_reg(state, insn.dst, idx)
             if dst.is_ptr():
                 raise VerifierError(idx, "arithmetic negation of pointer")
             result = RegState.from_scalar(dst.scalar.neg())
             if not is64:
-                result = self._truncate32(result, idx)
-            self._write_reg(state, insn.dst, result, idx)
+                result = _truncate32(result, idx)
+            _write_reg(state, insn.dst, result, idx)
             self._note_transfer(idx, insn, result)
             return
 
-        dst = self._read_reg(state, insn.dst, idx)
+        dst = _read_reg(state, insn.dst, idx)
         src = (
             RegState.const(insn.imm & U64)
             if insn.uses_imm()
-            else self._read_reg(state, insn.src, idx)
+            else _read_reg(state, insn.src, idx)
         )
 
         # Pointer arithmetic (64-bit only, kernel rule).
         if dst.is_ptr() or src.is_ptr():
             if not is64:
                 raise VerifierError(idx, "32-bit arithmetic on pointer")
-            self._pointer_alu(state, insn, idx, op, dst, src)
+            result = _pointer_alu(state, insn.dst, idx, op, dst, src)
+            self._note_transfer(idx, insn, result)
             return
 
         dst_s, src_s = dst.scalar, src.scalar
@@ -301,119 +637,19 @@ class Verifier:
             # soundness: division, modulo and right shifts do not commute
             # with truncation, so computing them on the 64-bit abstract
             # values and masking afterwards claims wrong results.
-            dst_s = self._subreg(dst_s)
-            src_s = self._subreg(src_s)
-        result = self._scalar_alu(op, dst_s, src_s, insn, idx, is64)
+            dst_s = _subreg(dst_s)
+            src_s = _subreg(src_s)
+        result = _scalar_alu(op, dst_s, src_s, idx, is64)
         reg = RegState.from_scalar(result)
         if not is64:
-            reg = self._truncate32(reg, idx)
-        self._write_reg(state, insn.dst, reg, idx)
+            reg = _truncate32(reg, idx)
+        _write_reg(state, insn.dst, reg, idx)
         self._note_transfer(idx, insn, reg)
-
-    def _scalar_alu(
-        self,
-        op: int,
-        dst: ScalarValue,
-        src: ScalarValue,
-        insn: Instruction,
-        idx: int,
-        is64: bool = True,
-    ) -> ScalarValue:
-        binop = _SCALAR_BINOP.get(op)
-        if binop is not None:
-            return binop(dst, src)
-        if op in (isa.ALU_LSH, isa.ALU_RSH, isa.ALU_ARSH):
-            if dst.is_bottom() or src.is_bottom():
-                return ScalarValue.bottom()
-            width = 64 if is64 else 32
-            if op == isa.ALU_ARSH and not is64:
-                # 32-bit arithmetic shift replicates bit 31, which the
-                # 64-bit arshift transfer cannot see.  Hoist the
-                # subregister into the top half, shift there (bit 31 is
-                # now the sign bit), and bring it back down — each step
-                # is a sound 64-bit transfer, so the composition is too.
-                def method(d: ScalarValue, s: int) -> ScalarValue:
-                    return d.lshift(32).arshift(s).rshift(32)
-            else:
-                method = {
-                    isa.ALU_LSH: ScalarValue.lshift,
-                    isa.ALU_RSH: ScalarValue.rshift,
-                    isa.ALU_ARSH: ScalarValue.arshift,
-                }[op]
-            if src.is_const():
-                # Concrete semantics mask the count to the op width.
-                return method(dst, src.const_value() & (width - 1))
-            # Unknown shift amount: join over feasible counts via tnums.
-            if src.umax() < width:
-                results = [method(dst, s) for s in range(src.umin(), src.umax() + 1)]
-                out = results[0]
-                for r in results[1:]:
-                    out = out.join(r)
-                return out
-            return ScalarValue.top()
-        raise VerifierError(idx, f"unsupported ALU op {op:#04x}")
-
-    def _pointer_alu(
-        self,
-        state: AbstractState,
-        insn: Instruction,
-        idx: int,
-        op: int,
-        dst: RegState,
-        src: RegState,
-    ) -> None:
-        if op == isa.ALU_ADD:
-            if dst.is_ptr() and src.is_scalar():
-                result = RegState.pointer(dst.region, dst.offset.add(src.scalar))
-            elif dst.is_scalar() and src.is_ptr():
-                result = RegState.pointer(src.region, src.offset.add(dst.scalar))
-            else:
-                raise VerifierError(idx, "addition of two pointers")
-        elif op == isa.ALU_SUB:
-            if dst.is_ptr() and src.is_scalar():
-                result = RegState.pointer(dst.region, dst.offset.sub(src.scalar))
-            elif dst.is_ptr() and src.is_ptr():
-                if dst.region != src.region:
-                    raise VerifierError(idx, "subtraction of cross-region pointers")
-                result = RegState.from_scalar(dst.offset.sub(src.offset))
-            else:
-                raise VerifierError(idx, "cannot subtract pointer from scalar")
-        else:
-            raise VerifierError(
-                idx, f"pointer arithmetic only supports add/sub, got {op:#04x}"
-            )
-        self._write_reg(state, insn.dst, result, idx)
-        self._note_transfer(idx, insn, result)
-
-    @staticmethod
-    def _subreg(value: ScalarValue) -> ScalarValue:
-        """The zero-extended 32-bit subregister view (kernel ``tnum_subreg``).
-
-        The 64-bit interval survives truncation whenever the low 32 bits
-        provably do not wrap across the range: the span must fit in 32
-        bits and the low words must stay ordered (``lo32(umin) <=
-        lo32(umax)``), which together rule out crossing a 2^32 boundary.
-        """
-        t32 = value.tnum.cast(32).cast(64)
-        iv = value.interval
-        if not iv.is_bottom() and iv.umax - iv.umin <= 0xFFFF_FFFF:
-            lo, hi = iv.umin & 0xFFFF_FFFF, iv.umax & 0xFFFF_FFFF
-            if lo <= hi:
-                return ScalarValue.make(
-                    t32, Interval(lo, hi, value.width)
-                )
-        return ScalarValue.from_tnum(t32)
-
-    @classmethod
-    def _truncate32(cls, reg: RegState, idx: int) -> RegState:
-        if reg.is_ptr():
-            raise VerifierError(idx, "32-bit operation on pointer")
-        return RegState.from_scalar(cls._subreg(reg.scalar))
 
     # -- memory ---------------------------------------------------------------------
 
     def _load(self, state: AbstractState, insn: Instruction, idx: int) -> None:
-        ptr = self._read_reg(state, insn.src, idx)
+        ptr = _read_reg(state, insn.src, idx)
         size = insn.size_bytes()
         check_mem_access(state, ptr, insn.off, size, idx, self.ctx_size)
         if ptr.region == Region.STACK:
@@ -422,13 +658,13 @@ class Verifier:
             value = RegState.unknown() if size == 8 else RegState.from_scalar(
                 ScalarValue.from_range(0, (1 << (8 * size)) - 1)
             )
-        self._write_reg(state, insn.dst, value, idx)
+        _write_reg(state, insn.dst, value, idx)
 
     def _store(self, state: AbstractState, insn: Instruction, idx: int) -> None:
-        ptr = self._read_reg(state, insn.dst, idx)
+        ptr = _read_reg(state, insn.dst, idx)
         size = insn.size_bytes()
         if insn.cls() == isa.CLS_STX:
-            value = self._read_reg(state, insn.src, idx)
+            value = _read_reg(state, insn.src, idx)
         else:
             value = RegState.const(insn.imm & U64)
         check_mem_access(state, ptr, insn.off, size, idx, self.ctx_size)
@@ -442,29 +678,37 @@ class Verifier:
     def _call(self, state: AbstractState, insn: Instruction, idx: int) -> None:
         # Helpers receive r1-r5 and return an unknown scalar in r0;
         # caller-saved registers are clobbered (kernel ABI).
-        state.regs[0] = RegState.unknown()
+        regs = state.regs
+        regs[0] = RegState.unknown()
+        not_init = RegState.not_init()
         for reg in range(1, 6):
-            state.regs[reg] = RegState.not_init()
+            regs[reg] = not_init
 
     # -- branches ------------------------------------------------------------------------
 
     def _branch(
         self, state: AbstractState, insn: Instruction, idx: int
     ) -> Tuple[AbstractState, AbstractState]:
-        """Return (fall-through state, taken state) with refinements."""
-        dst = self._read_reg(state, insn.dst, idx)
+        """Return (fall-through state, taken state) with refinements.
+
+        ``fall`` reuses the incoming state and ``taken`` is a
+        copy-on-write copy — the no-refinement paths (pointer compares,
+        non-fitting 32-bit compares, unknown bounds) therefore share
+        containers instead of cloning the full state twice.
+        """
+        dst = _read_reg(state, insn.dst, idx)
         src: Optional[RegState] = None
         if insn.uses_imm():
             src_val: Optional[int] = insn.imm & U64
         else:
-            src = self._read_reg(state, insn.src, idx)
+            src = _read_reg(state, insn.src, idx)
             src_val = (
                 src.scalar.const_value()
                 if src.is_scalar() and src.scalar.is_const()
                 else None
             )
 
-        fall = state.copy()
+        fall = state
         taken = state.copy()
         if insn.cls() != isa.CLS_JMP:
             # A 32-bit compare agrees with the 64-bit one when both the
@@ -480,22 +724,15 @@ class Verifier:
             if not fits:
                 return fall, taken
 
-        def note(scalar: Optional[ScalarValue]) -> None:
-            if scalar is None or self.on_transfer is None:
-                return
-            label = transfer_label(insn)
-            if label is not None:
-                self.on_transfer(idx, label, scalar)
-
+        note = self.on_transfer
+        label = transfer_label(insn)
         op = isa.BPF_OP(insn.opcode)
         if dst.is_scalar() and src_val is not None:
             taken_scalar, fall_scalar = self._refine(dst.scalar, op, src_val)
-            if taken_scalar is not None:
-                taken.regs[insn.dst] = RegState.from_scalar(taken_scalar)
-            if fall_scalar is not None:
-                fall.regs[insn.dst] = RegState.from_scalar(fall_scalar)
-            note(taken_scalar)
-            note(fall_scalar)
+            _apply_refinement(
+                taken, fall, insn.dst, taken_scalar, fall_scalar,
+                note, idx, label,
+            )
         elif (
             src is not None
             and src.is_scalar()
@@ -510,12 +747,10 @@ class Verifier:
                 taken_scalar, fall_scalar = self._refine(
                     src.scalar, mirrored, bound
                 )
-                if taken_scalar is not None:
-                    taken.regs[insn.src] = RegState.from_scalar(taken_scalar)
-                if fall_scalar is not None:
-                    fall.regs[insn.src] = RegState.from_scalar(fall_scalar)
-                note(taken_scalar)
-                note(fall_scalar)
+                _apply_refinement(
+                    taken, fall, insn.src, taken_scalar, fall_scalar,
+                    note, idx, label,
+                )
         return fall, taken
 
     @staticmethod
@@ -523,53 +758,10 @@ class Verifier:
         value: ScalarValue, op: int, bound: int
     ) -> Tuple[Optional[ScalarValue], Optional[ScalarValue]]:
         """Refined (taken, fall-through) values for ``value <op> bound``."""
-        if op == isa.JMP_JEQ:
-            return value.refine_eq(bound), value.refine_ne(bound)
-        if op == isa.JMP_JNE:
-            return value.refine_ne(bound), value.refine_eq(bound)
-        if op == isa.JMP_JGT:
-            return value.refine_ugt(bound), value.refine_ule(bound)
-        if op == isa.JMP_JGE:
-            return value.refine_uge(bound), value.refine_ult(bound)
-        if op == isa.JMP_JLT:
-            return value.refine_ult(bound), value.refine_uge(bound)
-        if op == isa.JMP_JLE:
-            return value.refine_ule(bound), value.refine_ugt(bound)
-        if op == isa.JMP_JSET:
-            # Fall-through means (value & bound) == 0: those bits are 0.
-            cleared = tnum_meet(
-                value.tnum, Tnum(0, ~bound & U64, 64)
-            )
-            fall = ScalarValue.make(cleared, value.interval)
-            return None, fall
-        # Signed comparisons refine through the signed-interval domain and
-        # the kernel-style bounds deduction maps the result back onto the
-        # unsigned interval and the tnum.
-        if op in (isa.JMP_JSGT, isa.JMP_JSGE, isa.JMP_JSLT, isa.JMP_JSLE):
-            from repro.domains.signed_interval import (
-                SignedInterval,
-                deduce_bounds,
-            )
-
-            sbound = to_signed(bound, 64)
-            base = SignedInterval.from_unsigned(value.interval).meet(
-                SignedInterval.from_tnum(value.tnum)
-            )
-            taken_si, fall_si = {
-                isa.JMP_JSGT: (base.refine_sgt(sbound), base.refine_sle(sbound)),
-                isa.JMP_JSGE: (base.refine_sge(sbound), base.refine_slt(sbound)),
-                isa.JMP_JSLT: (base.refine_slt(sbound), base.refine_sge(sbound)),
-                isa.JMP_JSLE: (base.refine_sle(sbound), base.refine_sgt(sbound)),
-            }[op]
-
-            def rebuild(si: SignedInterval) -> ScalarValue:
-                if si.is_bottom():
-                    return ScalarValue.bottom()
-                t, iv, _ = deduce_bounds(value.tnum, value.interval, si)
-                return ScalarValue.make(t, iv)
-
-            return rebuild(taken_si), rebuild(fall_si)
-        return None, None
+        refiner = _REFINERS.get(op)
+        if refiner is None:
+            return None, None
+        return refiner(value, bound)
 
 
 def verify_program(program: Program, ctx_size: int = 64) -> VerificationResult:

@@ -130,7 +130,7 @@ def store_stack(
     off = _const_stack_offset(ptr, insn_offset, insn_index)
     slot = (off // 8) * 8  # base of the containing 8-byte slot
     if size == 8 and off % 8 == 0:
-        state.stack[slot] = StackSlot.spill(value)
+        state.set_slot(slot, StackSlot.spill(value))
         return
     if value.is_ptr():
         raise VerifierError(
@@ -139,8 +139,9 @@ def store_stack(
     # Partial writes degrade every touched slot to MISC.
     first = (off // 8) * 8
     last = ((off + size - 1) // 8) * 8
+    misc = StackSlot.misc()
     for s in range(first, last + 8, 8):
-        state.stack[s] = StackSlot.misc()
+        state.set_slot(s, misc)
 
 
 def load_stack(

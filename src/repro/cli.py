@@ -29,9 +29,10 @@ Subcommands
     violations or a tightness-mass regression.
 ``bench``
     Measure fuzz-pipeline throughput (programs/sec) across the driver
-    profiles and the precision campaign; emits a ``BENCH_*.json``
-    baseline and optionally diffs against a committed one (advisory by
-    default — machines differ).
+    profiles, the abstract verifier alone (``verify_<profile>`` stages,
+    cold compiled-walk per program), and the precision campaign; emits a
+    ``BENCH_*.json`` baseline and optionally diffs against a committed
+    one (advisory by default — machines differ).
 
 Subcommands that use randomness (``fuzz``, ``campaign``,
 ``check-op --method random``, ``eval fig5``) accept ``--seed`` so every
@@ -217,10 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="measure fuzz-pipeline throughput and emit a BENCH baseline",
+        help="measure fuzz-pipeline throughput (driver, verifier, "
+             "campaign stages) and emit a BENCH baseline",
     )
     p_bench.add_argument("--budget", type=int, default=200,
-                         help="programs per driver measurement "
+                         help="programs per driver/verifier measurement "
                               "(default 200)")
     p_bench.add_argument("--campaign-budget", type=int, default=None,
                          help="programs per campaign measurement "

@@ -68,10 +68,15 @@ class Tnum:
     empty tnum identically.
     """
 
-    __slots__ = ("_value", "_mask", "_width")
+    __slots__ = ("value", "mask", "width")
 
     def __init__(self, value: int, mask: int, width: int = DEFAULT_WIDTH) -> None:
-        limit = mask_for_width(width)
+        # ``width < 1`` is rejected by the limit computation's callers;
+        # the limit is inlined (not mask_for_width) because construction
+        # is the single hottest allocation in the verifier pipeline.
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        limit = (1 << width) - 1
         if not 0 <= value <= limit:
             raise ValueError(
                 f"value {value:#x} out of range for width {width}"
@@ -82,26 +87,12 @@ class Tnum:
             # Ill-formed: canonicalize every empty tnum to one bottom value.
             value = limit
             mask = limit
-        object.__setattr__(self, "_value", value)
-        object.__setattr__(self, "_mask", mask)
-        object.__setattr__(self, "_width", width)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "mask", mask)
+        object.__setattr__(self, "width", width)
 
-    # -- basic accessors ---------------------------------------------------
-
-    @property
-    def value(self) -> int:
-        """Known-one bits (the kernel's ``tnum.value``)."""
-        return self._value
-
-    @property
-    def mask(self) -> int:
-        """Unknown bits (the kernel's ``tnum.mask``)."""
-        return self._mask
-
-    @property
-    def width(self) -> int:
-        """Bit width of the machine word this tnum abstracts."""
-        return self._width
+    # ``value`` / ``mask`` / ``width`` are plain (read-only) slots: the
+    # kernel's field names, without property-descriptor overhead.
 
     # -- constructors ------------------------------------------------------
 
@@ -183,13 +174,17 @@ class Tnum:
     # -- predicates ----------------------------------------------------------
 
     def is_bottom(self) -> bool:
-        """True iff this tnum concretizes to the empty set."""
-        limit = mask_for_width(self._width)
-        return self._value == limit and self._mask == limit
+        """True iff this tnum concretizes to the empty set.
+
+        Construction canonicalizes every ill-formed pair to bottom, so a
+        nonzero ``value & mask`` overlap is an exact (and allocation-free)
+        bottom test.
+        """
+        return (self.value & self.mask) != 0
 
     def is_top(self) -> bool:
         """True iff every bit is unknown."""
-        return self._value == 0 and self._mask == mask_for_width(self._width)
+        return self.value == 0 and self.mask == mask_for_width(self.width)
 
     def is_const(self) -> bool:
         """True iff exactly one concrete value is represented.
@@ -197,7 +192,7 @@ class Tnum:
         Matches the kernel's ``tnum_is_const``: no unknown bits.  Bottom is
         not a constant.
         """
-        return self._mask == 0
+        return self.mask == 0
 
     def is_aligned(self, size: int) -> bool:
         """True iff every concrete value is a multiple of ``size``.
@@ -208,32 +203,32 @@ class Tnum:
             return True
         if size & (size - 1):
             raise ValueError(f"alignment {size} is not a power of two")
-        return ((self._value | self._mask) & (size - 1)) == 0
+        return ((self.value | self.mask) & (size - 1)) == 0
 
     def contains(self, concrete: int) -> bool:
         """Membership test ``concrete ∈ γ(self)`` (Eqn. 9 of the paper)."""
         if self.is_bottom():
             return False
-        concrete &= mask_for_width(self._width)
-        return (concrete & ~self._mask) & mask_for_width(self._width) == self._value
+        concrete &= mask_for_width(self.width)
+        return (concrete & ~self.mask) & mask_for_width(self.width) == self.value
 
     def trit(self, position: int) -> str:
         """Return the trit at ``position`` (0 = lsb) as ``"0"``, ``"1"`` or ``"µ"``."""
-        if not 0 <= position < self._width:
-            raise IndexError(f"bit {position} out of range for width {self._width}")
-        v = (self._value >> position) & 1
-        m = (self._mask >> position) & 1
+        if not 0 <= position < self.width:
+            raise IndexError(f"bit {position} out of range for width {self.width}")
+        v = (self.value >> position) & 1
+        m = (self.mask >> position) & 1
         if m:
             return "⊥-trit" if v else "µ"
         return "1" if v else "0"
 
     def known_bits(self) -> int:
         """Bit mask of positions whose trit is certain (0 or 1)."""
-        return ~self._mask & mask_for_width(self._width)
+        return ~self.mask & mask_for_width(self.width)
 
     def unknown_count(self) -> int:
         """Number of unknown (µ) trits."""
-        return bin(self._mask).count("1")
+        return bin(self.mask).count("1")
 
     def cardinality(self) -> int:
         """``|γ(self)|`` — the number of concrete values represented."""
@@ -249,7 +244,7 @@ class Tnum:
         """
         if self.is_bottom():
             return
-        value, mask = self._value, self._mask
+        value, mask = self.value, self.mask
         subset = 0
         while True:
             yield value | subset
@@ -262,13 +257,13 @@ class Tnum:
         """Smallest concrete value in γ(self) (unknown bits as 0)."""
         if self.is_bottom():
             raise ValueError("bottom tnum has no concrete values")
-        return self._value
+        return self.value
 
     def max_value(self) -> int:
         """Largest concrete value in γ(self) (unknown bits as 1)."""
         if self.is_bottom():
             raise ValueError("bottom tnum has no concrete values")
-        return self._value | self._mask
+        return self.value | self.mask
 
     # -- width adjustment ----------------------------------------------------
 
@@ -281,11 +276,11 @@ class Tnum:
         if self.is_bottom():
             return Tnum.bottom(width)
         limit = mask_for_width(width)
-        return Tnum(self._value & limit, self._mask & limit, width)
+        return Tnum(self.value & limit, self.mask & limit, width)
 
     def subreg(self) -> "Tnum":
         """Low 32 bits zero-extended back to 64 (kernel ``tnum_subreg``)."""
-        if self._width != 64:
+        if self.width != 64:
             raise ValueError("subreg is only defined for 64-bit tnums")
         return self.cast(32).cast(64)
 
@@ -298,13 +293,13 @@ class Tnum:
         if not isinstance(other, Tnum):
             return NotImplemented
         return (
-            self._width == other._width
-            and self._value == other._value
-            and self._mask == other._mask
+            self.width == other.width
+            and self.value == other.value
+            and self.mask == other.mask
         )
 
     def __hash__(self) -> int:
-        return hash((self._value, self._mask, self._width))
+        return hash((self.value, self.mask, self.width))
 
     def __iter__(self) -> Iterator[int]:
         return self.concretize()
@@ -320,22 +315,22 @@ class Tnum:
     def to_trits(self) -> str:
         """Render as a trit string, msb first, e.g. ``"10µ0"``."""
         if self.is_bottom():
-            return "⊥" * self._width
+            return "⊥" * self.width
         chars = []
-        for position in reversed(range(self._width)):
+        for position in reversed(range(self.width)):
             chars.append(self.trit(position))
         return "".join(chars)
 
     def as_pair(self) -> Tuple[int, int]:
         """Return the kernel representation ``(value, mask)``."""
-        return (self._value, self._mask)
+        return (self.value, self.mask)
 
     def __repr__(self) -> str:
         if self.is_bottom():
-            return f"Tnum.bottom(width={self._width})"
+            return f"Tnum.bottom(width={self.width})"
         return (
-            f"Tnum(value={self._value:#x}, mask={self._mask:#x}, "
-            f"width={self._width})"
+            f"Tnum(value={self.value:#x}, mask={self.mask:#x}, "
+            f"width={self.width})"
         )
 
     def __str__(self) -> str:

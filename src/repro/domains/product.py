@@ -16,7 +16,7 @@ This mutual refinement is what lets the verifier prove facts like
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.core import (
     our_mul,
@@ -45,6 +45,10 @@ __all__ = ["ScalarValue"]
 #: produces one of these; sharing them skips the construction entirely.
 _TOP: Dict[int, "ScalarValue"] = {}
 _BOTTOM: Dict[int, "ScalarValue"] = {}
+#: Interned small constants (immediates, loop bounds, offsets dominate
+#: the fuzz workload); bounded so the cache cannot grow without limit.
+_CONST_CACHE: Dict[Tuple[int, int], "ScalarValue"] = {}
+_CONST_CACHE_MAX = 1024
 
 
 class ScalarValue:
@@ -86,11 +90,20 @@ class ScalarValue:
     @classmethod
     def make(cls, tnum: Tnum, interval: Interval) -> "ScalarValue":
         """Build and mutually reduce the two components."""
-        return cls(tnum, interval)._reduce()
+        return _reduce_pair(tnum, interval)
 
     @classmethod
     def const(cls, value: int, width: int = 64) -> "ScalarValue":
-        return cls(Tnum.const(value, width), Interval.const(value, width))
+        v = value & ((1 << width) - 1)
+        if v < _CONST_CACHE_MAX:
+            key = (v, width)
+            cached = _CONST_CACHE.get(key)
+            if cached is None:
+                cached = _CONST_CACHE[key] = cls(
+                    Tnum.const(v, width), Interval.const(v, width)
+                )
+            return cached
+        return cls(Tnum.const(v, width), Interval.const(v, width))
 
     @classmethod
     def top(cls, width: int = 64) -> "ScalarValue":
@@ -122,18 +135,7 @@ class ScalarValue:
     # -- reduction (kernel reg_bounds_sync) ---------------------------------
 
     def _reduce(self) -> "ScalarValue":
-        t, iv = self.tnum, self.interval
-        if t.is_bottom() or iv.is_bottom():
-            return ScalarValue.bottom(self.width)
-        # Range → tnum: intersect with the range's prefix tnum.
-        t2 = tnum_meet(t, iv.to_tnum())
-        if t2.is_bottom():
-            return ScalarValue.bottom(self.width)
-        # Tnum → range: clamp bounds to the tnum's min/max.
-        iv2 = iv.meet(Interval(t2.min_value(), t2.max_value(), self.width))
-        if iv2.is_bottom():
-            return ScalarValue.bottom(self.width)
-        return ScalarValue(t2, iv2)
+        return _reduce_pair(self.tnum, self.interval)
 
     # -- properties ---------------------------------------------------------
 
@@ -142,7 +144,9 @@ class ScalarValue:
         return self.tnum.width
 
     def is_bottom(self) -> bool:
-        return self.tnum.is_bottom() or self.interval.is_bottom()
+        t = self.tnum
+        iv = self.interval
+        return (t.value & t.mask) != 0 or iv.umin > iv.umax
 
     def is_const(self) -> bool:
         return self.tnum.is_const() or self.interval.is_const()
@@ -187,13 +191,39 @@ class ScalarValue:
             t_op(self.tnum, other.tnum), iv_op(self.interval, other.interval)
         )
 
+    def _const_operands(self, other: "ScalarValue"):
+        """``(a, b)`` when both sides are reduced constants, else None.
+
+        Every binary transfer here is exact on singletons (checked by
+        the cross-property suite), so const × const short-circuits to
+        concrete arithmetic — the single most common operand shape in
+        generated programs (immediates, lddw results, loop counters).
+        """
+        t1, t2 = self.tnum, other.tnum
+        if t1.mask or t2.mask:
+            return None
+        a, b = t1.value, t2.value
+        iv1, iv2 = self.interval, other.interval
+        if iv1.umin == a and iv1.umax == a and iv2.umin == b and iv2.umax == b:
+            return a, b
+        return None
+
     def add(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            return ScalarValue.const(ab[0] + ab[1], self.width)
         return self._binary(other, tnum_add, Interval.add)
 
     def sub(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            return ScalarValue.const(ab[0] - ab[1], self.width)
         return self._binary(other, tnum_sub, Interval.sub)
 
     def mul(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            return ScalarValue.const(ab[0] * ab[1], self.width)
         return self._binary(other, our_mul, Interval.mul)
 
     # Bitwise and division ops run a *native* interval transfer alongside
@@ -205,33 +235,79 @@ class ScalarValue:
     # all operand range knowledge.
 
     def and_(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            return ScalarValue.const(ab[0] & ab[1], self.width)
         return self._binary(other, tnum_and, Interval.and_)
 
     def or_(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            return ScalarValue.const(ab[0] | ab[1], self.width)
         return self._binary(other, tnum_or, Interval.or_)
 
     def xor(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            return ScalarValue.const(ab[0] ^ ab[1], self.width)
         return self._binary(other, tnum_xor, Interval.xor)
 
     def div(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            # BPF-defined semantics: x / 0 == 0.
+            return ScalarValue.const(
+                ab[0] // ab[1] if ab[1] else 0, self.width
+            )
         return self._binary(other, tnum_div, Interval.udiv)
 
     def mod(self, other: "ScalarValue") -> "ScalarValue":
+        ab = self._const_operands(other)
+        if ab is not None:
+            # BPF-defined semantics: x % 0 == x.
+            return ScalarValue.const(
+                ab[0] % ab[1] if ab[1] else ab[0], self.width
+            )
         return self._binary(other, tnum_mod, Interval.umod)
 
+    def _const_value(self):
+        """The value of a reduced constant, else None (cf. _const_operands)."""
+        t = self.tnum
+        if t.mask:
+            return None
+        v = t.value
+        iv = self.interval
+        if iv.umin == v and iv.umax == v:
+            return v
+        return None
+
     def neg(self) -> "ScalarValue":
+        v = self._const_value()
+        if v is not None:
+            return ScalarValue.const(-v, self.width)
         t = tnum_neg(self.tnum)
         return ScalarValue.make(t, self.interval.neg())
 
     def lshift(self, shift: int) -> "ScalarValue":
+        v = self._const_value()
+        if v is not None:
+            return ScalarValue.const(v << shift, self.width)
         t = tnum_lshift(self.tnum, shift)
         return ScalarValue.make(t, self.interval.lshift(shift))
 
     def rshift(self, shift: int) -> "ScalarValue":
+        v = self._const_value()
+        if v is not None:
+            return ScalarValue.const(v >> shift, self.width)
         t = tnum_rshift(self.tnum, shift)
         return ScalarValue.make(t, self.interval.rshift(shift))
 
     def arshift(self, shift: int) -> "ScalarValue":
+        v = self._const_value()
+        if v is not None:
+            if v >> (self.width - 1):  # sign-extend, then shift
+                v -= 1 << self.width
+            return ScalarValue.const(v >> shift, self.width)
         # The unsigned interval routes through the signed domain: an
         # arithmetic shift is monotone on the signed view, and the result
         # maps back exactly whenever it stays within one sign half.
@@ -245,26 +321,95 @@ class ScalarValue:
 
     # -- branch refinement --------------------------------------------------------
 
+    def _with_refined_interval(self, refined: Interval) -> "ScalarValue":
+        """Rebuild after an interval-only refinement.
+
+        When the refinement did not actually narrow the interval, the
+        reduced product is unchanged — re-reducing would only rebuild an
+        equal object, so return ``self`` (branch bounds already implied
+        by the state are the common case at re-converging guards).
+        """
+        iv = self.interval
+        if refined.umin == iv.umin and refined.umax == iv.umax:
+            return self
+        return ScalarValue.make(self.tnum, refined)
+
     def refine_ult(self, bound: int) -> "ScalarValue":
-        return ScalarValue.make(self.tnum, self.interval.refine_ult(bound))
+        return self._with_refined_interval(self.interval.refine_ult(bound))
 
     def refine_ule(self, bound: int) -> "ScalarValue":
-        return ScalarValue.make(self.tnum, self.interval.refine_ule(bound))
+        return self._with_refined_interval(self.interval.refine_ule(bound))
 
     def refine_ugt(self, bound: int) -> "ScalarValue":
-        return ScalarValue.make(self.tnum, self.interval.refine_ugt(bound))
+        return self._with_refined_interval(self.interval.refine_ugt(bound))
 
     def refine_uge(self, bound: int) -> "ScalarValue":
-        return ScalarValue.make(self.tnum, self.interval.refine_uge(bound))
+        return self._with_refined_interval(self.interval.refine_uge(bound))
 
     def refine_eq(self, bound: int) -> "ScalarValue":
-        return ScalarValue.make(
-            tnum_meet(self.tnum, Tnum.const(bound, self.width)),
-            self.interval.refine_eq(bound),
-        )
+        # Assuming equality collapses the product to exactly const(bound)
+        # — or ⊥ when either component excludes the bound.  This is what
+        # the generic meet-then-reduce sequence returns, without building
+        # the intermediate tnum/interval pair (equality guards are the
+        # most common refinement in branchy code).
+        t = self.tnum
+        iv = self.interval
+        b = bound & ((1 << t.width) - 1)
+        if (
+            not (t.value & t.mask)          # not ⊥
+            and (b & ~t.mask) == t.value    # tnum contains the bound
+            and iv.umin <= b <= iv.umax     # interval contains the bound
+        ):
+            return ScalarValue.const(b, t.width)
+        return ScalarValue.bottom(t.width)
 
     def refine_ne(self, bound: int) -> "ScalarValue":
-        return ScalarValue.make(self.tnum, self.interval.refine_ne(bound))
+        return self._with_refined_interval(self.interval.refine_ne(bound))
 
     def __str__(self) -> str:
         return f"{self.tnum} ∩ {self.interval}"
+
+
+def _reduce_pair(t: Tnum, iv: Interval) -> ScalarValue:
+    """Mutually reduce (tnum, interval) — kernel ``reg_bounds_sync``.
+
+    This runs once per abstract transfer, so the dominant shapes take
+    exact fast paths that skip the generic meet machinery entirely:
+
+    * either side ⊥ → ⊥;
+    * constant tnum: the interval can only clamp to that constant (or
+      prove ⊥) — no tnum_meet / tnum_range construction needed;
+    * constant interval: the tnum can only sharpen to that constant if
+      it contains it, else ⊥;
+    * top interval: the range meet reduces to the tnum's [min, max].
+
+    Each fast path returns exactly what the generic sequence
+    (``tnum_meet`` with the range tnum, then clamping the interval to the
+    tnum's bounds) would — the property/differential suites and the
+    fixed-seed precision golden pin that equivalence.
+    """
+    tv, tm = t.value, t.mask
+    lo, hi = iv.umin, iv.umax
+    width = t.width
+    if tv & tm or lo > hi:
+        return ScalarValue.bottom(width)
+    if tm == 0:  # constant tnum
+        if lo <= tv <= hi:
+            return ScalarValue(t, iv if lo == hi else Interval.const(tv, width))
+        return ScalarValue.bottom(width)
+    if lo == hi:  # constant interval
+        if (lo & ~tm) == tv:
+            return ScalarValue(Tnum.const(lo, width), iv)
+        return ScalarValue.bottom(width)
+    if lo == 0 and hi == (1 << width) - 1:  # top interval
+        return ScalarValue(t, Interval(tv, tv | tm, width))
+    # Range → tnum: intersect with the range's prefix tnum.
+    t2 = tnum_meet(t, iv.to_tnum())
+    t2v, t2m = t2.value, t2.mask
+    if t2v & t2m:
+        return ScalarValue.bottom(width)
+    # Tnum → range: clamp bounds to the tnum's min/max.
+    iv2 = iv.meet(Interval(t2v, t2v | t2m, width))
+    if iv2.umin > iv2.umax:
+        return ScalarValue.bottom(width)
+    return ScalarValue(t2, iv2)

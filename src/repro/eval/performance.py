@@ -22,6 +22,7 @@ hard gate.
 
 from __future__ import annotations
 
+import gc
 import json
 import random
 import time
@@ -43,6 +44,7 @@ __all__ = [
     "speedup_summary",
     "ThroughputReport",
     "measure_fuzz_throughput",
+    "measure_verifier_throughput",
     "BENCH_PROFILES",
 ]
 
@@ -139,6 +141,9 @@ class ThroughputReport:
 
     ``metrics`` maps metric name to programs/sec: ``driver_<profile>``
     for the plain differential driver per opcode profile,
+    ``verify_<profile>`` for the abstract verifier alone (compiled walk,
+    cold per program: container construction, closure lookup, and the
+    full abstract interpretation are all inside the timed region),
     ``campaign_telemetry`` for the precision campaign with telemetry but
     no feedback, and ``campaign_feedback`` for the full two-round
     mutation-feedback loop.  Numbers are machine-dependent; comparisons
@@ -212,12 +217,51 @@ class ThroughputReport:
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
     best = None
     for _ in range(repeats):
+        # Collect before each timed pass so one stage's garbage (the
+        # campaign stages allocate heavily) cannot bill a later stage.
+        gc.collect()
         t0 = time.perf_counter()
         fn()
         elapsed = time.perf_counter() - t0
         if best is None or elapsed < best:
             best = elapsed
     return best if best is not None else 0.0
+
+
+def measure_verifier_throughput(
+    budget: int = 200,
+    seed: int = 42,
+    repeats: int = 2,
+    profiles: Sequence[str] = BENCH_PROFILES,
+) -> Dict[str, float]:
+    """Measure the abstract verifier alone: ``verify_<profile>`` stages.
+
+    Programs are pre-generated outside the timed region (generation is
+    driver cost, not verifier cost), but each timed pass re-wraps the
+    instruction lists in fresh :class:`~repro.bpf.program.Program`
+    containers so every verification is *cold* — container maps, CFG,
+    and compiled-closure lookups are all paid inside the measurement,
+    exactly as the fuzz oracle pays them per generated program.
+    """
+    from repro.bpf.program import Program
+    from repro.bpf.verifier import Verifier
+    from repro.fuzz import generate_program
+    from repro.fuzz.driver import program_seed
+
+    metrics: Dict[str, float] = {}
+    for profile in profiles:
+        insn_lists = [
+            list(generate_program(program_seed(seed, i), profile).program.insns)
+            for i in range(budget)
+        ]
+
+        def run(lists=insn_lists) -> None:
+            verifier = Verifier(ctx_size=64)
+            for insns in lists:
+                verifier.verify(Program(insns))
+
+        metrics[f"verify_{profile}"] = budget / _best_of(run, repeats)
+    return metrics
 
 
 def measure_fuzz_throughput(
@@ -229,7 +273,8 @@ def measure_fuzz_throughput(
 ) -> ThroughputReport:
     """Measure end-to-end pipeline throughput (programs/sec).
 
-    Runs the plain differential driver per opcode profile, the
+    Runs the plain differential driver per opcode profile, the abstract
+    verifier alone per profile (``verify_<profile>``), the
     telemetry-only precision campaign, and the full mutation-feedback
     campaign, each ``repeats`` times keeping the best.  This is the
     workload behind ``repro bench`` and the committed
@@ -255,6 +300,12 @@ def measure_fuzz_throughput(
         config = CampaignConfig(budget=budget, seed=seed, profile=profile)
         seconds = _best_of(lambda: run_campaign(config), repeats)
         metrics[f"driver_{profile}"] = budget / seconds
+
+    metrics.update(
+        measure_verifier_throughput(
+            budget=budget, seed=seed, repeats=repeats, profiles=profiles
+        )
+    )
 
     telemetry = CampaignSpec(
         budget=campaign_budget, rounds=1, seed=seed, mutate_fraction=0.0,

@@ -239,12 +239,26 @@ _ZERO_OP_COUNTERS = {
 #: instead of pickled per work item.
 _worker_spec: Optional[CampaignSpec] = None
 _worker_pool: Tuple[str, ...] = ()
+#: Pool programs decoded lazily, at most once per worker per round: many
+#: work items mutate the same base seed, and a decoded ``Program``
+#: carries its cached compiled (concrete and abstract) forms with it.
+_worker_pool_programs: Dict[int, Program] = {}
 
 
 def _set_worker_state(spec: CampaignSpec, pool: Tuple[str, ...]) -> None:
-    global _worker_spec, _worker_pool
+    global _worker_spec, _worker_pool, _worker_pool_programs
     _worker_spec = spec
     _worker_pool = pool
+    _worker_pool_programs = {}
+
+
+def _pool_program(index: int) -> Program:
+    program = _worker_pool_programs.get(index)
+    if program is None:
+        program = _worker_pool_programs[index] = Program.from_bytes(
+            bytes.fromhex(_worker_pool[index])
+        )
+    return program
 
 
 def _telemetry_oracle(spec: CampaignSpec, collector: TransferCollector):
@@ -286,9 +300,7 @@ def _fuzz_one(index: int) -> Dict:
     origin = "fresh"
     mut_rng = random.Random(seed ^ _MUTATE_MIX)
     if pool and mut_rng.random() < spec.mutate_fraction:
-        base = Program.from_bytes(
-            bytes.fromhex(pool[mut_rng.randrange(len(pool))])
-        )
+        base = _pool_program(mut_rng.randrange(len(pool)))
         program = mutate_program(
             base, donor=generated.program, rng=mut_rng,
             max_insns=spec.max_insns,

@@ -116,17 +116,27 @@ class DifferentialOracle:
         #: interpreter step budget; campaigns lower it so mutated programs
         #: with (verifier-rejected) loops cannot stall a replay.
         self.step_limit = step_limit
+        #: one verifier reused across every checked program (its per-run
+        #: ``states_at`` is reset per call) — together with the compiled
+        #: abstract form cached on each :class:`Program`, re-checking a
+        #: program (shrinker predicates, campaign rounds) pays only the
+        #: walk, never re-dispatch or re-compilation.
+        self._verifier = Verifier(
+            ctx_size=self.ctx_size,
+            collect_states=True,
+            on_transfer=self.on_transfer,
+        )
 
     # -- public API ---------------------------------------------------------
 
     def check_program(
         self, program: Program, input_seed_base: int = 0
     ) -> OracleReport:
-        verifier = Verifier(
-            ctx_size=self.ctx_size,
-            collect_states=True,
-            on_transfer=self.on_transfer,
-        )
+        verifier = self._verifier
+        verifier.states_at = {}
+        # Re-read per call: callers may (re)wire the telemetry hook on
+        # the oracle after construction.
+        verifier.on_transfer = self.on_transfer
         result = verifier.verify(program)
 
         if not result.ok:
@@ -205,7 +215,10 @@ class DifferentialOracle:
                 continue
             entries: List[Tuple] = []
             for r in range(isa.MAX_REG):
-                abstract = state.regs[r]
+                # get_reg: a plain read must not un-share the COW state's
+                # register list (the ``regs`` property materializes
+                # ownership because its callers may mutate in place).
+                abstract = state.get_reg(r)
                 if abstract.kind == RegKind.NOT_INIT:
                     continue  # no claim made; nothing to contradict
                 if abstract.kind == RegKind.SCALAR:

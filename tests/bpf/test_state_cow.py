@@ -1,0 +1,142 @@
+"""Copy-on-write semantics of :class:`AbstractState` and the interned
+register/slot singletons the compiled verifier leans on."""
+
+from repro.bpf import isa
+from repro.bpf.verifier import (
+    AbstractState,
+    RegKind,
+    RegState,
+    StackSlot,
+)
+from repro.domains.product import ScalarValue
+
+
+class TestCopyOnWrite:
+    def test_copy_shares_until_written(self):
+        state = AbstractState.entry_state()
+        clone = state.copy()
+        assert clone._regs is state._regs
+        assert clone._stack is state._stack
+
+    def test_writes_to_copy_do_not_leak_back(self):
+        state = AbstractState.entry_state()
+        clone = state.copy()
+        clone.set_reg(0, RegState.const(7))
+        clone.set_slot(-8, StackSlot.misc())
+        assert not state.get_reg(0).is_init()
+        assert state.slot_for(-8).kind == StackSlot.UNWRITTEN
+        assert clone.get_reg(0).scalar.const_value() == 7
+
+    def test_writes_to_original_do_not_leak_into_copy(self):
+        state = AbstractState.entry_state()
+        clone = state.copy()
+        state.set_reg(0, RegState.const(9))
+        state.set_slot(-16, StackSlot.misc())
+        assert not clone.get_reg(0).is_init()
+        assert clone.slot_for(-16).kind == StackSlot.UNWRITTEN
+
+    def test_regs_property_materializes_ownership(self):
+        # Legacy call sites mutate ``state.regs[i]`` in place; the
+        # property must hand them a private list.
+        state = AbstractState.entry_state()
+        clone = state.copy()
+        clone.regs[0] = RegState.const(1)
+        clone.stack[-8] = StackSlot.misc()
+        assert not state.get_reg(0).is_init()
+        assert -8 not in state.stack
+
+    def test_chained_copies(self):
+        a = AbstractState.entry_state()
+        b = a.copy()
+        c = b.copy()
+        b.set_reg(2, RegState.const(2))
+        c.set_reg(2, RegState.const(3))
+        assert not a.get_reg(2).is_init()
+        assert b.get_reg(2).scalar.const_value() == 2
+        assert c.get_reg(2).scalar.const_value() == 3
+
+    def test_copy_preserves_infeasible_flag(self):
+        state = AbstractState.entry_state()
+        state.infeasible = True
+        assert state.copy().infeasible
+
+    def test_equality_ignores_sharing(self):
+        state = AbstractState.entry_state()
+        clone = state.copy()
+        clone.set_reg(0, RegState.const(1))
+        other = AbstractState.entry_state()
+        other.set_reg(0, RegState.const(1))
+        assert clone == other
+        assert clone != state
+
+    def test_join_of_shared_states_is_cheap_and_correct(self):
+        state = AbstractState.entry_state()
+        clone = state.copy()
+        joined = state.join(clone)
+        assert joined == state
+
+    def test_leq_identity_fast_path(self):
+        state = AbstractState.entry_state()
+        assert state.leq(state)
+        assert state.leq(state.copy())
+
+
+class TestInternedSingletons:
+    def test_not_init_and_unknown_are_interned(self):
+        assert RegState.not_init() is RegState.not_init()
+        assert RegState.unknown() is RegState.unknown()
+        assert RegState.unknown().scalar is ScalarValue.top()
+
+    def test_small_consts_are_interned(self):
+        assert RegState.const(5) is RegState.const(5)
+        assert ScalarValue.const(5) is ScalarValue.const(5)
+
+    def test_interning_preserves_equality_semantics(self):
+        big = (1 << 40) + 12345
+        assert RegState.const(big) == RegState.const(big)
+        assert RegState.const(big) is not RegState.not_init()
+
+    def test_regstate_is_immutable_and_hashable(self):
+        reg = RegState.const(3)
+        try:
+            reg.kind = RegKind.PTR
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+        assert hash(reg) == hash(RegState.const(3))
+
+    def test_entry_state_registers(self):
+        state = AbstractState.entry_state()
+        assert state.get_reg(1).is_ptr()
+        assert state.get_reg(isa.FP_REG).is_ptr()
+        assert not state.get_reg(0).is_init()
+
+
+class TestStackSlotInterning:
+    def test_unwritten_and_misc_are_interned(self):
+        assert StackSlot.unwritten() is StackSlot.unwritten()
+        assert StackSlot.misc() is StackSlot.misc()
+
+    def test_join_returns_interned_non_spill(self):
+        misc = StackSlot.misc().join(StackSlot.misc())
+        assert misc is StackSlot.misc()
+        unwritten = StackSlot.unwritten().join(StackSlot.misc())
+        assert unwritten is StackSlot.unwritten()
+
+    def test_hash_consistent_with_eq(self):
+        spill_a = StackSlot.spill(RegState.const(1))
+        spill_b = StackSlot.spill(RegState.const(1))
+        assert spill_a == spill_b
+        assert hash(spill_a) == hash(spill_b)
+        assert len({spill_a, spill_b}) == 1
+        assert len({StackSlot.misc(), StackSlot.unwritten()}) == 2
+
+    def test_slots_are_immutable(self):
+        slot = StackSlot.spill(RegState.const(1))
+        try:
+            slot.kind = StackSlot.MISC
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -89,8 +89,10 @@ class TestInjectedBugs:
 
         monkeypatch.setattr(product, "tnum_add", buggy_add)
 
-        program = assemble("mov r0, 3\nmov r1, 4\nadd r0, r1\nexit")
-        report = DifferentialOracle(inputs_per_program=1).check_program(
+        # The operand must be abstractly unknown: const + const folds
+        # concretely (exact on singletons), bypassing the tnum transfer.
+        program = assemble("ldxb r2, [r1+0]\nmov r0, 3\nadd r0, r2\nexit")
+        report = DifferentialOracle(inputs_per_program=8).check_program(
             program
         )
         assert report.verdict == "accepted"

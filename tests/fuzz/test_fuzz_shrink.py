@@ -176,7 +176,10 @@ class TestShrinkQuality:
         oracle = DifferentialOracle(inputs_per_program=4)
 
         failing = None
-        for seed in range(200):
+        # Wide enough a search: constant subexpressions fold concretely
+        # in the product domain now, so programs where every add has a
+        # const result cannot expose an injected tnum_add bug.
+        for seed in range(400):
             gp = generate_program(seed, profile="alu")
             if not oracle.check_program(gp.program, input_seed_base=seed).ok:
                 failing = (gp.program, seed)
