@@ -109,6 +109,71 @@ def test_verify_branchy_path_sensitive(benchmark, branches):
     assert result.ok
 
 
+def test_obs_disabled_is_zero_overhead(benchmark):
+    """Instrumented-disabled overhead must stay under 2%.
+
+    Two layers of proof.  The structural one is exact: with obs disabled
+    the compiled verifier contains the *same closure objects* (from the
+    shared step/branch caches) as a build that has never seen obs — the
+    disabled path is byte-for-byte the uninstrumented code, so there is
+    no overhead to measure.  The timing layer then compares a verify
+    pass before and after an enable/disable cycle, which would catch a
+    regression where toggling obs leaves shims or stale caches behind;
+    2% is the contract, with a best-of-several measurement to keep the
+    check meaningful on shared CI machines.
+    """
+    import time
+
+    from repro import obs
+    from repro.bpf.program import Program
+
+    obs.reset()
+    insns = list(assemble(straightline_program(400)).insns)
+
+    def flat_steps(compiled):
+        return [step for block in compiled.blocks for step in block.steps]
+
+    pristine = Program(insns).compiled_verifier(64)
+    obs.enable()
+    instrumented = Program(insns).compiled_verifier(64)
+    obs.reset()
+    disabled_again = Program(insns).compiled_verifier(64)
+
+    # Exact zero-overhead proof: closure identity through the caches.
+    assert all(
+        a is b
+        for a, b in zip(flat_steps(pristine), flat_steps(disabled_again))
+    )
+    # ... while enabling really did wrap every step in a timing shim.
+    assert all(
+        a is not b
+        for a, b in zip(flat_steps(pristine), flat_steps(instrumented))
+    )
+
+    def best_verify_s(repeats: int = 5) -> float:
+        verifier = Verifier(ctx_size=64)
+        best = None
+        for _ in range(repeats):
+            program = Program(insns)
+            t0 = time.perf_counter()
+            assert verifier.verify(program).ok
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    before = best_verify_s()
+    obs.enable()
+    Program(insns).compiled_verifier(64)   # exercise the instrumented path
+    obs.reset()
+    after = best_verify_s()
+    assert after <= before * 1.02, (
+        f"obs-disabled verify regressed {100 * (after / before - 1):.1f}% "
+        f"after an enable/disable cycle (limit 2%)"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
 def test_verifier_throughput_summary(benchmark, out_dir):
     import time
 

@@ -404,12 +404,78 @@ def _compile_insn(
     return _raiser(pc, f"unsupported opcode {insn.opcode:#04x}")
 
 
+def _concrete_label(insn: Instruction) -> str:
+    """Per-op timing label for the concrete side (obs instrumentation).
+
+    Built from the ISA name tables alone — the concrete pipeline must
+    not import the verifier's transfer-label machinery.
+    """
+    cls = isa.BPF_CLASS(insn.opcode)
+    if insn.is_exit():
+        return "exit"
+    if insn.is_lddw():
+        return "lddw"
+    if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+        name = isa.ALU_OP_NAMES.get(isa.BPF_OP(insn.opcode), "alu")
+        return f"{name}{64 if cls == isa.CLS_ALU64 else 32}"
+    if cls in (isa.CLS_JMP, isa.CLS_JMP32):
+        op = isa.BPF_OP(insn.opcode)
+        if op == isa.JMP_JA:
+            return "ja"
+        if op == isa.JMP_CALL:
+            return "call"
+        name = isa.JMP_OP_NAMES.get(op, "jmp")
+        return f"{name}{64 if cls == isa.CLS_JMP else 32}"
+    if cls == isa.CLS_LDX:
+        return "load"
+    if cls in (isa.CLS_ST, isa.CLS_STX):
+        return "store"
+    return "other"
+
+
+def _timed_step(step: StepFn, label: str) -> StepFn:
+    """Per-op timing shim, compiled in only when obs is enabled.
+
+    The registry is resolved through the obs module at call time so
+    worker-scoped registries (merge-on-return) receive the samples.
+    """
+    import time
+
+    from repro import obs as _obs
+
+    clock = time.perf_counter_ns
+    record = _obs.record_op_time
+
+    def timed(m: "Machine", regs: List[int]) -> int:
+        t0 = clock()
+        try:
+            return step(m, regs)
+        finally:
+            record("interp", label, clock() - t0)
+
+    return timed
+
+
 def compile_program(program: "Program") -> CompiledProgram:
-    """Decode every instruction exactly once into step closures."""
+    """Decode every instruction exactly once into step closures.
+
+    When :mod:`repro.obs` is enabled at compile time, each closure is
+    wrapped in a per-operator timing shim; with obs disabled (default)
+    the compiled program is exactly the bare closures — the hot loop
+    never pays for instrumentation it didn't ask for.  The cache in
+    :meth:`repro.bpf.program.Program.compiled` is keyed on the obs
+    compile tag, so toggling recompiles transparently.
+    """
+    from repro import obs as _obs
+
+    instrument = _obs.enabled()
     steps: List[StepFn] = []
     slots: List[int] = []
     for idx, insn in enumerate(program.insns):
         pc = program.slot_of(idx)
         slots.append(pc)
-        steps.append(_compile_insn(program, insn, idx, pc))
+        step = _compile_insn(program, insn, idx, pc)
+        if instrument:
+            step = _timed_step(step, _concrete_label(insn))
+        steps.append(step)
     return CompiledProgram(steps, slots, program.total_slots)

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
+from repro import obs as _obs
+
 from . import isa
 from .insn import _LDDW_OPCODE, Instruction, decode_program, encode_program
 
@@ -54,8 +56,15 @@ class Program:
         self._slot_of_index = slot_of_index
         self._index_of_slot: List[int] = index_of_slot
         self._total_slots = len(index_of_slot)
+        # Compiled forms are keyed on ``obs.compile_tag()`` as well as
+        # their natural key: tag 0 is the pristine uninstrumented form,
+        # nonzero tags carry per-operator timing shims, and toggling
+        # observability must never serve a stale mix of the two.
         self._compiled: Optional["CompiledProgram"] = None
-        self._compiled_verifier: Dict[int, "CompiledVerifierProgram"] = {}
+        self._compiled_tag = 0
+        self._compiled_verifier: Dict[
+            "tuple[int, int]", "CompiledVerifierProgram"
+        ] = {}
         self._validate_jumps()
 
     # -- addressing -----------------------------------------------------------
@@ -93,10 +102,12 @@ class Program:
         lets every replay of the same program share the work.
         """
         cp = self._compiled
-        if cp is None:
+        tag = _obs.compile_tag()
+        if cp is None or self._compiled_tag != tag:
             from .compiled import compile_program
 
             cp = self._compiled = compile_program(self)
+            self._compiled_tag = tag
         return cp
 
     def compiled_verifier(self, ctx_size: int = 64) -> "CompiledVerifierProgram":
@@ -109,11 +120,12 @@ class Program:
         :class:`~repro.bpf.cfg.CFGError` for structurally invalid
         programs (never cached — the caller reports those per attempt).
         """
-        cv = self._compiled_verifier.get(ctx_size)
+        key = (ctx_size, _obs.compile_tag())
+        cv = self._compiled_verifier.get(key)
         if cv is None:
             from .verifier.compiled import compile_verifier
 
-            cv = self._compiled_verifier[ctx_size] = compile_verifier(
+            cv = self._compiled_verifier[key] = compile_verifier(
                 self, ctx_size
             )
         return cv

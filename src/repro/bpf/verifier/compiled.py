@@ -33,12 +33,24 @@ Monkeypatch transparency: anything tests patch at runtime
 (``absint.check_mem_access``, the tnum operators behind the
 ``ScalarValue`` methods) is resolved through its module namespace at
 *call* time, never captured at compile time.
+
+Observability: when :mod:`repro.obs` is enabled at compile time, every
+step/branch closure is wrapped in a per-operator timing shim that
+accumulates wall time into the process-default metrics registry (keyed
+by :func:`step_label`).  The wrapping happens *here*, at compile time,
+never in the walk — with obs disabled (the default) the compiled
+program contains exactly the closures above, byte-for-byte, and the
+walk pays nothing.  Cached compiled programs are keyed on
+``obs.compile_tag()`` (see :meth:`repro.bpf.program.Program.
+compiled_verifier`), so toggling obs transparently recompiles.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro import obs as _obs
 from repro.bpf import isa
 from repro.bpf.cfg import build_cfg
 from repro.bpf.insn import Instruction
@@ -63,7 +75,10 @@ from .state import AbstractState, RegKind, RegState, Region
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.bpf.program import Program
 
-__all__ = ["CompiledVerifierProgram", "CompiledBlock", "compile_verifier"]
+__all__ = [
+    "CompiledVerifierProgram", "CompiledBlock", "compile_verifier",
+    "step_label",
+]
 
 #: Telemetry hook threaded through every closure (``None`` disables it).
 NoteFn = Optional[Callable[[int, str, ScalarValue], None]]
@@ -129,6 +144,70 @@ class CompiledVerifierProgram:
 
 
 # -- helpers -------------------------------------------------------------------
+
+
+def step_label(insn: Instruction) -> str:
+    """Operator label an instruction's verifier work is charged to.
+
+    The transfer-function name where one exists (``mul64``,
+    ``refine_jgt64``, ...), else a structural class (``load``,
+    ``store``, ``lddw``, ``mov64``, a jump mnemonic, ``exit``).  Shared
+    by the campaign's rejection attribution and the obs per-operator
+    timing, so "which operator costs time" and "which operator loses
+    precision" rank over the same label space.
+    """
+    label = transfer_label(insn)
+    if label is not None:
+        return label
+    if insn.is_lddw():
+        return "lddw"
+    cls = insn.cls()
+    if cls == isa.CLS_LDX:
+        return "load"
+    if cls in (isa.CLS_ST, isa.CLS_STX):
+        return "store"
+    if cls in (isa.CLS_ALU, isa.CLS_ALU64):
+        return "mov64"
+    if insn.is_exit():
+        return "exit"
+    if insn.is_jump():
+        return isa.JMP_OP_NAMES.get(isa.BPF_OP(insn.opcode), "jump")
+    return "other"
+
+
+def _timed_step(step: StepFn, label: str) -> StepFn:
+    """Per-operator timing shim (compiled in only when obs is enabled).
+
+    The registry is resolved through the obs module at *call* time, so
+    worker-scoped registries (merge-on-return) see the samples.
+    """
+    clock = time.perf_counter_ns
+    record = _obs.record_op_time
+
+    def timed(state: AbstractState, note: NoteFn, idx: int) -> None:
+        t0 = clock()
+        try:
+            step(state, note, idx)
+        finally:
+            record("verifier", label, clock() - t0)
+
+    return timed
+
+
+def _timed_branch(branch: BranchFn, label: str) -> BranchFn:
+    clock = time.perf_counter_ns
+    record = _obs.record_op_time
+
+    def timed(
+        state: AbstractState, note: NoteFn, idx: int
+    ) -> Tuple[AbstractState, AbstractState]:
+        t0 = clock()
+        try:
+            return branch(state, note, idx)
+        finally:
+            record("verifier", label, clock() - t0)
+
+    return timed
 
 
 def _uninit(idx: int, reg: int) -> VerifierError:
@@ -532,6 +611,10 @@ def compile_verifier(program: "Program", ctx_size: int) -> CompiledVerifierProgr
     """
     cfg = build_cfg(program)
     insns = program.insns
+    # Checked once per compile: with obs off the loop below builds the
+    # exact closures of the uninstrumented design (the shared caches are
+    # never polluted with timing shims either way).
+    instrument = _obs.enabled()
     blocks: List[CompiledBlock] = []
     for block_id in cfg.reverse_post_order():
         blk = cfg.blocks[block_id]
@@ -539,6 +622,8 @@ def compile_verifier(program: "Program", ctx_size: int) -> CompiledVerifierProgr
         if last.is_cond_jump():
             body_end = blk.end - 1
             branch: Optional[BranchFn] = _branch_for(last)
+            if instrument:
+                branch = _timed_branch(branch, step_label(last))
             is_exit = False
         else:
             body_end = blk.end
@@ -546,6 +631,11 @@ def compile_verifier(program: "Program", ctx_size: int) -> CompiledVerifierProgr
             is_exit = last.is_exit()
         indices = range(blk.start, body_end + 1)
         steps = [_step_for(insns[i], ctx_size) for i in indices]
+        if instrument:
+            steps = [
+                _timed_step(step, step_label(insns[i]))
+                for step, i in zip(steps, indices)
+            ]
         blocks.append(
             CompiledBlock(
                 block_id, indices, steps, blk.end, branch, is_exit,

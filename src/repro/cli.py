@@ -32,11 +32,24 @@ Subcommands
     profiles, the abstract verifier alone (``verify_<profile>`` stages,
     cold compiled-walk per program), and the precision campaign; emits a
     ``BENCH_*.json`` baseline and optionally diffs against a committed
-    one (advisory by default — machines differ).
+    one (advisory by default — machines differ).  ``--json`` adds obs
+    histogram summaries (p50/p90/p99 seconds per stage).
+``stats OBS_DIR``
+    Render the observability artifacts of an ``--obs-dir`` run: the
+    latest heartbeat snapshot (with a staleness warning when the
+    publisher looks dead), counters, per-operator verifier/interpreter
+    time attribution, and the span table from ``trace.jsonl``.
+    ``--validate`` schema-checks every trace line; ``--serve`` exposes
+    ``/metrics`` and ``/stats`` over HTTP.
 
 Subcommands that use randomness (``fuzz``, ``campaign``,
 ``check-op --method random``, ``eval fig5``) accept ``--seed`` so every
 run is reproducible.
+
+Observability (``repro.obs``) is off by default and free when off; the
+``--obs-dir``/``--obs-serve``/``--obs-sample`` flags on ``fuzz``,
+``campaign``, and ``bench`` opt a run in without changing its verdicts
+or reports.
 """
 
 from __future__ import annotations
@@ -46,6 +59,23 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--obs-*`` opt-in flags (fuzz, campaign, bench)."""
+    group = parser.add_argument_group("observability")
+    group.add_argument("--obs-dir", metavar="DIR",
+                       help="write trace.jsonl, metrics.json, and "
+                            "heartbeat.json under DIR (enables "
+                            "observability for this run)")
+    group.add_argument("--obs-serve", type=int, metavar="PORT",
+                       help="serve /metrics and /stats on 127.0.0.1:PORT "
+                            "for the duration of the run (0 = ephemeral)")
+    group.add_argument("--obs-sample", type=float, default=0.01,
+                       metavar="FRACTION",
+                       help="fraction of per-program spans kept in the "
+                            "trace (default 0.01; structural spans are "
+                            "always kept)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write failures/seeds to a JSON corpus file")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
+    _add_obs_flags(p_fuzz)
 
     p_camp = sub.add_parser(
         "campaign",
@@ -167,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="operators shown in the ranking (default 10)")
     p_camp.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
+    _add_obs_flags(p_camp)
 
     p_diff = sub.add_parser(
         "campaign-diff",
@@ -244,6 +276,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit 1 on baseline regressions instead "
                               "of warning (off by default: throughput "
                               "is machine-dependent)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the report as JSON (instead of the "
+                              "text summary) with per-stage obs "
+                              "histogram summaries — p50/p90/p99 "
+                              "seconds per timed pass — next to the "
+                              "best-of throughput metrics")
+    _add_obs_flags(p_bench)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="render the observability artifacts of an --obs-dir run",
+    )
+    p_stats.add_argument("obs_dir", metavar="OBS_DIR",
+                         help="directory a fuzz/campaign/bench run "
+                              "wrote with --obs-dir")
+    p_stats.add_argument("--top", type=int, default=10,
+                         help="operators shown per timing table "
+                              "(default 10)")
+    p_stats.add_argument("--validate", action="store_true",
+                         help="schema-check every trace.jsonl line; "
+                              "exit 1 if any record is invalid")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the /stats JSON payload instead of "
+                              "the tables")
+    p_stats.add_argument("--serve", action="store_true",
+                         help="serve /metrics and /stats for this "
+                              "directory until interrupted")
+    p_stats.add_argument("--port", type=int, default=0,
+                         help="port for --serve (default 0: ephemeral)")
 
     return parser
 
@@ -407,6 +468,33 @@ def _print_violations(corpus) -> None:
             print(f"    {line}")
 
 
+def _obs_session(args):
+    """Context manager for the shared ``--obs-*`` flags.
+
+    A no-op (yielding ``None``) when no obs flag was given, so the
+    default path never imports or enables ``repro.obs``.
+    """
+    from contextlib import nullcontext
+
+    if args.obs_dir is None and args.obs_serve is None:
+        return nullcontext(None)
+    from repro import obs
+
+    session = obs.configure(
+        obs_dir=args.obs_dir,
+        sample=args.obs_sample,
+        serve_port=args.obs_serve,
+    )
+    if session.server is not None:
+        print(f"obs: serving {session.server.url} (/metrics, /stats)")
+    return session
+
+
+def _print_obs_outputs(args) -> None:
+    if args.obs_dir:
+        print(f"obs: trace/metrics/heartbeat -> {args.obs_dir}")
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import CampaignConfig, Corpus, run_campaign
 
@@ -421,7 +509,8 @@ def _cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
     )
     corpus = Corpus()
-    result = run_campaign(config, corpus)
+    with _obs_session(args):
+        result = run_campaign(config, corpus)
     print(f"campaign: seed={args.seed} profile={args.profile} "
           f"workers={args.workers}")
     print(result.stats.summary())
@@ -429,6 +518,7 @@ def _cmd_fuzz(args) -> int:
     if args.corpus:
         corpus.save(args.corpus)
         print(f"\ncorpus: {len(corpus)} entries -> {args.corpus}")
+    _print_obs_outputs(args)
     return 0 if result.ok else 1
 
 
@@ -459,7 +549,8 @@ def _cmd_campaign(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        result = run_precision_campaign(spec, state_dir=args.state)
+        with _obs_session(args):
+            result = run_precision_campaign(spec, state_dir=args.state)
     except CampaignStateError as exc:   # unusable --state directory
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -480,6 +571,7 @@ def _cmd_campaign(args) -> int:
     if args.corpus:
         result.corpus.save(args.corpus)
         print(f"corpus: {len(result.corpus)} entries -> {args.corpus}")
+    _print_obs_outputs(args)
     return 0 if result.ok else 1
 
 
@@ -581,21 +673,55 @@ def _cmd_campaign_diff(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    import json
+
     from pathlib import Path
 
     from repro.eval import ThroughputReport, measure_fuzz_throughput
 
+    # Per-stage pass durations feed obs histograms when requested; the
+    # observer records locally so --json works with obs fully disabled
+    # (and thus measures the pristine uninstrumented pipelines).
+    stage_hists = {}
+    observer = None
+    if args.json or args.obs_dir is not None:
+        from repro.obs import Histogram
+
+        def observer(stage: str, seconds: float) -> None:
+            hist = stage_hists.get(stage)
+            if hist is None:
+                hist = stage_hists[stage] = Histogram()
+            hist.observe(seconds)
+
     try:
-        report = measure_fuzz_throughput(
-            budget=args.budget,
-            seed=args.seed,
-            repeats=args.repeats,
-            campaign_budget=args.campaign_budget,
-        )
+        with _obs_session(args) as session:
+            report = measure_fuzz_throughput(
+                budget=args.budget,
+                seed=args.seed,
+                repeats=args.repeats,
+                campaign_budget=args.campaign_budget,
+                stage_observer=observer,
+            )
+            if session is not None and stage_hists:
+                # Mirror the stage histograms into the obs artifacts.
+                for stage, hist in stage_hists.items():
+                    session.registry.histogram(
+                        f"bench.{stage}.seconds"
+                    ).merge(hist)
+                session.write_metrics_snapshot()
     except (ValueError, KeyError) as exc:   # bad option values
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(report.summary())
+    if args.json:
+        payload = json.loads(report.to_json())
+        payload["stages_obs"] = {
+            stage: hist.summary()
+            for stage, hist in sorted(stage_hists.items())
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        _print_obs_outputs(args)
     if args.out:
         Path(args.out).write_text(report.to_json() + "\n")
         print(f"\nbaseline: JSON -> {args.out}")
@@ -618,6 +744,127 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    import json
+    import time
+    from pathlib import Path
+
+    from repro import obs
+
+    obs_dir = Path(args.obs_dir)
+    if not obs_dir.is_dir():
+        print(f"error: {obs_dir} is not a directory", file=sys.stderr)
+        return 2
+
+    heartbeat = None
+    hb_path = obs_dir / "heartbeat.json"
+    if hb_path.exists():
+        try:
+            heartbeat = obs.read_heartbeat(hb_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: {hb_path}: {exc}", file=sys.stderr)
+            return 2
+
+    registry = obs.Registry()
+    metrics_path = obs_dir / "metrics.json"
+    if metrics_path.exists():
+        try:
+            registry.merge_dict(json.loads(metrics_path.read_text()))
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: {metrics_path}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.serve:
+        server = obs.StatsServer(
+            lambda: registry, obs_dir=obs_dir, port=args.port
+        ).start()
+        print(f"serving {server.url} (/metrics, /stats) — Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+        return 0
+
+    if args.json:
+        payload = obs.StatsServer(
+            lambda: registry, obs_dir=obs_dir
+        ).stats_payload()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if heartbeat is not None:
+        skip = ("schema_version", "seq", "pid", "interval_s", "ts")
+        fields = " ".join(
+            f"{key}={heartbeat[key]}"
+            for key in sorted(heartbeat)
+            if key not in skip and not isinstance(heartbeat[key], list)
+        )
+        print(f"heartbeat: {fields}")
+        print(f"           seq={heartbeat['seq']} pid={heartbeat['pid']} "
+              f"interval={heartbeat['interval_s']}s")
+        for entry in heartbeat.get("top_verifier_ops", []):
+            print(f"           verifier {entry['op']:<12} "
+                  f"{entry['total_s']:.4f}s over {entry['calls']} calls")
+        warning = obs.staleness_warning(heartbeat)
+        if warning:
+            print(f"WARN: {warning}")
+    else:
+        print(f"heartbeat: none ({hb_path} does not exist)")
+
+    if registry.counters:
+        print("\ncounters:")
+        for name in sorted(registry.counters):
+            print(f"  {name:<28} {registry.counters[name].value}")
+    components = sorted({comp for comp, _ in registry.timers})
+    for component in components:
+        print(f"\n{component} time by operator (top {args.top}):")
+        print(f"  {'op':<12} {'total_s':>10} {'calls':>10} "
+              f"{'mean_us':>9} {'max_us':>9}")
+        for label, t in registry.top_timers(component, args.top):
+            mean_us = t.total_ns / t.count / 1e3 if t.count else 0.0
+            print(f"  {label:<12} {t.total_ns / 1e9:>10.4f} "
+                  f"{t.count:>10} {mean_us:>9.2f} {t.max_ns / 1e3:>9.1f}")
+
+    trace_path = obs_dir / "trace.jsonl"
+    bad_records = 0
+    if trace_path.exists():
+        problems: list = []
+        events = []
+        for lineno, event in enumerate(obs.read_trace(trace_path), 1):
+            events.append(event)
+            if args.validate:
+                for problem in obs.validate_event(event):
+                    bad_records += 1
+                    if len(problems) < 10:
+                        problems.append(f"  line {lineno}: {problem}")
+        spans = obs.aggregate_spans(events)
+        if spans:
+            print(f"\ntrace spans ({trace_path.name}, "
+                  f"{len(events)} records):")
+            print(f"  {'name':<24} {'count':>8} {'total_s':>10} "
+                  f"{'max_s':>9}")
+            for name in sorted(spans):
+                entry = spans[name]
+                print(f"  {name:<24} {entry['count']:>8} "
+                      f"{entry['total_s']:>10.4f} {entry['max_s']:>9.4f}")
+        if args.validate:
+            if bad_records:
+                print(f"\ntrace: {bad_records} invalid record(s):",
+                      file=sys.stderr)
+                for line in problems:
+                    print(line, file=sys.stderr)
+            else:
+                print(f"\ntrace: all {len(events)} records are "
+                      f"schema-valid (v{obs.TRACE_SCHEMA_VERSION})")
+    elif args.validate:
+        print(f"error: {trace_path} does not exist", file=sys.stderr)
+        return 2
+    return 1 if bad_records else 0
+
+
 _DISPATCH = {
     "verify": _cmd_verify,
     "run": _cmd_run,
@@ -630,6 +877,7 @@ _DISPATCH = {
     "campaign": _cmd_campaign,
     "campaign-diff": _cmd_campaign_diff,
     "bench": _cmd_bench,
+    "stats": _cmd_stats,
 }
 
 

@@ -214,7 +214,11 @@ class ThroughputReport:
         return warnings
 
 
-def _best_of(fn: Callable[[], object], repeats: int) -> float:
+def _best_of(
+    fn: Callable[[], object],
+    repeats: int,
+    observe: Optional[Callable[[float], None]] = None,
+) -> float:
     best = None
     for _ in range(repeats):
         # Collect before each timed pass so one stage's garbage (the
@@ -223,9 +227,19 @@ def _best_of(fn: Callable[[], object], repeats: int) -> float:
         t0 = time.perf_counter()
         fn()
         elapsed = time.perf_counter() - t0
+        if observe is not None:
+            observe(elapsed)
         if best is None or elapsed < best:
             best = elapsed
     return best if best is not None else 0.0
+
+
+def _stage_observer(
+    stage_observer: Optional[Callable[[str, float], None]], stage: str
+) -> Optional[Callable[[float], None]]:
+    if stage_observer is None:
+        return None
+    return lambda seconds: stage_observer(stage, seconds)
 
 
 def measure_verifier_throughput(
@@ -233,6 +247,7 @@ def measure_verifier_throughput(
     seed: int = 42,
     repeats: int = 2,
     profiles: Sequence[str] = BENCH_PROFILES,
+    stage_observer: Optional[Callable[[str, float], None]] = None,
 ) -> Dict[str, float]:
     """Measure the abstract verifier alone: ``verify_<profile>`` stages.
 
@@ -260,7 +275,11 @@ def measure_verifier_throughput(
             for insns in lists:
                 verifier.verify(Program(insns))
 
-        metrics[f"verify_{profile}"] = budget / _best_of(run, repeats)
+        metrics[f"verify_{profile}"] = budget / _best_of(
+            run, repeats, observe=_stage_observer(
+                stage_observer, f"verify_{profile}"
+            )
+        )
     return metrics
 
 
@@ -270,6 +289,7 @@ def measure_fuzz_throughput(
     repeats: int = 2,
     profiles: Sequence[str] = BENCH_PROFILES,
     campaign_budget: Optional[int] = None,
+    stage_observer: Optional[Callable[[str, float], None]] = None,
 ) -> ThroughputReport:
     """Measure end-to-end pipeline throughput (programs/sec).
 
@@ -279,6 +299,11 @@ def measure_fuzz_throughput(
     campaign, each ``repeats`` times keeping the best.  This is the
     workload behind ``repro bench`` and the committed
     ``benchmarks/baselines/BENCH_throughput.json``.
+
+    ``stage_observer`` (optional) receives every individual timed pass
+    as ``(stage_name, seconds)`` — ``repro bench --json`` feeds these
+    into obs histograms for p50/p90/p99 per stage — without touching
+    the best-of metrics or requiring observability to be enabled.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -298,12 +323,16 @@ def measure_fuzz_throughput(
 
     for profile in profiles:
         config = CampaignConfig(budget=budget, seed=seed, profile=profile)
-        seconds = _best_of(lambda: run_campaign(config), repeats)
+        seconds = _best_of(
+            lambda: run_campaign(config), repeats,
+            observe=_stage_observer(stage_observer, f"driver_{profile}"),
+        )
         metrics[f"driver_{profile}"] = budget / seconds
 
     metrics.update(
         measure_verifier_throughput(
-            budget=budget, seed=seed, repeats=repeats, profiles=profiles
+            budget=budget, seed=seed, repeats=repeats, profiles=profiles,
+            stage_observer=stage_observer,
         )
     )
 
@@ -311,11 +340,17 @@ def measure_fuzz_throughput(
         budget=campaign_budget, rounds=1, seed=seed, mutate_fraction=0.0,
         seeds_per_round=0, seed_shrink_per_round=0,
     )
-    seconds = _best_of(lambda: run_precision_campaign(telemetry), repeats)
+    seconds = _best_of(
+        lambda: run_precision_campaign(telemetry), repeats,
+        observe=_stage_observer(stage_observer, "campaign_telemetry"),
+    )
     metrics["campaign_telemetry"] = campaign_budget / seconds
 
     feedback = CampaignSpec(budget=campaign_budget, rounds=2, seed=seed)
-    seconds = _best_of(lambda: run_precision_campaign(feedback), repeats)
+    seconds = _best_of(
+        lambda: run_precision_campaign(feedback), repeats,
+        observe=_stage_observer(stage_observer, "campaign_feedback"),
+    )
     metrics["campaign_feedback"] = campaign_budget / seconds
 
     return ThroughputReport(

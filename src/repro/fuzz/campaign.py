@@ -42,10 +42,10 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.bpf import isa
+from repro import obs as _obs
 from repro.bpf.insn import Instruction
 from repro.bpf.program import Program
-from repro.bpf.verifier.absint import transfer_label
+from repro.bpf.verifier.compiled import step_label
 from repro.eval.precision import OperatorStats, PrecisionReport, gamma_bits
 
 from .corpus import Corpus
@@ -206,24 +206,13 @@ class TransferCollector:
 
 
 def _attribution_label(insn: Instruction) -> str:
-    """Operator label a rejection at ``insn`` is charged to."""
-    label = transfer_label(insn)
-    if label is not None:
-        return label
-    if insn.is_lddw():
-        return "lddw"
-    cls = insn.cls()
-    if cls == isa.CLS_LDX:
-        return "load"
-    if cls in (isa.CLS_ST, isa.CLS_STX):
-        return "store"
-    if cls in (isa.CLS_ALU, isa.CLS_ALU64):
-        return "mov64"
-    if insn.is_exit():
-        return "exit"
-    if insn.is_jump():
-        return isa.JMP_OP_NAMES.get(isa.BPF_OP(insn.opcode), "jump")
-    return "other"
+    """Operator label a rejection at ``insn`` is charged to.
+
+    Shared with the obs layer's per-operator timing
+    (:func:`repro.bpf.verifier.compiled.step_label`), so precision and
+    cost attribution rank over the same label space.
+    """
+    return step_label(insn)
 
 
 #: Worker-side per-operator record: :class:`TransferCollector` fields
@@ -245,11 +234,20 @@ _worker_pool: Tuple[str, ...] = ()
 _worker_pool_programs: Dict[int, Program] = {}
 
 
-def _set_worker_state(spec: CampaignSpec, pool: Tuple[str, ...]) -> None:
+def _set_worker_state(
+    spec: CampaignSpec,
+    pool: Tuple[str, ...],
+    obs_state: "Optional[Tuple[bool, int]]" = None,
+) -> None:
     global _worker_spec, _worker_pool, _worker_pool_programs
     _worker_spec = spec
     _worker_pool = pool
     _worker_pool_programs = {}
+    # Workers inherit the parent's obs switch (compiled closures must
+    # instrument consistently) but no sinks — metrics return with each
+    # result via the scoped registry.
+    if obs_state is not None:
+        _obs.init_worker(obs_state)
 
 
 def _pool_program(index: int) -> Program:
@@ -289,6 +287,18 @@ def _fuzz_one(index: int) -> Dict:
     Top-level so it pickles for ``multiprocessing.Pool``; the spec and
     mutation pool arrive via :func:`_set_worker_state`.
     """
+    if _obs.enabled():
+        # Merge-on-return: oracle counters and per-op verifier timings
+        # recorded by this item ship back with the result, leaving the
+        # deterministic telemetry payload untouched.
+        with _obs.scoped_registry() as registry:
+            out = _fuzz_one_inner(index)
+        out["obs"] = registry.to_dict()
+        return out
+    return _fuzz_one_inner(index)
+
+
+def _fuzz_one_inner(index: int) -> Dict:
     spec = _worker_spec
     assert spec is not None, "worker spec not installed"
     pool = _worker_pool
@@ -457,6 +467,12 @@ def _save_state(
         "format_version": _STATE_FORMAT_VERSION,
         "spec": asdict(spec),
         "stats": asdict(stats),
+        # Wall-clock/throughput at checkpoint time, so `ls`-ing a long
+        # campaign's state dir answers "how fast is it going" without
+        # replaying anything.  Deliberately *outside* the report: the
+        # PrecisionReport stays byte-identical across machines/timing.
+        "elapsed_s": round(stats.elapsed_seconds, 3),
+        "programs_per_s": round(stats.programs_per_second, 1),
         "report": report.to_dict(),
         "pool": pool,
     }
@@ -569,13 +585,29 @@ def run_precision_campaign(
             with multiprocessing.Pool(
                 spec.workers,
                 initializer=_set_worker_state,
-                initargs=(spec, round_pool),
+                initargs=(spec, round_pool, _obs.worker_init_state()),
             ) as mp_pool:
-                results = mp_pool.map(_fuzz_one, indices, chunksize=chunk)
+                with _obs.tracer().span(
+                    "campaign.round", round=rnd, programs=len(indices),
+                    workers=spec.workers,
+                ):
+                    results = mp_pool.map(
+                        _fuzz_one, indices, chunksize=chunk
+                    )
         else:
             _set_worker_state(spec, round_pool)
-            results = [_fuzz_one(index) for index in indices]
+            with _obs.tracer().span(
+                "campaign.round", round=rnd, programs=len(indices),
+                workers=1,
+            ):
+                results = [_fuzz_one(index) for index in indices]
         results.sort(key=lambda r: r["index"])
+        if _obs.enabled():
+            registry = _obs.default_registry()
+            for res in results:
+                shard = res.pop("obs", None)
+                if shard is not None:
+                    registry.merge_dict(shard)
 
         for res in results:
             stats.containment_checks += res["checks"]
@@ -655,6 +687,37 @@ def run_precision_campaign(
             stats.elapsed_seconds += time.perf_counter() - started
             started = time.perf_counter()
             _save_state(state_path, spec, stats, report, pool, corpus)
+        if _obs.enabled():
+            live_elapsed = stats.elapsed_seconds
+            if state_path is None:
+                live_elapsed += time.perf_counter() - started
+            _obs.publish_heartbeat({
+                "phase": "campaign",
+                "round": stats.rounds_completed,
+                "rounds": spec.rounds,
+                "budget": spec.budget,
+                "executed": stats.executed,
+                "accepted": stats.accepted,
+                "rejected_clean": stats.rejected_clean,
+                "violations": stats.violations,
+                "corpus_size": len(corpus),
+                "pool_size": len(pool),
+                "elapsed_s": round(live_elapsed, 3),
+                "programs_per_s": round(
+                    stats.executed / live_elapsed, 1
+                ) if live_elapsed > 0 else 0.0,
+                # Where verifier time goes, so a long campaign's live
+                # snapshot answers the paper's cost question per operator.
+                "top_verifier_ops": [
+                    {
+                        "op": label,
+                        "total_s": round(t.total_ns / 1e9, 6),
+                        "calls": t.count,
+                    }
+                    for label, t in
+                    _obs.default_registry().top_timers("verifier", 5)
+                ],
+            }, force=True)
 
     if state_path is None:
         stats.elapsed_seconds += time.perf_counter() - started

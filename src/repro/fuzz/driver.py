@@ -20,8 +20,9 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from repro import obs as _obs
 from repro.bpf.program import Program
 
 from .corpus import Corpus
@@ -132,9 +133,17 @@ class CampaignResult:
 _worker_config: Optional[CampaignConfig] = None
 
 
-def _set_worker_config(config: CampaignConfig) -> None:
+def _set_worker_config(
+    config: CampaignConfig,
+    obs_state: Optional[Tuple[bool, int]] = None,
+) -> None:
     global _worker_config
     _worker_config = config
+    # Workers inherit the parent's obs switch (so their compiled
+    # closures instrument consistently) but no sinks — metrics travel
+    # back on each result via the scoped registry.
+    if obs_state is not None:
+        _obs.init_worker(obs_state)
 
 
 def _fuzz_index(index: int) -> Dict:
@@ -143,6 +152,18 @@ def _fuzz_index(index: int) -> Dict:
     Top-level so it pickles for ``multiprocessing.Pool``; the config
     arrives via :func:`_set_worker_config`.
     """
+    if _obs.enabled():
+        # Merge-on-return: everything this item records (oracle
+        # counters, per-op timings from instrumented closures) lands in
+        # a private registry and ships back with the result.
+        with _obs.scoped_registry() as registry:
+            out = _fuzz_index_inner(index)
+        out["obs"] = registry.to_dict()
+        return out
+    return _fuzz_index_inner(index)
+
+
+def _fuzz_index_inner(index: int) -> Dict:
     config = _worker_config
     assert config is not None, "worker config not installed"
     seed = program_seed(config.seed, index)
@@ -218,7 +239,7 @@ def run_campaign(
         with multiprocessing.Pool(
             config.workers,
             initializer=_set_worker_config,
-            initargs=(config,),
+            initargs=(config, _obs.worker_init_state()),
         ) as pool:
             results = pool.map(_fuzz_index, indices, chunksize=chunk)
     else:
@@ -227,6 +248,12 @@ def run_campaign(
 
     # Aggregate in index order so reports are stable across worker counts.
     results.sort(key=lambda r: r["index"])
+    if _obs.enabled():
+        registry = _obs.default_registry()
+        for res in results:
+            shard = res.pop("obs", None)
+            if shard is not None:
+                registry.merge_dict(shard)
     for res in results:
         stats.executed += 1
         stats.containment_checks += res["checks"]
@@ -260,4 +287,13 @@ def run_campaign(
             )
 
     stats.elapsed_seconds = time.perf_counter() - started
+    _obs.publish_heartbeat({
+        "phase": "fuzz",
+        "budget": config.budget,
+        "executed": stats.executed,
+        "violations": stats.violations,
+        "corpus_size": len(corpus),
+        "elapsed_s": round(stats.elapsed_seconds, 3),
+        "programs_per_s": round(stats.programs_per_second, 1),
+    }, force=True)
     return CampaignResult(stats, corpus)

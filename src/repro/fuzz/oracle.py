@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.bpf import isa
 from repro.bpf.interpreter import CTX_BASE, STACK_BASE, ExecutionError, Machine
 from repro.bpf.program import Program, ProgramError
@@ -130,6 +131,32 @@ class DifferentialOracle:
     # -- public API ---------------------------------------------------------
 
     def check_program(
+        self, program: Program, input_seed_base: int = 0
+    ) -> OracleReport:
+        # One predicate check when obs is off; when on, the whole check
+        # runs under a (sampled) span and tallies its counters on exit.
+        if not _obs.enabled():
+            return self._check_program(program, input_seed_base)
+        with _obs.tracer().sampled_span(
+            "oracle.check_program", insns=len(program)
+        ):
+            report = self._check_program(program, input_seed_base)
+        reg = _obs.default_registry()
+        reg.counter("oracle.programs").inc()
+        reg.counter(f"oracle.{report.verdict}").inc()
+        reg.counter("oracle.replays").inc(report.runs)
+        reg.counter("oracle.containment_checks").inc(report.checks)
+        if report.violations:
+            reg.counter("oracle.violations").inc(len(report.violations))
+            reg.counter("oracle.containment_failures").inc(sum(
+                1 for v in report.violations
+                if v.kind in ("containment", "pointer")
+            ))
+        if report.rejected_but_clean:
+            reg.counter("oracle.rejected_clean").inc()
+        return report
+
+    def _check_program(
         self, program: Program, input_seed_base: int = 0
     ) -> OracleReport:
         verifier = self._verifier

@@ -1,0 +1,371 @@
+"""``repro.obs`` — zero-overhead observability for the verifier stack.
+
+Three layers, all dependency-free:
+
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges,
+  fixed-bucket histograms, and per-operator timers in a mergeable
+  :class:`Registry`; one process-global default registry.
+* **tracing** (:mod:`repro.obs.trace`) — nested spans emitted as
+  JSON-lines to a pluggable sink, with a sampling stride so
+  per-program spans don't melt fuzzing throughput.
+* **liveness** (:mod:`repro.obs.heartbeat`, :mod:`repro.obs.server`) —
+  atomic heartbeat snapshots plus an optional background ``http.server``
+  thread serving ``/metrics`` (Prometheus text) and ``/stats`` (JSON).
+
+The zero-overhead contract
+--------------------------
+Observability is **off by default** and the disabled path must cost
+nothing measurable:
+
+* hot paths guard on the single predicate :func:`enabled` (one module
+  attribute read);
+* the compiled execution pipelines (:mod:`repro.bpf.compiled`,
+  :mod:`repro.bpf.verifier.compiled`) consult :func:`compile_tag` at
+  *compile* time and only wrap closures with timing when it is nonzero —
+  with obs disabled the compiled program is byte-for-byte the closures
+  shipped today, not instrumented code behind a flag check.
+
+Enabling flips a process-global switch (:func:`enable` /
+:func:`configure`); :func:`compile_tag` changes value so cached compiled
+programs keyed on it transparently recompile in whichever mode is
+current.
+
+Worker processes
+----------------
+Campaign workers never share sinks: each work item runs under a private
+:func:`scoped_registry`, ships the snapshot back with its result, and
+the parent merges in index order (merge is associative, so reports stay
+worker-count independent).  Spans and heartbeats are parent-side only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from .heartbeat import (
+    HEARTBEAT_SCHEMA_VERSION,
+    HeartbeatWriter,
+    read_heartbeat,
+    staleness_warning,
+)
+from .metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    TimerStat,
+)
+from .server import StatsServer
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    NullTracer,
+    StderrSink,
+    Tracer,
+    aggregate_spans,
+    read_trace,
+    validate_event,
+)
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "compile_tag",
+    "default_registry",
+    "set_default_registry",
+    "scoped_registry",
+    "record_op_time",
+    "tracer",
+    "set_tracer",
+    "configure",
+    "active_session",
+    "publish_heartbeat",
+    "write_metrics_snapshot",
+    "worker_init_state",
+    "init_worker",
+    "ObsSession",
+    # re-exports
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimerStat",
+    "Registry",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Tracer",
+    "NullTracer",
+    "MemorySink",
+    "JsonlSink",
+    "StderrSink",
+    "validate_event",
+    "read_trace",
+    "aggregate_spans",
+    "TRACE_SCHEMA_VERSION",
+    "HeartbeatWriter",
+    "read_heartbeat",
+    "staleness_warning",
+    "HEARTBEAT_SCHEMA_VERSION",
+    "StatsServer",
+]
+
+_enabled = False
+#: Bumped on every enable so compiled-closure caches keyed on
+#: :func:`compile_tag` never serve stale (un)instrumented programs.
+_generation = 0
+_registry = Registry()
+_tracer = NullTracer()
+_session: Optional["ObsSession"] = None
+
+
+# -- the master switch ------------------------------------------------------
+
+
+def enabled() -> bool:
+    """The single hot-path predicate: is observability on?"""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled, _generation
+    if not _enabled:
+        _enabled = True
+        _generation += 1
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def compile_tag() -> int:
+    """Cache key component for compiled programs: 0 when disabled (the
+    pristine closures), else the enable-generation (instrumented)."""
+    return _generation if _enabled else 0
+
+
+def reset() -> None:
+    """Return the module to its import-time state (tests)."""
+    global _enabled, _registry, _tracer, _session
+    if _session is not None:
+        _session.close()
+        _session = None
+    _enabled = False
+    _registry = Registry()
+    _tracer = NullTracer()
+
+
+# -- registry plumbing ------------------------------------------------------
+
+
+def default_registry() -> Registry:
+    return _registry
+
+
+def set_default_registry(registry: Registry) -> None:
+    global _registry
+    _registry = registry
+
+
+@contextmanager
+def scoped_registry() -> Iterator[Registry]:
+    """Swap in a fresh default registry for the duration of the block.
+
+    Worker-side unit of the merge-on-return protocol: instrumented
+    closures resolve the default registry at call time, so everything a
+    work item records lands in the scoped registry and travels back as
+    ``registry.to_dict()``.
+    """
+    global _registry
+    previous = _registry
+    fresh = Registry()
+    _registry = fresh
+    try:
+        yield fresh
+    finally:
+        _registry = previous
+
+
+def record_op_time(component: str, label: str, ns: int) -> None:
+    """Hot-path accumulation used by instrumented closures."""
+    _registry.add_op_time(component, label, ns)
+
+
+# -- tracer plumbing --------------------------------------------------------
+
+
+def tracer() -> "Tracer | NullTracer":
+    return _tracer
+
+
+def set_tracer(new_tracer: "Tracer | NullTracer") -> None:
+    global _tracer
+    _tracer = new_tracer
+
+
+# -- sessions (what the CLI flags construct) --------------------------------
+
+
+class ObsSession:
+    """Everything one ``--obs-dir`` run owns, closed as a unit.
+
+    Creating a session enables observability; closing it flushes the
+    trace, publishes a final heartbeat, writes ``metrics.json``, stops
+    the stats server, and disables observability again.
+    """
+
+    def __init__(
+        self,
+        obs_dir: Optional["str | Path"] = None,
+        sample: float = 0.01,
+        serve_port: Optional[int] = None,
+        heartbeat_interval_s: float = 2.0,
+    ) -> None:
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
+        self.sample = sample
+        self.registry = Registry()
+        self.heartbeat: Optional[HeartbeatWriter] = None
+        self.server: Optional[StatsServer] = None
+        self._closed = False
+        self._started = time.time()
+        self._last_snapshot: Dict = {}
+
+        set_default_registry(self.registry)
+        if self.obs_dir is not None:
+            self.obs_dir.mkdir(parents=True, exist_ok=True)
+            set_tracer(Tracer(
+                JsonlSink(self.obs_dir / "trace.jsonl"), sample=sample
+            ))
+            self.heartbeat = HeartbeatWriter(
+                self.obs_dir / "heartbeat.json",
+                interval_s=heartbeat_interval_s,
+            )
+        if serve_port is not None:
+            self.server = StatsServer(
+                default_registry, obs_dir=self.obs_dir, port=serve_port
+            ).start()
+        enable()
+
+    # -- publishing ---------------------------------------------------------
+
+    def publish_heartbeat(self, snapshot: Dict, force: bool = False) -> None:
+        if self.heartbeat is None:
+            return
+        payload = dict(snapshot)
+        payload.setdefault("uptime_s", round(time.time() - self._started, 3))
+        self._last_snapshot = payload
+        if self.heartbeat.publish(payload, force=force):
+            self.write_metrics_snapshot()
+
+    def write_metrics_snapshot(self) -> None:
+        """Atomically refresh ``metrics.json`` next to the heartbeat."""
+        if self.obs_dir is None:
+            return
+        path = self.obs_dir / "metrics.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(self.registry.to_dict(), indent=2, sort_keys=True)
+            + "\n"
+        )
+        os.replace(tmp, path)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        global _session
+        if self._closed:
+            return
+        self._closed = True
+        if self.heartbeat is not None:
+            # Keep the last run snapshot's fields so the final heartbeat
+            # still answers "what did it do" — only the phase flips.
+            self.publish_heartbeat(
+                dict(self._last_snapshot, phase="done"), force=True
+            )
+        self.write_metrics_snapshot()
+        current = tracer()
+        if isinstance(current, Tracer):
+            current.flush()
+            current.close()
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+        set_tracer(NullTracer())
+        disable()
+        if _session is self:
+            _session = None
+
+    def __enter__(self) -> "ObsSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def configure(
+    obs_dir: Optional["str | Path"] = None,
+    sample: float = 0.01,
+    serve_port: Optional[int] = None,
+    heartbeat_interval_s: float = 2.0,
+) -> ObsSession:
+    """Create (and install) the process-wide observability session."""
+    global _session
+    if _session is not None:
+        _session.close()
+    _session = ObsSession(
+        obs_dir=obs_dir,
+        sample=sample,
+        serve_port=serve_port,
+        heartbeat_interval_s=heartbeat_interval_s,
+    )
+    return _session
+
+
+def active_session() -> Optional[ObsSession]:
+    return _session
+
+
+def publish_heartbeat(snapshot: Dict, force: bool = False) -> None:
+    """Session-aware heartbeat publish; a no-op without a session, so
+    campaign code can call it unconditionally."""
+    if _session is not None:
+        _session.publish_heartbeat(snapshot, force=force)
+
+
+def write_metrics_snapshot() -> None:
+    if _session is not None:
+        _session.write_metrics_snapshot()
+
+
+# -- worker propagation -----------------------------------------------------
+
+
+def worker_init_state() -> Optional[Tuple[bool, int]]:
+    """Picklable obs state shipped to pool workers (None = disabled).
+
+    Workers get the enabled flag and generation (so their compiled
+    closures instrument consistently with the parent) but *no* sinks:
+    traces and heartbeats stay parent-side, metrics return via
+    :func:`scoped_registry` snapshots on each result.
+    """
+    if not _enabled:
+        return None
+    return (_enabled, _generation)
+
+
+def init_worker(state: Optional[Tuple[bool, int]]) -> None:
+    """Install shipped obs state in a pool worker (inverse of
+    :func:`worker_init_state`)."""
+    global _enabled, _generation, _tracer
+    if state is None:
+        _enabled = False
+        return
+    _enabled, _generation = state
+    _tracer = NullTracer()

@@ -1,0 +1,71 @@
+"""Heartbeat snapshots: sequencing, rate limiting, staleness detection."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    HEARTBEAT_SCHEMA_VERSION,
+    HeartbeatWriter,
+    read_heartbeat,
+    staleness_warning,
+)
+
+
+def test_publish_carries_seq_pid_and_interval(tmp_path):
+    path = tmp_path / "heartbeat.json"
+    writer = HeartbeatWriter(path, interval_s=0.5)
+    assert writer.publish({"phase": "campaign", "round": 1}, force=True)
+    first = read_heartbeat(path)
+    assert first["schema_version"] == HEARTBEAT_SCHEMA_VERSION
+    assert first["seq"] == 1
+    assert first["pid"] == os.getpid()
+    assert first["interval_s"] == 0.5
+    assert first["phase"] == "campaign"
+
+    assert writer.publish({"phase": "campaign", "round": 2}, force=True)
+    second = read_heartbeat(path)
+    assert second["seq"] == 2           # monotonic across publishes
+    assert second["round"] == 2
+
+
+def test_publish_is_rate_limited_without_force(tmp_path):
+    path = tmp_path / "heartbeat.json"
+    writer = HeartbeatWriter(path, interval_s=3600.0)
+    assert writer.publish({"round": 1})
+    assert not writer.publish({"round": 2})   # coalesced: inside interval
+    assert read_heartbeat(path)["round"] == 1
+    assert writer.publish({"round": 3}, force=True)
+    assert read_heartbeat(path)["round"] == 3
+
+
+def test_publish_never_leaves_a_torn_file(tmp_path):
+    path = tmp_path / "heartbeat.json"
+    writer = HeartbeatWriter(path)
+    writer.publish({"phase": "x"}, force=True)
+    # The write-then-rename protocol leaves no .tmp behind.
+    assert list(tmp_path.iterdir()) == [path]
+
+
+def test_read_heartbeat_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "heartbeat.json"
+    path.write_text(json.dumps({"schema_version": 99}))
+    with pytest.raises(ValueError):
+        read_heartbeat(path)
+
+
+def test_staleness_warning_after_twice_the_interval():
+    payload = {"interval_s": 2.0, "ts": 1000.0, "pid": 7, "seq": 3}
+    assert staleness_warning(payload, now=1003.9) is None
+    warning = staleness_warning(payload, now=1004.1)
+    assert warning is not None
+    assert "stale" in warning
+    assert "pid 7" in warning and "seq 3" in warning
+
+
+def test_staleness_needs_a_declared_interval():
+    # No interval declared (hand-written file): no liveness contract.
+    assert staleness_warning({"ts": 0.0}, now=1e9) is None

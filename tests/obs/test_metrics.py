@@ -1,0 +1,153 @@
+"""Metrics registry: bucket edges, merge associativity, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, Registry
+
+
+# -- histogram bucket semantics ------------------------------------------------
+
+
+def test_histogram_bucket_edges_are_inclusive_upper():
+    hist = Histogram(bounds=[1.0, 2.0, 5.0])
+    hist.observe(0.5)    # <= 1.0
+    hist.observe(1.0)    # == 1.0 lands in the 1.0 bucket (Prometheus le)
+    hist.observe(1.0001)  # first value above 1.0 spills to the 2.0 bucket
+    hist.observe(5.0)    # == 5.0 still inside the last bounded bucket
+    hist.observe(7.0)    # above every bound: overflow slot
+    assert hist.counts == [2, 1, 1, 1]
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(0.5 + 1.0 + 1.0001 + 5.0 + 7.0)
+
+
+def test_histogram_percentiles_report_bucket_upper_bounds():
+    hist = Histogram(bounds=[1.0, 2.0, 5.0])
+    for value in (0.5,) * 5 + (1.5,) * 4 + (4.0,):
+        hist.observe(value)
+    assert hist.percentile(50) == 1.0
+    assert hist.percentile(90) == 2.0
+    assert hist.percentile(99) == 5.0
+    summary = hist.summary()
+    assert summary["count"] == 10
+    assert summary["p50"] == 1.0
+    assert summary["p99"] == 5.0
+
+
+def test_histogram_overflow_percentile_is_inf():
+    hist = Histogram(bounds=[1.0])
+    hist.observe(10.0)
+    assert hist.percentile(50) == float("inf")
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=[])
+    with pytest.raises(ValueError):
+        Histogram(bounds=[2.0, 1.0])
+
+
+def test_histogram_merge_requires_equal_bounds():
+    a = Histogram(bounds=[1.0, 2.0])
+    b = Histogram(bounds=[1.0, 3.0])
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_empty_histogram_summary_is_zero():
+    summary = Histogram(bounds=[1.0]).summary()
+    assert summary["count"] == 0
+    assert summary["mean"] == 0.0
+    assert summary["p50"] == 0.0
+
+
+# -- scalar metrics ------------------------------------------------------------
+
+
+def test_counter_and_gauge_merge():
+    a, b = Counter(3), Counter(4)
+    a.merge(b)
+    assert a.value == 7
+    lo, hi = Gauge(1.0), Gauge(9.0)
+    lo.merge(hi)
+    assert lo.value == 9.0
+    hi.merge(Gauge(1.0))   # max-merge: order-independent
+    assert hi.value == 9.0
+
+
+# -- registry merge ------------------------------------------------------------
+
+
+def _shard(seed: int) -> Registry:
+    reg = Registry()
+    reg.counter("oracle.programs").inc(seed + 1)
+    reg.counter(f"shard.{seed % 2}").inc(seed)
+    reg.gauge("pool.size").set(float(seed))
+    # Power-of-two observations keep the float ``sum`` exactly
+    # associative, so fold-shape equality below is exact, not approximate.
+    hist = reg.histogram("verify.seconds", bounds=[0.25, 1.0, 4.0])
+    for i in range(seed + 1):
+        hist.observe(0.25 * (i + 1))
+    reg.add_op_time("verifier", "add64", 100 * (seed + 1))
+    reg.add_op_time("verifier", f"op{seed}", 10)
+    return reg
+
+
+def test_registry_merge_is_associative_across_worker_splits():
+    """Any fold shape over worker shards yields the identical registry —
+    the property that makes campaign metrics worker-count independent."""
+    shards = [_shard(i) for i in range(4)]
+
+    left = Registry()                      # ((0+1)+2)+3
+    for shard in shards:
+        left.merge(shard)
+
+    right = Registry()                     # 0+(1+(2+3))
+    inner = Registry()
+    for shard in shards[1:]:
+        inner.merge(shard)
+    right.merge(shards[0])
+    right.merge(inner)
+
+    pairs = Registry()                     # (0+2)+(1+3), via dicts
+    a, b = Registry(), Registry()
+    a.merge_dict(shards[0].to_dict())
+    a.merge_dict(shards[2].to_dict())
+    b.merge_dict(shards[1].to_dict())
+    b.merge_dict(shards[3].to_dict())
+    pairs.merge(a)
+    pairs.merge(b)
+
+    assert left.to_dict() == right.to_dict() == pairs.to_dict()
+
+
+def test_registry_dict_round_trip():
+    reg = _shard(2)
+    clone = Registry.from_dict(reg.to_dict())
+    assert clone.to_dict() == reg.to_dict()
+
+
+def test_top_timers_orders_by_total_then_label():
+    reg = Registry()
+    reg.add_op_time("verifier", "mul64", 500)
+    reg.add_op_time("verifier", "add64", 100)
+    reg.add_op_time("verifier", "aaa", 100)
+    reg.add_op_time("interp", "huge", 10_000)   # other component: excluded
+    top = reg.top_timers("verifier", 2)
+    assert [label for label, _ in top] == ["mul64", "aaa"]
+    assert top[0][1].total_ns == 500
+
+
+def test_render_prometheus_exposition():
+    reg = Registry()
+    reg.counter("oracle.replays").inc(7)
+    reg.gauge("pool.size").set(3.0)
+    reg.histogram("verify.seconds", bounds=[0.01]).observe(0.005)
+    reg.add_op_time("verifier", "add64", 1_000_000)
+    text = reg.render_prometheus()
+    assert "repro_oracle_replays_total 7" in text
+    assert "repro_pool_size 3.0" in text
+    assert 'repro_verify_seconds_bucket{le="0.01"} 1' in text
+    assert 'repro_verifier_op_seconds_total{op="add64"} 0.001' in text
+    assert text.endswith("\n")
