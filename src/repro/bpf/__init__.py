@@ -7,6 +7,7 @@ proves memory safety through abstract interpretation with tnums.
 """
 
 from .assembler import AssemblyError, assemble
+from .canon import CachedVerdict, VerdictCache, canonical_hash, canonicalize
 from .cfg import CFGError, ControlFlowGraph, build_cfg
 from .compiled import CompiledProgram, compile_program
 from .disassembler import format_instruction, format_program
@@ -30,6 +31,10 @@ __all__ = [
     "decode_program",
     "Program",
     "ProgramError",
+    "canonical_hash",
+    "canonicalize",
+    "CachedVerdict",
+    "VerdictCache",
     "format_instruction",
     "format_program",
     "build_cfg",

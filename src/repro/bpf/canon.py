@@ -1,0 +1,607 @@
+"""Canonical program forms and verdict memoization.
+
+At load-service scale the dominant traffic pattern is repeat and
+near-repeat submissions: the same program assembled with different
+labels, scratch fields left over from mutation, an immediate spelled
+``-1`` in one copy and ``0xFFFFFFFF`` in another.  The verifier's
+verdict depends on none of that, so verifying each *structure* once is
+the biggest win after the compile-once pipelines (PR 4/5) — ROADMAP
+speed item (2), "structural memoization".
+
+Two layers live here:
+
+**Canonical form** — :func:`canonical_records` maps a
+:class:`~repro.bpf.program.Program` to one fixed-width record per
+instruction ``(opcode, dst, src, field3, imm)`` with every field the
+verifier and interpreter ignore zeroed and every immediate pre-masked to
+the width the engines actually consume (32-bit ops read ``imm & U32``,
+shifts mask their count, partial stores their stored bytes, ...).  Jump
+targets are re-encoded in *index space* (``field3`` = target instruction
+index), so the form is independent of the slot layout bookkeeping;
+:func:`canonicalize` materializes the records back into a real
+``Program`` (offsets recomputed from the index targets, dense slot
+layout), and :func:`canonical_hash` is the sha256 over the packed
+records.  The canonicalization is *sound by construction*, never
+complete: every rewrite above is justified by a field the engines
+provably do not read (the property test in ``tests/bpf/test_canon.py``
+holds verdicts, telemetry streams, and concrete executions equal
+between a program and its canonical form), and any instruction class we
+cannot prove anything about keeps its raw fields.
+
+**Verdict memo** — :class:`VerdictCache` maps ``(canonical_hash,
+ctx_size)`` to a :class:`CachedVerdict`: the full
+:class:`~repro.bpf.verifier.errors.VerificationResult` (accept/reject,
+error index/reason/structural flag, instructions processed), the
+recorded ``on_transfer`` event stream (so cached verdicts replay
+byte-identical telemetry into the campaign's collectors), and — when
+the differential oracle stored the entry — the containment *plans* its
+replays check against.  Entries are LRU-evicted past ``max_entries``
+and serialize to a JSON payload that doubles as the persistent
+cross-run store (``--verdict-cache``) and the campaign's worker-shard
+format (see :mod:`repro.fuzz.campaign`).  Format details are in
+``docs/caching.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import time
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs as _obs
+from repro.core.tnum import Tnum
+from repro.domains.interval import Interval
+from repro.domains.product import ScalarValue
+
+from . import isa
+from .insn import _LDDW_OPCODE, Instruction
+from .program import Program
+from .verifier.errors import VerificationResult, VerifierError
+
+__all__ = [
+    "CANON_VERSION",
+    "STORE_FORMAT_VERSION",
+    "canonical_records",
+    "canonical_hash",
+    "canonicalize",
+    "CachedVerdict",
+    "VerdictCache",
+]
+
+U64 = (1 << 64) - 1
+U32 = (1 << 32) - 1
+
+#: Bumped whenever the canonical form (record layout, masking rules, or
+#: the hash seed) changes — persisted stores carry it, so a stale store
+#: can never serve verdicts computed under different equivalence rules.
+CANON_VERSION = 1
+#: Version of the JSON store/shard layout itself.
+STORE_FORMAT_VERSION = 1
+
+_HASH_SEED = b"repro-canon-v1"
+#: opcode, dst, src, pad, field3 (s32: jump-target index or offset),
+#: imm (u64, pre-masked).  Fixed-width records: two distinct record
+#: sequences always produce distinct hash input streams.
+_RECORD = struct.Struct("<BBBxiQ")
+
+_SHIFT_OPS = frozenset((isa.ALU_LSH, isa.ALU_RSH, isa.ALU_ARSH))
+
+#: Stored-byte mask per load/store size field, for ``st`` immediates.
+_ST_IMM_MASK = {
+    size: (1 << (8 * nbytes)) - 1 for size, nbytes in isa.SIZE_BYTES.items()
+}
+
+
+def canonical_records(
+    program: Program,
+) -> List[Tuple[int, int, int, int, int]]:
+    """One ``(opcode, dst, src, field3, imm)`` record per instruction.
+
+    Opcodes are never rewritten; only operand fields are.  The rules,
+    each justified by what the two engines read (see the module
+    docstring for the soundness argument):
+
+    * **lddw** — ``imm & U64`` (sign-canonical); ``src``/``off`` zeroed.
+    * **ALU** — ``off`` zeroed always.  ``neg`` keeps only ``dst``.
+      Immediate forms zero ``src`` and mask ``imm`` to the operand
+      width (``U64``/``U32``); shift counts further mask to
+      ``width - 1``, exactly as both engines do.  Register forms zero
+      ``imm``.  Unknown ALU ops follow the same field split — their
+      error paths read registers (uninitialized-read precedence) but
+      never the immediate's value.
+    * **loads/stores** — ``imm`` zeroed for ``ldx``/``stx``; ``st``
+      zeroes ``src`` and masks ``imm`` to the stored byte width.
+    * **jumps** — ``exit`` zeroes everything; ``call`` keeps only
+      ``imm`` (the helper id, reproduced verbatim in the interpreter's
+      unknown-helper message); ``ja`` keeps only the target; conditional
+      jumps keep ``dst`` plus either the masked immediate or ``src``.
+      ``field3`` holds the target *instruction index* (slot-layout
+      independent); everything else stores its offset there.
+    * anything unrecognized keeps its raw fields (sound, not complete).
+
+    Hot path: the fuzz stack hashes every submitted program, so the
+    field tests are inlined bit-ops on locals (``insn.cls()`` and
+    friends describe the same decode; see :mod:`repro.bpf.insn`) and the
+    slot maps are indexed directly — jump targets were validated by the
+    ``Program`` constructor, so every lookup lands on a boundary.
+    """
+    records: List[Tuple[int, int, int, int, int]] = []
+    append = records.append
+    slot_arr = program._slot_of_index
+    index_arr = program._index_of_slot
+    cls_alu, cls_alu64 = isa.CLS_ALU, isa.CLS_ALU64
+    cls_ldx, cls_stx, cls_st = isa.CLS_LDX, isa.CLS_STX, isa.CLS_ST
+    cls_jmp, cls_jmp32 = isa.CLS_JMP, isa.CLS_JMP32
+    alu_neg, jmp_exit, jmp_call, jmp_ja = (
+        isa.ALU_NEG, isa.JMP_EXIT, isa.JMP_CALL, isa.JMP_JA,
+    )
+    shift_ops, st_imm_mask, lddw = _SHIFT_OPS, _ST_IMM_MASK, _LDDW_OPCODE
+    u64, u32 = U64, U32
+    for idx, insn in enumerate(program.insns):
+        opcode = insn.opcode
+        cls = opcode & 0x07
+        if cls == cls_alu64 or cls == cls_alu:
+            op = opcode & 0xF0
+            if op == alu_neg:
+                append((opcode, insn.dst, 0, 0, 0))
+            elif not opcode & 0x08:             # SRC_K
+                is64 = cls == cls_alu64
+                imm = insn.imm & (u64 if is64 else u32)
+                if op in shift_ops:
+                    imm &= 63 if is64 else 31
+                append((opcode, insn.dst, 0, 0, imm))
+            else:                               # SRC_X
+                append((opcode, insn.dst, insn.src, 0, 0))
+        elif cls == cls_jmp or cls == cls_jmp32:
+            op = opcode & 0xF0
+            if op == jmp_exit:
+                append((opcode, 0, 0, 0, 0))
+            elif op == jmp_call:
+                append((opcode, 0, 0, 0, insn.imm & u64))
+            else:
+                target = index_arr[slot_arr[idx] + 1 + insn.off]
+                if op == jmp_ja:
+                    append((opcode, 0, 0, target, 0))
+                elif not opcode & 0x08:         # SRC_K
+                    imm = insn.imm & (u32 if cls == cls_jmp32 else u64)
+                    append((opcode, insn.dst, 0, target, imm))
+                else:                           # SRC_X
+                    append((opcode, insn.dst, insn.src, target, 0))
+        elif cls == cls_ldx or cls == cls_stx:
+            append((opcode, insn.dst, insn.src, insn.off, 0))
+        elif cls == cls_st:
+            append((opcode, insn.dst, 0, insn.off,
+                    insn.imm & st_imm_mask[opcode & 0x18]))
+        elif opcode == lddw:
+            append((opcode, insn.dst, 0, 0, insn.imm & u64))
+        else:
+            append((opcode, insn.dst, insn.src, insn.off, insn.imm & u64))
+    return records
+
+
+def canonical_hash(program: Program) -> str:
+    """sha256 hex digest of the packed canonical records."""
+    pack = _RECORD.pack
+    return hashlib.sha256(
+        _HASH_SEED
+        + b"".join([pack(*record) for record in canonical_records(program)])
+    ).hexdigest()
+
+
+def canonicalize(program: Program) -> Program:
+    """Materialize the canonical form as a real :class:`Program`.
+
+    Jump offsets are recomputed from the index-space targets over the
+    canonical slot layout (identical opcode sequence, hence identical
+    layout); immediates re-sign values at or above ``2^63`` so every
+    record round-trips through the :class:`Instruction` constructor's
+    s32 range.  Idempotent: ``canonicalize(canonicalize(p))`` yields the
+    same instruction list, and the canonical program hashes to the same
+    digest as ``p``.
+    """
+    records = canonical_records(program)
+    slot_of: List[int] = []
+    slots = 0
+    for record in records:
+        slot_of.append(slots)
+        slots += 2 if record[0] == _LDDW_OPCODE else 1
+    insns: List[Instruction] = []
+    for idx, (opcode, dst, src, field3, imm) in enumerate(records):
+        cls = opcode & 0x07
+        if cls in (isa.CLS_JMP, isa.CLS_JMP32) and (
+            opcode & 0xF0 not in (isa.JMP_EXIT, isa.JMP_CALL)
+        ):
+            off = slot_of[field3] - (slot_of[idx] + 1)
+        else:
+            off = field3
+        if opcode != _LDDW_OPCODE and imm >= (1 << 63):
+            imm -= 1 << 64
+        insns.append(Instruction(opcode, dst, src, off, imm))
+    return Program(insns)
+
+
+# -- cached verdicts -----------------------------------------------------------
+
+
+def _pack_scalar(scalar: ScalarValue) -> List[int]:
+    t, iv = scalar.tnum, scalar.interval
+    return [t.value, t.mask, iv.umin, iv.umax, t.width]
+
+
+def _unpack_scalar(fields: Sequence[int]) -> ScalarValue:
+    value, mask, umin, umax, width = (int(f) for f in fields)
+    # Direct constructors, not ``make``: the recorded pair is already
+    # reduced, and re-reducing could rebuild a (semantically equal but)
+    # differently-normalized product than the one the walk produced.
+    return ScalarValue(Tnum(value, mask, width), Interval(umin, umax, width))
+
+
+#: One recorded ``on_transfer`` call: ``(insn_index, label, scalar)``.
+Event = Tuple[int, str, ScalarValue]
+#: The oracle's per-instruction containment plan (see
+#: :meth:`repro.fuzz.oracle.DifferentialOracle._build_plans`).
+Plans = List[Optional[List[Tuple]]]
+
+
+class CachedVerdict:
+    """Everything a verdict consumer can observe, minus the walk.
+
+    ``events`` is the complete ``on_transfer`` stream the abstract walk
+    produced, in order — replaying it into a telemetry hook is
+    indistinguishable from re-verifying.  ``plans`` is optional: only
+    entries stored by the differential oracle carry the containment
+    plans its concrete replays check against (a plain verifier entry
+    stores ``None``, and the oracle upgrades it on its next miss).
+    """
+
+    __slots__ = (
+        "ok", "error_index", "error_reason", "error_structural",
+        "insns_processed", "events", "plans",
+    )
+
+    def __init__(
+        self,
+        ok: bool,
+        error_index: int,
+        error_reason: str,
+        error_structural: bool,
+        insns_processed: int,
+        events: Tuple[Event, ...],
+        plans: Optional[Plans] = None,
+    ) -> None:
+        self.ok = ok
+        self.error_index = error_index
+        self.error_reason = error_reason
+        self.error_structural = error_structural
+        self.insns_processed = insns_processed
+        self.events = events
+        self.plans = plans
+
+    @classmethod
+    def from_result(
+        cls,
+        result: VerificationResult,
+        events: Tuple[Event, ...],
+        plans: Optional[Plans] = None,
+    ) -> "CachedVerdict":
+        error = result.errors[0] if result.errors else None
+        return cls(
+            ok=result.ok,
+            error_index=error.insn_index if error is not None else 0,
+            error_reason=error.reason if error is not None else "",
+            error_structural=bool(error is not None and error.structural),
+            insns_processed=result.insns_processed,
+            events=events,
+            plans=plans,
+        )
+
+    def result(self) -> VerificationResult:
+        """Reconstruct the verification result, byte-equal to a miss."""
+        if self.ok:
+            return VerificationResult(True, [], self.insns_processed)
+        error = VerifierError(
+            self.error_index, self.error_reason, self.error_structural
+        )
+        return VerificationResult(False, [error], self.insns_processed)
+
+    def replay(self, note) -> None:
+        """Feed the recorded transfer stream into ``note`` in order."""
+        for idx, label, scalar in self.events:
+            note(idx, label, scalar)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        payload: Dict = {
+            "ok": self.ok,
+            "insns_processed": self.insns_processed,
+            "events": [
+                [idx, label, _pack_scalar(scalar)]
+                for idx, label, scalar in self.events
+            ],
+        }
+        if not self.ok:
+            payload["error"] = [
+                self.error_index, self.error_reason, self.error_structural,
+            ]
+        if self.plans is not None:
+            payload["plans"] = [
+                None if plan is None else [
+                    [reg, notmask, value, umin, umax, base,
+                     _pack_scalar(obj), region]
+                    for reg, notmask, value, umin, umax, base, obj, region
+                    in plan
+                ]
+                for plan in self.plans
+            ]
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "CachedVerdict":
+        error = payload.get("error")
+        plans: Optional[Plans] = None
+        if "plans" in payload:
+            plans = [
+                None if plan is None else [
+                    (
+                        int(entry[0]), int(entry[1]), int(entry[2]),
+                        int(entry[3]), int(entry[4]),
+                        None if entry[5] is None else int(entry[5]),
+                        _unpack_scalar(entry[6]), entry[7],
+                    )
+                    for entry in plan
+                ]
+                for plan in payload["plans"]
+            ]
+        return cls(
+            ok=bool(payload["ok"]),
+            error_index=int(error[0]) if error else 0,
+            error_reason=str(error[1]) if error else "",
+            error_structural=bool(error[2]) if error else False,
+            insns_processed=int(payload["insns_processed"]),
+            events=tuple(
+                (int(idx), str(label), _unpack_scalar(fields))
+                for idx, label, fields in payload["events"]
+            ),
+            plans=plans,
+        )
+
+
+# -- the memo layer ------------------------------------------------------------
+
+CacheKey = Tuple[str, int]   # (canonical_hash, ctx_size)
+
+_DEFAULT_MAX_ENTRIES = 65536
+
+
+class VerdictCache:
+    """Bounded LRU memo of verdicts keyed on ``(canonical_hash, ctx_size)``.
+
+    Lookup order is the recency order: :meth:`get` refreshes an entry,
+    :meth:`put` inserts at the newest position and evicts the least
+    recently used entry past ``max_entries``.  ``hits`` / ``misses`` /
+    ``evictions`` count this instance's traffic; with observability on,
+    the same events tick the ``verdict_cache.*`` counters and a
+    ``cache``/``lookup`` timer in the obs registry (so they surface in
+    ``repro stats`` and worker shards automatically).
+
+    The JSON payload (:meth:`to_payload` / :meth:`from_payload`) is used
+    three ways: the ``--verdict-cache`` persistent store, the campaign's
+    per-round worker bootstrap, and — via :meth:`drain_new` /
+    :meth:`absorb` — the per-item shard workers ship back, merged in
+    index order exactly like obs registries.
+    """
+
+    def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, CachedVerdict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: keys inserted/refreshed-with-new-content since the last drain.
+        self._journal: List[CacheKey] = []
+        self._shipped = (0, 0, 0)   # (hits, misses, evictions) at last drain
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    # -- core ---------------------------------------------------------------
+
+    def get(
+        self, key: CacheKey, require_plans: bool = False
+    ) -> Optional[CachedVerdict]:
+        """The entry for ``key``, or ``None`` (counted as a miss).
+
+        ``require_plans`` makes an accepted entry without containment
+        plans look like a miss: the oracle cannot replay against it, so
+        it re-verifies and :meth:`put` upgrades the entry in place.
+        """
+        entries = self._entries
+        if _obs.enabled():
+            t0 = time.perf_counter_ns()
+            entry = entries.get(key)
+            _obs.record_op_time("cache", "lookup", time.perf_counter_ns() - t0)
+            counter = _obs.default_registry().counter
+        else:
+            entry = entries.get(key)
+            counter = None
+        if entry is not None and require_plans and entry.ok and entry.plans is None:
+            entry = None
+        if entry is None:
+            self.misses += 1
+            if counter is not None:
+                counter("verdict_cache.misses").inc()
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        if counter is not None:
+            counter("verdict_cache.hits").inc()
+        return entry
+
+    def put(self, key: CacheKey, entry: CachedVerdict) -> None:
+        entries = self._entries
+        entries[key] = entry
+        entries.move_to_end(key)
+        self._journal.append(key)
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self.evictions += 1
+            if _obs.enabled():
+                _obs.default_registry().counter(
+                    "verdict_cache.evictions"
+                ).inc()
+
+    def store(
+        self,
+        key: CacheKey,
+        result: VerificationResult,
+        events: Optional[Sequence[Event]],
+        plans: Optional[Plans] = None,
+    ) -> None:
+        """Record a freshly computed verdict (convenience over put)."""
+        self.put(
+            key,
+            CachedVerdict.from_result(
+                result, tuple(events or ()), plans=plans
+            ),
+        )
+
+    # -- worker shards ------------------------------------------------------
+
+    def drain_new(self) -> Dict:
+        """Entries recorded since the last drain, plus stat deltas.
+
+        The worker-side half of merge-on-return: cheap relative to the
+        fuzz item it rides on (entries are small and most items add at
+        most one).  Evicted-before-drain keys are skipped.
+        """
+        entries = self._entries
+        fresh: "OrderedDict[CacheKey, CachedVerdict]" = OrderedDict()
+        for key in self._journal:
+            entry = entries.get(key)
+            if entry is not None:
+                fresh[key] = entry
+        self._journal = []
+        hits, misses, evictions = self._shipped
+        shard = {
+            "entries": [
+                [key[0], key[1], entry.to_payload()]
+                for key, entry in fresh.items()
+            ],
+            "hits": self.hits - hits,
+            "misses": self.misses - misses,
+            "evictions": self.evictions - evictions,
+        }
+        self._shipped = (self.hits, self.misses, self.evictions)
+        return shard
+
+    def absorb(self, shard: Dict) -> None:
+        """Merge a worker shard (parent-side half of merge-on-return).
+
+        Keep-first on conflicts — structurally identical programs yield
+        identical entries, so the only real upgrade is plans appearing
+        on a previously plan-less accepted entry.  Folding shards in
+        index order therefore produces the same entry set for any
+        worker count.
+        """
+        for chash, ctx_size, payload in shard.get("entries", []):
+            key = (str(chash), int(ctx_size))
+            incoming = CachedVerdict.from_payload(payload)
+            existing = self._entries.get(key)
+            if existing is None or (
+                existing.plans is None and incoming.plans is not None
+            ):
+                self.put(key, incoming)
+        self.hits += int(shard.get("hits", 0))
+        self.misses += int(shard.get("misses", 0))
+        self.evictions += int(shard.get("evictions", 0))
+
+    # -- persistence --------------------------------------------------------
+
+    def to_payload(self) -> Dict:
+        return {
+            "format_version": STORE_FORMAT_VERSION,
+            "canon_version": CANON_VERSION,
+            "max_entries": self.max_entries,
+            "entries": [
+                [key[0], key[1], entry.to_payload()]
+                for key, entry in self._entries.items()   # LRU → MRU order
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "VerdictCache":
+        version = payload.get("format_version")
+        if version != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported verdict-cache format {version!r} "
+                f"(expected {STORE_FORMAT_VERSION})"
+            )
+        canon = payload.get("canon_version")
+        if canon != CANON_VERSION:
+            raise ValueError(
+                f"verdict cache built for canonical form {canon!r}; "
+                f"this build uses {CANON_VERSION} — discard the store"
+            )
+        cache = cls(max_entries=int(payload.get("max_entries",
+                                                _DEFAULT_MAX_ENTRIES)))
+        for chash, ctx_size, entry_payload in payload.get("entries", []):
+            cache._entries[(str(chash), int(ctx_size))] = (
+                CachedVerdict.from_payload(entry_payload)
+            )
+        while len(cache._entries) > cache.max_entries:
+            cache._entries.popitem(last=False)
+        return cache
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(
+            json.dumps(self.to_payload(), sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(
+        cls, path: "str | Path", max_entries: int = _DEFAULT_MAX_ENTRIES
+    ) -> "VerdictCache":
+        """Load a persistent store; a missing file yields a fresh cache.
+
+        Malformed or version-mismatched stores raise ``ValueError`` —
+        silently dropping a store the caller asked for would hide the
+        misconfiguration behind a 0% hit rate.
+        """
+        store = Path(path)
+        if not store.exists():
+            return cls(max_entries=max_entries)
+        cache = cls.from_payload(json.loads(store.read_text()))
+        cache.max_entries = max_entries
+        while len(cache._entries) > max_entries:
+            cache._entries.popitem(last=False)
+        return cache
+
+    def summary_line(self, path: Optional[str] = None) -> str:
+        """One-line stats render for CLI output (and CI greps)."""
+        line = (
+            f"verdict cache: hits={self.hits} misses={self.misses} "
+            f"({100.0 * self.hit_rate:.1f}% hit rate) "
+            f"entries={len(self)} evictions={self.evictions}"
+        )
+        if path:
+            line += f" -> {path}"
+        return line

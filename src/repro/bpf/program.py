@@ -65,6 +65,7 @@ class Program:
         self._compiled_verifier: Dict[
             "tuple[int, int]", "CompiledVerifierProgram"
         ] = {}
+        self._canonical_hash: Optional[str] = None
         self._validate_jumps()
 
     # -- addressing -----------------------------------------------------------
@@ -129,6 +130,21 @@ class Program:
                 self, ctx_size
             )
         return cv
+
+    def canonical_hash(self) -> str:
+        """Content hash of the canonical form, lazily computed and cached.
+
+        Structurally identical programs (same semantics modulo dead
+        fields, immediate spellings, and label metadata — see
+        :mod:`repro.bpf.canon`) share this hash; it is the program half
+        of every :class:`~repro.bpf.canon.VerdictCache` key.
+        """
+        chash = self._canonical_hash
+        if chash is None:
+            from .canon import canonical_hash
+
+            chash = self._canonical_hash = canonical_hash(self)
+        return chash
 
     def _validate_jumps(self) -> None:
         total = self._total_slots

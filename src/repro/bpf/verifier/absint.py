@@ -38,7 +38,7 @@ cannot drift from the reference semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.bpf import isa
 from repro.bpf.cfg import CFGError, build_cfg
@@ -53,6 +53,9 @@ from repro.core.lattice import meet as tnum_meet
 from .errors import VerificationResult, VerifierError
 from .memory import check_mem_access, load_stack, store_stack
 from .state import AbstractState, RegState, Region
+
+if TYPE_CHECKING:
+    from repro.bpf.canon import VerdictCache
 
 __all__ = ["Verifier", "verify_program", "transfer_label"]
 
@@ -382,6 +385,11 @@ class Verifier:
     #: branch refinements, labelled per :func:`transfer_label`).  Used by
     #: the fuzz campaign's precision telemetry.
     on_transfer: Optional[Callable[[int, str, ScalarValue], None]] = None
+    #: structural verdict memo (see :mod:`repro.bpf.canon`): when set,
+    #: :meth:`verify` resolves programs whose canonical form was already
+    #: verified at this ``ctx_size`` from the cache, replaying the
+    #: recorded transfer stream into ``on_transfer`` instead of walking.
+    verdict_cache: Optional["VerdictCache"] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -393,14 +401,50 @@ class Verifier:
         re-verifying — shrinker predicates, campaign replays — pays only
         the walk.  Semantics are byte-equal to
         :meth:`verify_reference` (differentially tested).
+
+        With a :attr:`verdict_cache` attached, the walk itself is skipped
+        for structurally identical repeats: verdict, error detail, and
+        telemetry stream all come from the cached entry, byte-identical
+        to a fresh walk.  ``collect_states`` bypasses the cache —
+        per-instruction entry states are walk artifacts the cache does
+        not carry.
         """
+        cache = self.verdict_cache
+        if cache is None or self.collect_states:
+            return self._verify_compiled(program, self.on_transfer)
+        key = (program.canonical_hash(), self.ctx_size)
+        entry = cache.get(key)
+        note = self.on_transfer
+        if entry is not None:
+            if note is not None:
+                entry.replay(note)
+            return entry.result()
+        # Miss: record the transfer stream regardless of whether this
+        # caller listens — a later hit must be able to replay telemetry
+        # no matter who populated the entry.
+        events: List[Tuple[int, str, ScalarValue]] = []
+        record = events.append
+
+        def recording_note(idx: int, label: str, scalar: ScalarValue) -> None:
+            record((idx, label, scalar))
+            if note is not None:
+                note(idx, label, scalar)
+
+        result = self._verify_compiled(program, recording_note)
+        cache.store(key, result, events)
+        return result
+
+    def _verify_compiled(
+        self,
+        program: Program,
+        note: Optional[Callable[[int, str, ScalarValue], None]],
+    ) -> VerificationResult:
         try:
             compiled = program.compiled_verifier(self.ctx_size)
         except CFGError as exc:
             err = VerifierError(0, f"bad control flow: {exc}", structural=True)
             return VerificationResult(False, [err])
 
-        note = self.on_transfer
         collect = self.collect_states
         in_states: Dict[int, AbstractState] = {0: AbstractState.entry_state()}
         merge = self._merge_into

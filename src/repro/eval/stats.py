@@ -22,7 +22,11 @@ def cdf_points(values: Sequence[float], max_points: int = 200) -> List[Tuple[flo
     step = max(1, n // max_points)
     for i in range(0, n, step):
         points.append((ordered[i], (i + 1) / n))
-    if points[-1][0] != ordered[-1]:
+    # Close the curve on the cumulative *fraction*, not the value: with a
+    # duplicated maximum the last sampled point can already carry the max
+    # value at a fraction < 1.0, and a value-based test would leave the
+    # CDF terminating below 1 (Figure 4/5 renders would look truncated).
+    if points[-1][1] != 1.0:
         points.append((ordered[-1], 1.0))
     return points
 

@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs as _obs
+from repro.bpf.canon import VerdictCache
 from repro.bpf.insn import Instruction
 from repro.bpf.program import Program
 from repro.bpf.verifier.compiled import step_label
@@ -232,17 +233,39 @@ _worker_pool: Tuple[str, ...] = ()
 #: work items mutate the same base seed, and a decoded ``Program``
 #: carries its cached compiled (concrete and abstract) forms with it.
 _worker_pool_programs: Dict[int, Program] = {}
+#: Per-worker verdict cache.  Inline (workers == 1) it *is* the parent's
+#: cache; under multiprocessing each worker gets a private copy seeded
+#: from the parent's round-start snapshot and ships newly recorded
+#: entries back per item (``_worker_cache_shared`` distinguishes the two).
+_worker_cache: Optional[VerdictCache] = None
+_worker_cache_shared: bool = False
 
 
 def _set_worker_state(
     spec: CampaignSpec,
     pool: Tuple[str, ...],
     obs_state: "Optional[Tuple[bool, int]]" = None,
+    cache: "Optional[VerdictCache | Dict]" = None,
 ) -> None:
     global _worker_spec, _worker_pool, _worker_pool_programs
+    global _worker_cache, _worker_cache_shared
     _worker_spec = spec
     _worker_pool = pool
     _worker_pool_programs = {}
+    # A live VerdictCache means the caller shares its object (inline
+    # path); a dict is a pickled snapshot for a forked/spawned worker,
+    # whose additions travel back as per-item shards (see _fuzz_one).
+    if cache is None:
+        _worker_cache = None
+        _worker_cache_shared = False
+    elif isinstance(cache, VerdictCache):
+        _worker_cache = cache
+        _worker_cache_shared = True
+    else:
+        # from_payload loads without journaling, so bootstrap entries
+        # are never re-shipped as "new".
+        _worker_cache = VerdictCache.from_payload(cache)
+        _worker_cache_shared = False
     # Workers inherit the parent's obs switch (compiled closures must
     # instrument consistently) but no sinks — metrics return with each
     # result via the scoped registry.
@@ -259,13 +282,22 @@ def _pool_program(index: int) -> Program:
     return program
 
 
-def _telemetry_oracle(spec: CampaignSpec, collector: TransferCollector):
+def _telemetry_oracle(
+    spec: CampaignSpec,
+    collector: TransferCollector,
+    verdict_cache: Optional[VerdictCache] = None,
+):
+    # ``verdict_cache`` is explicit (not read from the worker global):
+    # the shrink predicates below reuse this constructor parent-side and
+    # must stay uncached, or the inline path would record cache entries
+    # the multiprocessing path never sees.
     return DifferentialOracle(
         ctx_size=spec.ctx_size,
         inputs_per_program=spec.inputs_per_program,
         on_transfer=collector.record,
         collect_ranges=True,
         step_limit=spec.step_limit,
+        verdict_cache=verdict_cache,
     )
 
 
@@ -294,8 +326,13 @@ def _fuzz_one(index: int) -> Dict:
         with _obs.scoped_registry() as registry:
             out = _fuzz_one_inner(index)
         out["obs"] = registry.to_dict()
-        return out
-    return _fuzz_one_inner(index)
+    else:
+        out = _fuzz_one_inner(index)
+    if _worker_cache is not None and not _worker_cache_shared:
+        # Same merge-on-return shape as obs: newly recorded verdicts ride
+        # home with the item and the parent absorbs them in index order.
+        out["verdict_cache"] = _worker_cache.drain_new()
+    return out
 
 
 def _fuzz_one_inner(index: int) -> Dict:
@@ -318,7 +355,7 @@ def _fuzz_one_inner(index: int) -> Dict:
         origin = "mutant"
 
     collector = TransferCollector()
-    oracle = _telemetry_oracle(spec, collector)
+    oracle = _telemetry_oracle(spec, collector, verdict_cache=_worker_cache)
     report = oracle.check_program(program, input_seed_base=seed)
 
     ops = collector.ops
@@ -535,6 +572,7 @@ def run_precision_campaign(
     corpus: Optional[Corpus] = None,
     state_dir: Optional["str | Path"] = None,
     stop_after_rounds: Optional[int] = None,
+    verdict_cache: Optional[VerdictCache] = None,
 ) -> PrecisionCampaignResult:
     """Run (or resume) a precision campaign.
 
@@ -543,6 +581,14 @@ def run_precision_campaign(
     checkpointed corpus wins over a caller-supplied ``corpus`` then).
     ``stop_after_rounds`` bounds how many *additional* rounds this call
     executes (used to exercise resumption; ``None`` runs to completion).
+
+    ``verdict_cache`` memoizes verifier verdicts across structurally
+    identical programs (see :mod:`repro.bpf.canon`).  It is a runtime
+    accelerator, not part of the :class:`CampaignSpec`: the
+    PrecisionReport is byte-identical with or without it, at any worker
+    count, and resumed campaigns may toggle it freely.  Workers get a
+    snapshot per round and ship new entries back per item; the caller's
+    cache object accumulates everything (mirroring the obs shard merge).
     """
     state_path = Path(state_dir) if state_dir is not None else None
     if state_path is not None:
@@ -582,10 +628,17 @@ def run_precision_campaign(
         round_pool = tuple(pool)
         if spec.workers > 1 and len(indices) > 1:
             chunk = max(1, len(indices) // (spec.workers * 8))
+            cache_snapshot = (
+                verdict_cache.to_payload()
+                if verdict_cache is not None else None
+            )
             with multiprocessing.Pool(
                 spec.workers,
                 initializer=_set_worker_state,
-                initargs=(spec, round_pool, _obs.worker_init_state()),
+                initargs=(
+                    spec, round_pool, _obs.worker_init_state(),
+                    cache_snapshot,
+                ),
             ) as mp_pool:
                 with _obs.tracer().span(
                     "campaign.round", round=rnd, programs=len(indices),
@@ -595,7 +648,7 @@ def run_precision_campaign(
                         _fuzz_one, indices, chunksize=chunk
                     )
         else:
-            _set_worker_state(spec, round_pool)
+            _set_worker_state(spec, round_pool, cache=verdict_cache)
             with _obs.tracer().span(
                 "campaign.round", round=rnd, programs=len(indices),
                 workers=1,
@@ -608,6 +661,15 @@ def run_precision_campaign(
                 shard = res.pop("obs", None)
                 if shard is not None:
                     registry.merge_dict(shard)
+        if verdict_cache is not None:
+            # Absorb worker verdict shards in index order (keep-first on
+            # duplicates), so the resulting entry set is identical for
+            # any worker count.  Inline rounds mutate the cache directly
+            # and ship no shards.
+            for res in results:
+                shard = res.pop("verdict_cache", None)
+                if shard is not None:
+                    verdict_cache.absorb(shard)
 
         for res in results:
             stats.containment_checks += res["checks"]

@@ -117,15 +117,27 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) else float("inf")
         return float("inf")
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe summary: overflow percentiles render as a finite
+        ``">100"``-style sentinel string instead of ``inf`` — JSON has no
+        ``Infinity``, and ``json.dumps`` would emit a non-standard token
+        that strict parsers (and the ``/stats`` endpoint's consumers)
+        reject.  :meth:`percentile` itself still returns ``float("inf")``
+        for numeric callers."""
         return {
             "count": float(self.count),
             "sum": self.sum,
             "mean": self.sum / self.count if self.count else 0.0,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            "p50": self._summary_percentile(50),
+            "p90": self._summary_percentile(90),
+            "p99": self._summary_percentile(99),
         }
+
+    def _summary_percentile(self, pct: float) -> "float | str":
+        value = self.percentile(pct)
+        if value == float("inf"):
+            return f">{self.bounds[-1]:g}"
+        return value
 
     def merge(self, other: "Histogram") -> None:
         if self.bounds != other.bounds:

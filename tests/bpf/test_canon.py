@@ -1,0 +1,484 @@
+"""Canonical-form soundness and verdict-memo behavior.
+
+The load-bearing property: a program and its canonical form are
+*indistinguishable* to every consumer — verifier verdict (including
+error index/message), telemetry stream, and concrete execution — so a
+verdict cached under the canonical hash can be served to any structural
+twin.  The sweeps below exercise that equivalence per opcode family and
+over generated programs from every fuzz profile; the cache tests pin
+that a hit is byte-identical to the miss that populated it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.bpf import assemble, isa
+from repro.bpf.canon import (
+    CANON_VERSION,
+    STORE_FORMAT_VERSION,
+    CachedVerdict,
+    VerdictCache,
+    canonical_hash,
+    canonicalize,
+    canonical_records,
+)
+from repro.bpf.insn import Instruction
+from repro.bpf.interpreter import ExecutionError, Machine
+from repro.bpf.program import Program, ProgramError
+from repro.bpf.verifier import Verifier
+from repro.fuzz import generate_program
+from repro.fuzz.driver import program_seed
+from repro.fuzz.generator import PROFILES
+
+U64 = (1 << 64) - 1
+
+ALU_OPS = (
+    isa.ALU_ADD, isa.ALU_SUB, isa.ALU_MUL, isa.ALU_DIV, isa.ALU_OR,
+    isa.ALU_AND, isa.ALU_LSH, isa.ALU_RSH, isa.ALU_MOD, isa.ALU_XOR,
+    isa.ALU_MOV, isa.ALU_ARSH,
+)
+COND_JUMP_OPS = (
+    isa.JMP_JEQ, isa.JMP_JGT, isa.JMP_JGE, isa.JMP_JSET, isa.JMP_JNE,
+    isa.JMP_JSGT, isa.JMP_JSGE, isa.JMP_JLT, isa.JMP_JLE, isa.JMP_JSLT,
+    isa.JMP_JSLE,
+)
+IMMEDIATES = (0, 1, 5, 31, 63, 65, -1, -5, 0x7FFF_FFFF, -0x8000_0000,
+              0xFFFF_FFFF)
+
+
+# -- equivalence fingerprints --------------------------------------------------
+
+
+def verdict_fingerprint(program, ctx_size=64, cache=None):
+    """Everything a verifier consumer can observe, as comparable data."""
+    events = []
+    verifier = Verifier(
+        ctx_size=ctx_size,
+        on_transfer=lambda idx, label, scalar: events.append(
+            (idx, label, scalar)
+        ),
+        verdict_cache=cache,
+    )
+    result = verifier.verify(program)
+    return (
+        result.ok,
+        result.insns_processed,
+        result.error_messages(),
+        [e.structural for e in result.errors],
+        events,
+    )
+
+
+def run_fingerprint(program, ctx):
+    """Concrete observation stream: per-step (index, registers) + outcome."""
+    steps = []
+    machine = Machine(ctx=ctx, step_limit=10_000)
+    try:
+        result = machine.run(
+            program, on_step=lambda idx, regs: steps.append((idx, tuple(regs)))
+        )
+        return ("ok", result.return_value, result.steps, steps)
+    except ExecutionError as exc:
+        return ("crash", str(exc), None, steps)
+    except ProgramError as exc:
+        return ("fellout", str(exc), None, steps)
+
+
+def assert_equivalent(program):
+    canon = canonicalize(program)
+    assert verdict_fingerprint(canon) == verdict_fingerprint(program)
+    for seed in (0, 1):
+        ctx = random.Random(seed).randbytes(64)
+        assert run_fingerprint(canon, ctx) == run_fingerprint(program, ctx)
+    # Same hash (twins), and materialization is idempotent.
+    assert canonical_hash(canon) == canonical_hash(program)
+    assert canonicalize(canon).insns == canon.insns
+
+
+# -- hash semantics ------------------------------------------------------------
+
+
+class TestCanonicalHash:
+    def test_ignores_labels(self):
+        insns = assemble("mov r0, 1\nexit").insns
+        assert canonical_hash(Program(list(insns))) == canonical_hash(
+            Program(list(insns), labels={"entry": 0})
+        )
+
+    def test_ignores_dead_fields_on_imm_alu(self):
+        # src and off are dead for a SRC_K ALU op; junk there must not
+        # change the hash (the verifier and interpreter never read them).
+        op = isa.CLS_ALU64 | isa.ALU_ADD | isa.SRC_K
+        clean = Program([Instruction(op, 0, 0, 0, 7), _exit()])
+        junk = Program([Instruction(op, 0, 3, 11, 7), _exit()])
+        assert canonical_hash(junk) == canonical_hash(clean)
+        assert_equivalent(junk)
+
+    def test_imm_spelling_collapses_for_32bit_ops(self):
+        op = isa.CLS_ALU | isa.ALU_ADD | isa.SRC_K
+        a = Program([_mov(0, 1), Instruction(op, 0, 0, 0, -1), _exit()])
+        b = Program(
+            [_mov(0, 1), Instruction(op, 0, 0, 0, 0xFFFF_FFFF), _exit()]
+        )
+        assert canonical_hash(a) == canonical_hash(b)
+        assert verdict_fingerprint(a) == verdict_fingerprint(b)
+
+    def test_imm_spelling_distinct_for_64bit_ops(self):
+        # -1 means 2^64-1 under a 64-bit op; 0xFFFFFFFF does not.
+        op = isa.CLS_ALU64 | isa.ALU_ADD | isa.SRC_K
+        a = Program([_mov(0, 1), Instruction(op, 0, 0, 0, -1), _exit()])
+        b = Program(
+            [_mov(0, 1), Instruction(op, 0, 0, 0, 0xFFFF_FFFF), _exit()]
+        )
+        assert canonical_hash(a) != canonical_hash(b)
+
+    def test_shift_count_masked_to_width(self):
+        op = isa.CLS_ALU64 | isa.ALU_LSH | isa.SRC_K
+        a = Program([_mov(0, 1), Instruction(op, 0, 0, 0, 65), _exit()])
+        b = Program([_mov(0, 1), Instruction(op, 0, 0, 0, 1), _exit()])
+        assert canonical_hash(a) == canonical_hash(b)
+        assert verdict_fingerprint(a) == verdict_fingerprint(b)
+
+    def test_distinguishes_semantics(self):
+        base = Program([_mov(0, 1), _exit()])
+        assert canonical_hash(Program([_mov(0, 2), _exit()])) != (
+            canonical_hash(base)
+        )
+        assert canonical_hash(Program([_mov(1, 1), _exit()])) != (
+            canonical_hash(base)
+        )
+
+    def test_jump_targets_hash_in_index_space(self):
+        # Both jumps skip one instruction, but over different bodies —
+        # same target *index* arithmetic, different programs, and the
+        # records store the index, not the raw offset.
+        prog = assemble("""
+            mov r0, 0
+            jeq r0, 0, +1
+            mov r0, 9
+            exit
+        """)
+        records = canonical_records(prog)
+        assert records[1][3] == 3    # target = instruction index of exit
+        assert_equivalent(prog)
+
+    def test_call_keeps_helper_id(self):
+        op = isa.CLS_JMP | isa.JMP_CALL
+        a = Program([Instruction(op, 0, 0, 0, 1), _mov(0, 0), _exit()])
+        b = Program([Instruction(op, 0, 0, 0, 2), _mov(0, 0), _exit()])
+        assert canonical_hash(a) != canonical_hash(b)
+        # The interpreter's unknown-helper message quotes the raw imm —
+        # it must survive the canonical round-trip exactly.
+        neg = Program([Instruction(op, 0, 0, 0, -7), _mov(0, 0), _exit()])
+        assert_equivalent(neg)
+
+
+def _mov(dst, imm):
+    return Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_K, dst, 0, 0, imm)
+
+
+def _mov_reg(dst, src):
+    return Instruction(isa.CLS_ALU64 | isa.ALU_MOV | isa.SRC_X, dst, src, 0, 0)
+
+
+def _exit():
+    return Instruction(isa.CLS_JMP | isa.JMP_EXIT, 0, 0, 0, 0)
+
+
+# -- semantics preservation sweeps ---------------------------------------------
+
+
+class TestCanonicalizationPreservesSemantics:
+    @pytest.mark.parametrize("cls", (isa.CLS_ALU, isa.CLS_ALU64))
+    @pytest.mark.parametrize("op", ALU_OPS)
+    def test_alu_imm_sweep(self, cls, op):
+        for imm in IMMEDIATES:
+            assert_equivalent(Program([
+                _mov(0, 13),
+                Instruction(cls | op | isa.SRC_K, 0, 0, 0, imm),
+                _mov(0, 0),
+                _exit(),
+            ]))
+
+    @pytest.mark.parametrize("cls", (isa.CLS_ALU, isa.CLS_ALU64))
+    @pytest.mark.parametrize("op", ALU_OPS)
+    def test_alu_reg_sweep(self, cls, op):
+        assert_equivalent(Program([
+            _mov(0, 13),
+            _mov(2, 5),
+            Instruction(cls | op | isa.SRC_X, 0, 2, 0, 0),
+            _mov(0, 0),
+            _exit(),
+        ]))
+
+    @pytest.mark.parametrize("cls", (isa.CLS_ALU, isa.CLS_ALU64))
+    def test_neg_ignores_src_and_imm(self, cls):
+        clean = Program([
+            _mov(0, 13),
+            Instruction(cls | isa.ALU_NEG, 0, 0, 0, 0),
+            _mov(0, 0), _exit(),
+        ])
+        junk = Program([
+            _mov(0, 13),
+            Instruction(cls | isa.ALU_NEG, 0, 4, 0, 99),
+            _mov(0, 0), _exit(),
+        ])
+        assert canonical_hash(junk) == canonical_hash(clean)
+        assert_equivalent(junk)
+
+    @pytest.mark.parametrize("cls", (isa.CLS_JMP, isa.CLS_JMP32))
+    @pytest.mark.parametrize("op", COND_JUMP_OPS)
+    def test_cond_jump_sweep(self, cls, op):
+        for imm in (0, 1, -1, 0x7FFF_FFFF):
+            assert_equivalent(Program([
+                _mov(1, 5),
+                Instruction(cls | op | isa.SRC_K, 1, 0, 1, imm),
+                _mov(0, 7),
+                _exit(),
+            ]))
+        assert_equivalent(Program([
+            _mov(1, 5),
+            _mov(2, 3),
+            Instruction(cls | op | isa.SRC_X, 1, 2, 1, 0),
+            _mov(0, 7),
+            _exit(),
+        ]))
+
+    def test_memory_ops(self):
+        assert_equivalent(assemble("""
+            mov r0, 7
+            stxdw [r10-8], r0
+            ldxdw r3, [r10-8]
+            stb [r10-16], 300
+            ldxb r4, [r10-16]
+            ldxw r5, [r1+0]
+            mov r0, 0
+            exit
+        """))
+
+    def test_st_imm_masked_to_stored_width(self):
+        # A 1-byte store keeps only the low byte; spellings that agree
+        # on it are structurally identical.
+        op = isa.CLS_ST | isa.SZ_B | isa.MODE_MEM
+        a = Program([
+            Instruction(op, 10, 0, -8, 0x101), _mov(0, 0), _exit(),
+        ])
+        b = Program([
+            Instruction(op, 10, 0, -8, 1), _mov(0, 0), _exit(),
+        ])
+        assert canonical_hash(a) == canonical_hash(b)
+        assert verdict_fingerprint(a) == verdict_fingerprint(b)
+        assert_equivalent(a)
+
+    def test_lddw(self):
+        assert_equivalent(assemble("""
+            lddw r0, 0xFFFFFFFFFFFFFFFF
+            lddw r2, -1
+            mov r0, 0
+            exit
+        """))
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_generated_programs(self, profile):
+        for i in range(60):
+            program = generate_program(
+                program_seed(1234, i), profile
+            ).program
+            assert_equivalent(program)
+
+
+# -- the verdict memo ----------------------------------------------------------
+
+
+class TestVerdictCache:
+    def _twin(self, text):
+        """Two structurally identical Program objects (separate caches)."""
+        insns = assemble(text).insns
+        return Program(list(insns)), Program(list(insns))
+
+    def test_hit_is_byte_identical_to_miss(self):
+        cache = VerdictCache()
+        a, b = self._twin("mov r0, 1\nadd r0, 2\nexit")
+        miss = verdict_fingerprint(a, cache=cache)
+        assert cache.misses == 1 and cache.hits == 0
+        hit = verdict_fingerprint(b, cache=cache)
+        assert cache.hits == 1
+        assert hit == miss
+
+    def test_rejecting_verdicts_cached_with_error_detail(self):
+        cache = VerdictCache()
+        a, b = self._twin("mov r0, r3\nexit")   # r3 uninitialized
+        miss = verdict_fingerprint(a, cache=cache)
+        hit = verdict_fingerprint(b, cache=cache)
+        assert cache.hits == 1
+        assert hit == miss
+        assert not hit[0] and hit[2]            # rejected, message kept
+
+    def test_keyed_on_ctx_size(self):
+        cache = VerdictCache()
+        program = assemble("ldxw r0, [r1+60]\nexit")
+        ok = verdict_fingerprint(program, ctx_size=64, cache=cache)
+        small = verdict_fingerprint(program, ctx_size=8, cache=cache)
+        assert ok[0] and not small[0]
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_collect_states_bypasses_cache(self):
+        cache = VerdictCache()
+        program = assemble("mov r0, 1\nexit")
+        verifier = Verifier(collect_states=True, verdict_cache=cache)
+        assert verifier.verify(program).ok
+        assert len(cache) == 0 and cache.lookups == 0
+        assert verifier.states_at          # states still collected
+
+    def test_lru_eviction_and_refresh(self):
+        cache = VerdictCache(max_entries=2)
+        entry = CachedVerdict(True, 0, "", False, 1, ())
+        cache.put(("a", 64), entry)
+        cache.put(("b", 64), entry)
+        assert cache.get(("a", 64)) is entry    # refresh "a"
+        cache.put(("c", 64), entry)             # evicts "b", the LRU
+        assert cache.evictions == 1
+        assert ("b", 64) not in cache
+        assert ("a", 64) in cache and ("c", 64) in cache
+
+    def test_require_plans_treats_planless_entry_as_miss(self):
+        cache = VerdictCache()
+        program = assemble("mov r0, 1\nexit")
+        verdict_fingerprint(program, cache=cache)   # stored without plans
+        key = (program.canonical_hash(), 64)
+        assert cache.get(key) is not None
+        assert cache.get(key, require_plans=True) is None
+        # Rejected entries carry no plans and need none.
+        rejected = assemble("mov r0, r3\nexit")
+        verdict_fingerprint(rejected, cache=cache)
+        assert cache.get(
+            (rejected.canonical_hash(), 64), require_plans=True
+        ) is not None
+
+    def test_persistence_round_trip(self, tmp_path):
+        cache = VerdictCache()
+        accepted, _ = self._twin("mov r0, 1\nexit")
+        rejected, _ = self._twin("mov r0, r3\nexit")
+        verdict_fingerprint(accepted, cache=cache)
+        verdict_fingerprint(rejected, cache=cache)
+        store = tmp_path / "verdicts.json"
+        cache.save(store)
+        loaded = VerdictCache.load(store)
+        assert loaded.to_payload() == cache.to_payload()
+        # A loaded entry serves hits with identical observable output.
+        assert verdict_fingerprint(
+            Program(list(accepted.insns)), cache=loaded
+        ) == verdict_fingerprint(accepted)
+        assert loaded.hits == 1
+
+    def test_load_missing_store_is_fresh(self, tmp_path):
+        cache = VerdictCache.load(tmp_path / "absent.json")
+        assert len(cache) == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        store = tmp_path / "verdicts.json"
+        payload = VerdictCache().to_payload()
+        for field, bogus in (
+            ("format_version", STORE_FORMAT_VERSION + 1),
+            ("canon_version", CANON_VERSION + 1),
+        ):
+            store.write_text(json.dumps(dict(payload, **{field: bogus})))
+            with pytest.raises(ValueError):
+                VerdictCache.load(store)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            VerdictCache(max_entries=0)
+
+
+class TestOracleWithCache:
+    def _report_dict(self, report):
+        from dataclasses import asdict
+
+        return asdict(report)
+
+    def test_oracle_report_identical_with_and_without_cache(self):
+        from repro.fuzz.oracle import DifferentialOracle
+
+        cache = VerdictCache()
+        for i in range(20):
+            program = generate_program(program_seed(7, i), "mixed").program
+            plain = DifferentialOracle().check_program(
+                program, input_seed_base=i
+            )
+            twin = Program(list(program.insns))
+            cached = DifferentialOracle(verdict_cache=cache).check_program(
+                twin, input_seed_base=i
+            )
+            assert self._report_dict(cached) == self._report_dict(plain)
+        assert cache.misses == 20
+
+    def test_oracle_hit_skips_walk_but_matches(self):
+        from repro.fuzz.oracle import DifferentialOracle
+
+        cache = VerdictCache()
+        program = generate_program(program_seed(11, 3), "mixed").program
+        first = DifferentialOracle(verdict_cache=cache).check_program(
+            program, input_seed_base=5
+        )
+        twin = Program(list(program.insns))
+        second = DifferentialOracle(verdict_cache=cache).check_program(
+            twin, input_seed_base=5
+        )
+        assert cache.hits >= 1
+        assert self._report_dict(second) == self._report_dict(first)
+
+    def test_oracle_upgrades_planless_entry(self):
+        from repro.fuzz.oracle import DifferentialOracle
+
+        cache = VerdictCache()
+        program = assemble("mov r0, 1\nadd r0, 2\nexit")
+        verdict_fingerprint(program, cache=cache)   # plain verifier entry
+        key = (program.canonical_hash(), 64)
+        assert cache.get(key).plans is None
+        report = DifferentialOracle(verdict_cache=cache).check_program(
+            Program(list(program.insns))
+        )
+        assert report.verdict == "accepted"
+        assert cache.get(key).plans is not None
+
+
+class TestWorkerShards:
+    def test_drain_and_absorb_merge_like_obs_shards(self):
+        parent = VerdictCache()
+        worker = VerdictCache()
+        a, _ = (assemble("mov r0, 1\nexit"), None)
+        b, _ = (assemble("mov r0, 2\nexit"), None)
+        verdict_fingerprint(a, cache=worker)
+        shard1 = worker.drain_new()
+        verdict_fingerprint(b, cache=worker)
+        verdict_fingerprint(Program(list(a.insns)), cache=worker)   # hit
+        shard2 = worker.drain_new()
+        assert len(shard1["entries"]) == 1
+        assert len(shard2["entries"]) == 1          # only the new entry
+        assert shard2["hits"] == 1                  # deltas, not totals
+        parent.absorb(shard1)
+        parent.absorb(shard2)
+        assert len(parent) == 2
+        assert parent.hits == 1 and parent.misses == 2
+        # Keep-first: re-absorbing cannot duplicate or clobber.
+        parent.absorb(shard1)
+        assert len(parent) == 2
+
+    def test_absorb_upgrades_planless_entries(self):
+        parent = VerdictCache()
+        program = assemble("mov r0, 1\nexit")
+        verdict_fingerprint(program, cache=parent)   # plan-less
+        worker = VerdictCache()
+        from repro.fuzz.oracle import DifferentialOracle
+
+        DifferentialOracle(verdict_cache=worker).check_program(
+            Program(list(program.insns))
+        )
+        parent.absorb(worker.drain_new())
+        key = (program.canonical_hash(), 64)
+        assert parent.get(key).plans is not None

@@ -96,7 +96,7 @@ class TestThroughputReport:
             budget=3, repeats=1, profiles=("mixed",), campaign_budget=3
         )
         assert set(report.metrics) == {
-            "driver_mixed", "verify_mixed",
+            "driver_mixed", "verify_mixed", "verify_repeat",
             "campaign_telemetry", "campaign_feedback",
         }
         assert all(v > 0 for v in report.metrics.values())

@@ -33,6 +33,21 @@ class TestCdf:
         points = cdf_points(values)
         assert points[-1][0] == max(values)
 
+    def test_duplicated_max_terminates_at_one(self):
+        # Regression: when the maximum value is duplicated, a downsampled
+        # step can land on the max *value* at a cumulative fraction < 1,
+        # and the old value-based closing check then skipped the final
+        # (max, 1.0) point — the rendered CDF stopped below 1.0.
+        points = cdf_points([1.0, 3.0, 3.0, 3.0, 3.0, 3.0], max_points=3)
+        assert points[-1] == (3.0, 1.0)
+
+    @given(
+        st.lists(st.floats(0, 100), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_terminates_at_fraction_one(self, values, max_points):
+        assert cdf_points(values, max_points)[-1][1] == 1.0
+
 
 class TestPercentile:
     def test_median_of_odd(self):

@@ -41,6 +41,30 @@ def test_histogram_overflow_percentile_is_inf():
     assert hist.percentile(50) == float("inf")
 
 
+def test_histogram_overflow_summary_is_finite_json():
+    # Regression: mass in the overflow bucket used to put float("inf")
+    # into summary(), which json.dumps renders as the non-standard
+    # ``Infinity`` token — strict parsers of bench --json and /stats
+    # output reject it.  The summary renders a finite sentinel instead.
+    import json
+
+    hist = Histogram(bounds=[1.0, 10.0])
+    hist.observe(50.0)
+    summary = hist.summary()
+    assert summary["p50"] == ">10"
+    assert summary["p99"] == ">10"
+    text = json.dumps(summary)
+    assert "Infinity" not in text
+    assert json.loads(text)["p90"] == ">10"
+
+
+def test_histogram_summary_stays_numeric_in_range():
+    hist = Histogram(bounds=[1.0, 10.0])
+    hist.observe(0.5)
+    summary = hist.summary()
+    assert summary["p50"] == 1.0 and isinstance(summary["p99"], float)
+
+
 def test_histogram_rejects_bad_bounds():
     with pytest.raises(ValueError):
         Histogram(bounds=[])

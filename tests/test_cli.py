@@ -315,6 +315,7 @@ class TestBenchCli:
         assert set(payload["metrics"]) == {
             "driver_mixed", "driver_alu", "driver_memory", "driver_branchy",
             "verify_mixed", "verify_alu", "verify_memory", "verify_branchy",
+            "verify_repeat",
             "campaign_telemetry", "campaign_feedback",
         }
         assert all(v > 0 for v in payload["metrics"].values())
