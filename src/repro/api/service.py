@@ -1,0 +1,292 @@
+"""The verification service core: worker pool + verdict cache + single-flight.
+
+:class:`VerificationService` is the transport-free heart of ``repro
+serve`` — the HTTP layer (:mod:`repro.api.server`) only parses requests
+into :class:`~repro.api.models.VerifyRequest` and renders the
+:class:`~repro.api.models.Verdict` this class returns, so the whole
+service contract is testable without a socket.
+
+Every request is keyed on ``(Program.canonical_hash(), ctx_size)`` and
+routed through one shared :class:`~repro.bpf.canon.VerdictCache`:
+
+* **hit** — answered without a walk, O(1); the dominant pattern at
+  scale is repeat submissions, and this is what makes them cheap.
+* **miss** — verified on a bounded worker pool that reuses the PR 5
+  per-instruction closure caches (``Program.compiled_verifier``), then
+  stored, so the next structurally identical submission hits.
+* **concurrent identical misses** — *single-flight*: the first request
+  in becomes the leader and verifies; the rest wait on its flight and
+  answer from the freshly stored entry as cache hits.  N identical
+  concurrent submissions cost exactly one verification.
+
+``states=true`` requests bypass the cache and the single-flight path:
+per-instruction entry states are walk artifacts the cache does not
+carry, so they always pay a fresh (``collect_states``) walk.
+
+All cache and counter access is serialized on one lock —
+:class:`~repro.bpf.canon.VerdictCache` is an ``OrderedDict`` LRU and
+not itself thread-safe.  With observability enabled the cache ticks its
+own ``verdict_cache.*`` counters and this class adds ``api.*`` request
+counters, so ``/metrics`` and ``/stats`` surface both for free.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs as _obs
+from repro.bpf.canon import CachedVerdict, VerdictCache
+from repro.bpf.program import Program
+from repro.bpf.verifier import Verifier
+
+from .models import Verdict, VerifyRequest, precision_summary
+
+__all__ = ["VerificationService", "DEFAULT_WORKERS"]
+
+DEFAULT_WORKERS = 4
+
+CacheKey = Tuple[str, int]
+
+
+class _Flight:
+    """One in-progress verification other requests can wait on."""
+
+    __slots__ = ("done", "entry", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.entry: Optional[CachedVerdict] = None
+        self.error: Optional[BaseException] = None
+
+
+class VerificationService:
+    """Cached, deduplicated verification behind a plain-Python API."""
+
+    def __init__(
+        self,
+        cache: Optional[VerdictCache] = None,
+        cache_path: Optional[str] = None,
+        cache_size: int = 65536,
+        workers: int = DEFAULT_WORKERS,
+        default_ctx_size: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if cache is None:
+            # ``load`` raises a clear ValueError on a corrupt/truncated
+            # store (see VerdictCache.load) — the caller surfaces it as
+            # a startup error instead of serving from a broken store.
+            cache = (
+                VerdictCache.load(cache_path, max_entries=cache_size)
+                if cache_path is not None
+                else VerdictCache(max_entries=cache_size)
+            )
+        self.cache = cache
+        self.cache_path = cache_path
+        self.default_ctx_size = default_ctx_size
+        self.workers = workers
+        self.requests = 0
+        self.verifications = 0
+        #: requests rejected before reaching the verifier (400/422) —
+        #: ticked by the transport layer via :meth:`note_rejection`.
+        self.rejections = 0
+        self._lock = threading.Lock()
+        self._inflight: Dict[CacheKey, _Flight] = {}
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-api-verify"
+        )
+        self._started = time.monotonic()
+        self._closed = False
+
+    # -- the request path ---------------------------------------------------
+
+    def verify(self, request: VerifyRequest) -> Verdict:
+        """Answer one verification request (cache → single-flight → walk)."""
+        with self._lock:
+            self.requests += 1
+        self._count("requests")
+        key: CacheKey = (
+            request.program.canonical_hash(), request.ctx_size,
+        )
+        if request.want_states:
+            return self._pool.submit(self._verify_fresh, key, request).result()
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                entry = self.cache.get(key)
+                if entry is not None:
+                    return self._render(entry, key, request, cached=True)
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+        if leader:
+            try:
+                entry = self._pool.submit(
+                    self._verify_miss, key, request
+                ).result()
+                flight.entry = entry
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.done.set()
+            return self._render(entry, key, request, cached=False)
+        # Follower: wait for the leader's walk, then answer from the
+        # stored entry — a real cache hit (counted as one).
+        flight.done.wait()
+        if flight.error is not None:
+            raise flight.error
+        with self._lock:
+            entry = self.cache.get(key)
+        if entry is None:  # evicted between store and our lookup
+            entry = flight.entry
+        assert entry is not None
+        return self._render(entry, key, request, cached=True)
+
+    def lookup(self, canonical_hash: str, ctx_size: int) -> Optional[Verdict]:
+        """``GET /verdict/<hash>``: the cached verdict, or ``None``."""
+        key = (canonical_hash, ctx_size)
+        with self._lock:
+            entry = self.cache.get(key)
+        if entry is None:
+            return None
+        return Verdict.from_result(
+            entry.result(), canonical_hash, ctx_size, cached=True
+        )
+
+    def note_rejection(self) -> None:
+        with self._lock:
+            self.rejections += 1
+        self._count("rejections")
+
+    # -- verification workers -----------------------------------------------
+
+    def _verify_miss(
+        self, key: CacheKey, request: VerifyRequest
+    ) -> CachedVerdict:
+        events: List[Tuple[int, str, object]] = []
+        verifier = Verifier(
+            ctx_size=request.ctx_size,
+            on_transfer=lambda idx, label, scalar: events.append(
+                (idx, label, scalar)
+            ),
+        )
+        result = verifier.verify(request.program)
+        entry = CachedVerdict.from_result(result, tuple(events))
+        with self._lock:
+            self.verifications += 1
+            self.cache.put(key, entry)
+        self._count("verifications")
+        return entry
+
+    def _verify_fresh(self, key: CacheKey, request: VerifyRequest) -> Verdict:
+        events: List[Tuple[int, str, object]] = []
+        verifier = Verifier(
+            ctx_size=request.ctx_size,
+            collect_states=True,
+            on_transfer=lambda idx, label, scalar: events.append(
+                (idx, label, scalar)
+            ),
+        )
+        result = verifier.verify(request.program)
+        states = {
+            idx: str(state) for idx, state in verifier.states_at.items()
+        }
+        entry = CachedVerdict.from_result(result, tuple(events))
+        with self._lock:
+            self.verifications += 1
+            if key not in self.cache:
+                self.cache.put(key, entry)
+        self._count("verifications")
+        precision = (
+            precision_summary(events) if request.want_precision else None
+        )
+        return Verdict.from_result(
+            result, key[0], key[1],
+            cached=False, states=states, precision=precision,
+        )
+
+    def _render(
+        self,
+        entry: CachedVerdict,
+        key: CacheKey,
+        request: VerifyRequest,
+        cached: bool,
+    ) -> Verdict:
+        precision = (
+            precision_summary(entry.events)
+            if request.want_precision else None
+        )
+        return Verdict.from_result(
+            entry.result(), key[0], key[1],
+            cached=cached, precision=precision,
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """The service half of the ``/stats`` payload."""
+        with self._lock:
+            cache = self.cache
+            return {
+                "requests": self.requests,
+                "verifications": self.verifications,
+                "rejections": self.rejections,
+                "inflight": len(self._inflight),
+                "workers": self.workers,
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "cache": {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "evictions": cache.evictions,
+                    "entries": len(cache),
+                    "max_entries": cache.max_entries,
+                    "hit_rate": round(cache.hit_rate, 4),
+                },
+            }
+
+    def healthz(self) -> Dict:
+        with self._lock:
+            return {
+                "status": "ok",
+                "workers": self.workers,
+                "cache_entries": len(self.cache),
+            }
+
+    def summary_line(self) -> str:
+        """One greppable shutdown line (mirrors the campaign CLI's)."""
+        with self._lock:
+            return self.cache.summary_line(self.cache_path)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def save(self) -> None:
+        """Persist the verdict store, if one was configured."""
+        if self.cache_path is not None:
+            with self._lock:
+                self.cache.save(self.cache_path)
+
+    def close(self) -> None:
+        """Drain the pool and persist the store; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        self.save()
+
+    def __enter__(self) -> "VerificationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _count(self, name: str) -> None:
+        if _obs.enabled():
+            _obs.default_registry().counter(f"api.{name}").inc()

@@ -549,6 +549,11 @@ class VerdictCache:
 
     @classmethod
     def from_payload(cls, payload: Dict) -> "VerdictCache":
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"verdict-cache payload must be a JSON object, "
+                f"not {type(payload).__name__}"
+            )
         version = payload.get("format_version")
         if version != STORE_FORMAT_VERSION:
             raise ValueError(
@@ -584,12 +589,36 @@ class VerdictCache:
 
         Malformed or version-mismatched stores raise ``ValueError`` —
         silently dropping a store the caller asked for would hide the
-        misconfiguration behind a 0% hit rate.
+        misconfiguration behind a 0% hit rate.  Every failure mode (a
+        partially written file from a crashed run, hand-edited JSON, a
+        store from a different format version) surfaces as one clear
+        message naming the file, never a traceback from the decoder.
         """
         store = Path(path)
         if not store.exists():
             return cls(max_entries=max_entries)
-        cache = cls.from_payload(json.loads(store.read_text()))
+        try:
+            text = store.read_text()
+        except OSError as exc:
+            raise ValueError(
+                f"verdict-cache store {store} is unreadable: {exc}"
+            ) from exc
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(
+                f"verdict-cache store {store} is corrupt or truncated "
+                f"(not valid JSON: {exc}) — delete it to start fresh"
+            ) from exc
+        try:
+            cache = cls.from_payload(payload)
+        except ValueError as exc:
+            raise ValueError(f"verdict-cache store {store}: {exc}") from exc
+        except (KeyError, TypeError, IndexError) as exc:
+            raise ValueError(
+                f"verdict-cache store {store} is malformed "
+                f"({type(exc).__name__}: {exc}) — delete it to start fresh"
+            ) from exc
         cache.max_entries = max_entries
         while len(cache._entries) > max_entries:
             cache._entries.popitem(last=False)

@@ -34,6 +34,11 @@ Subcommands
     ``BENCH_*.json`` baseline and optionally diffs against a committed
     one (advisory by default — machines differ).  ``--json`` adds obs
     histogram summaries (p50/p90/p99 seconds per stage).
+``serve``
+    Verification-as-a-service: an HTTP front end (``POST /verify``,
+    ``GET /verdict/<canonical_hash>``, ``/healthz``, ``/stats``,
+    ``/metrics``) over a worker pool and the shared verdict cache, so
+    repeat submissions are O(1) cache hits.  See ``docs/service.md``.
 ``stats OBS_DIR``
     Render the observability artifacts of an ``--obs-dir`` run: the
     latest heartbeat snapshot (with a staleness warning when the
@@ -90,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("file", help="assembly text file ('-' for stdin)")
     p_verify.add_argument("--ctx-size", type=int, default=64,
                           help="context size in bytes (default 64)")
+    p_verify.add_argument("--wire", action="store_true",
+                          help="FILE is kernel wire-format bytecode, not "
+                               "assembly text")
+    p_verify.add_argument("--json", action="store_true",
+                          help="print the verdict as JSON (the same shape "
+                               "the service's POST /verify returns)")
 
     p_run = sub.add_parser("run", help="execute a BPF program concretely")
     p_run.add_argument("file")
@@ -277,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(the BENCH baseline format)")
     p_bench.add_argument("--baseline", metavar="PATH",
                          help="diff against a saved throughput baseline")
+    p_bench.add_argument("--markdown", metavar="PATH",
+                         help="write the baseline diff as a markdown "
+                              "table (requires --baseline; CI posts it "
+                              "to the step summary)")
     p_bench.add_argument("--max-regression", type=float, default=0.15,
                          help="fractional slowdown that triggers a "
                               "warning (default 0.15)")
@@ -291,6 +306,33 @@ def build_parser() -> argparse.ArgumentParser:
                               "seconds per timed pass — next to the "
                               "best-of throughput metrics")
     _add_obs_flags(p_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve verification over HTTP with cached verdicts "
+             "(POST /verify, GET /verdict/<hash>, /healthz, /stats)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8337,
+                         help="port to serve on (default 8337; 0 picks "
+                              "an ephemeral port)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="verifier worker threads; concurrent "
+                              "identical submissions are single-flighted "
+                              "and verify once (default 4)")
+    p_serve.add_argument("--ctx-size", type=int, default=64,
+                         help="default context size for requests that "
+                              "omit ctx_size (default 64)")
+    p_serve.add_argument("--verdict-cache", metavar="PATH",
+                         help="persistent verdict store, loaded at "
+                              "startup and saved on shutdown (same "
+                              "format as repro campaign's)")
+    p_serve.add_argument("--verdict-cache-size", type=int, default=65536,
+                         metavar="N",
+                         help="max cached verdicts before LRU eviction "
+                              "(default 65536)")
+    _add_obs_flags(p_serve)
 
     p_stats = sub.add_parser(
         "stats",
@@ -324,18 +366,44 @@ def _read_text(path: str) -> str:
         return handle.read()
 
 
+def _read_bytes(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
 def _cmd_verify(args) -> int:
-    from repro.bpf import assemble
+    import json
+
+    from repro.api import IngestError, Verdict, program_from_wire
     from repro.bpf.verifier import Verifier
 
-    program = assemble(_read_text(args.file))
+    if args.wire:
+        try:
+            program = program_from_wire(_read_bytes(args.file))
+        except IngestError as exc:
+            print(f"error: {args.file}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.bpf import assemble
+
+        program = assemble(_read_text(args.file))
     result = Verifier(ctx_size=args.ctx_size).verify(program)
-    if result.ok:
+    # The one verdict shape repo-wide: the CLI renders the same model
+    # the service serializes, so `repro verify --json` output is
+    # byte-compatible with a POST /verify response body.
+    verdict = Verdict.from_result(
+        result, program.canonical_hash(), args.ctx_size
+    )
+    if args.json:
+        print(json.dumps(verdict.to_payload(), indent=2, sort_keys=True))
+        return 0 if verdict.ok else 1
+    if verdict.ok:
         print(f"OK: {len(program)} instructions, "
-              f"{result.insns_processed} analyzed")
+              f"{verdict.insns_processed} analyzed")
         return 0
-    for message in result.error_messages():
-        print(f"REJECTED: {message}")
+    print(f"REJECTED: {verdict.error.message()}")
     return 1
 
 
@@ -385,10 +453,13 @@ def _cmd_asm(args) -> int:
 
 
 def _cmd_disasm(args) -> int:
-    from repro.bpf import Program
+    from repro.api import IngestError, program_from_wire
 
-    with open(args.file, "rb") as handle:
-        program = Program.from_bytes(handle.read())
+    try:
+        program = program_from_wire(_read_bytes(args.file))
+    except IngestError as exc:
+        print(f"error: {args.file}: {exc}", file=sys.stderr)
+        return 2
     sys.stdout.write(program.disassemble())
     return 0
 
@@ -751,6 +822,10 @@ def _cmd_bench(args) -> int:
         Path(args.out).write_text(report.to_json() + "\n")
         print(f"\nbaseline: JSON -> {args.out}")
     if not args.baseline:
+        if args.markdown:
+            print("error: --markdown renders the baseline diff and "
+                  "requires --baseline", file=sys.stderr)
+            return 2
         return 0
     try:
         baseline = ThroughputReport.from_json(Path(args.baseline).read_text())
@@ -758,6 +833,11 @@ def _cmd_bench(args) -> int:
         print(f"error: cannot load baseline {args.baseline}: {exc}",
               file=sys.stderr)
         return 2
+    if args.markdown:
+        Path(args.markdown).write_text(report.markdown_diff(
+            baseline, max_regression=args.max_regression
+        ) + "\n")
+        print(f"baseline diff: markdown -> {args.markdown}")
     warnings = report.compare(baseline, max_regression=args.max_regression)
     if warnings:
         for message in warnings:
@@ -767,6 +847,77 @@ def _cmd_bench(args) -> int:
     print(f"baseline: ok (no metric more than "
           f"{100 * args.max_regression:.0f}% below {args.baseline})")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.api import ApiServer, VerificationService
+
+    try:
+        service = VerificationService(
+            cache_path=args.verdict_cache,
+            cache_size=args.verdict_cache_size,
+            workers=args.workers,
+            default_ctx_size=args.ctx_size,
+        )
+    except ValueError as exc:   # corrupt store, bad sizes — never a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stop = threading.Event()
+    restore = _install_stop_handlers(stop)
+    try:
+        with _obs_session(args):
+            server = ApiServer(
+                service, host=args.host, port=args.port
+            ).start()
+            print(f"serve: {server.url}  "
+                  f"(POST /verify, GET /verdict/<hash>, /healthz, "
+                  f"/stats, /metrics)", flush=True)
+            if args.verdict_cache:
+                print(f"serve: verdict store {args.verdict_cache} "
+                      f"({len(service.cache)} entries)", flush=True)
+            try:
+                while not stop.wait(0.5):
+                    pass
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+                service.close()
+    finally:
+        restore()
+    print("serve: shutdown")
+    print(service.summary_line())
+    _print_obs_outputs(args)
+    return 0
+
+
+def _install_stop_handlers(stop) -> "Callable[[], None]":
+    """SIGINT/SIGTERM -> set ``stop``; returns an undo callable.
+
+    Registration fails outside the main thread (tests drive the CLI
+    from threads) — there KeyboardInterrupt handling alone applies.
+    """
+    import signal
+
+    previous = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(
+                signum, lambda *_args: stop.set()
+            )
+    except ValueError:
+        pass
+
+    def restore() -> None:
+        import signal as _signal
+
+        for signum, handler in previous.items():
+            _signal.signal(signum, handler)
+
+    return restore
 
 
 def _cmd_stats(args) -> int:
@@ -902,6 +1053,7 @@ _DISPATCH = {
     "campaign": _cmd_campaign,
     "campaign-diff": _cmd_campaign_diff,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
 }
 

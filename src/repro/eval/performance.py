@@ -203,18 +203,74 @@ class ThroughputReport:
         regress from.
         """
         warnings = []
-        for name in sorted(self.metrics):
-            old = baseline.metrics.get(name)
-            new = self.metrics[name]
-            if not old or old <= 0:
+        for row in self.compare_rows(baseline, max_regression=max_regression):
+            if row["status"] != "WARN":
                 continue
-            drop = 1.0 - new / old
-            if drop > max_regression:
-                warnings.append(
-                    f"{name}: {new:.1f} programs/sec is {100 * drop:.1f}% "
-                    f"below baseline {old:.1f}"
-                )
+            drop = -row["delta"]
+            warnings.append(
+                f"{row['metric']}: {row['current']:.1f} programs/sec is "
+                f"{100 * drop:.1f}% below baseline {row['baseline']:.1f}"
+            )
         return warnings
+
+    def compare_rows(
+        self, baseline: "ThroughputReport", max_regression: float = 0.15
+    ) -> List[Dict[str, object]]:
+        """The full per-metric diff, one row per metric in either report.
+
+        Each row carries ``metric``, ``baseline``/``current``
+        programs/sec (``None`` when absent on that side), the
+        fractional ``delta`` (``current/baseline - 1``), and a
+        ``status``: ``ok``, ``WARN`` (below baseline past
+        ``max_regression``), ``new`` (no baseline), or ``missing``
+        (baseline metric this run did not measure).
+        """
+        rows: List[Dict[str, object]] = []
+        for name in sorted(set(self.metrics) | set(baseline.metrics)):
+            new = self.metrics.get(name)
+            old = baseline.metrics.get(name)
+            delta: Optional[float] = None
+            if new is None:
+                status = "missing"
+            elif old is None or old <= 0:
+                status = "new"
+            else:
+                delta = new / old - 1.0
+                status = "WARN" if -delta > max_regression else "ok"
+            rows.append({
+                "metric": name, "baseline": old, "current": new,
+                "delta": delta, "status": status,
+            })
+        return rows
+
+    def markdown_diff(
+        self, baseline: "ThroughputReport", max_regression: float = 0.15
+    ) -> str:
+        """The baseline diff as a markdown table (CI step summaries)."""
+
+        def _rate(value: Optional[float]) -> str:
+            return f"{value:,.1f}" if value is not None else "—"
+
+        lines = [
+            "### Throughput vs committed baseline",
+            "",
+            f"Budget {self.budget}, seed {self.seed}, best of "
+            f"{self.repeats} — programs/sec, advisory "
+            f"(warns >{100 * max_regression:.0f}% below baseline).",
+            "",
+            "| metric | baseline | current | Δ | status |",
+            "|---|---:|---:|---:|---|",
+        ]
+        for row in self.compare_rows(baseline, max_regression=max_regression):
+            delta = row["delta"]
+            delta_text = f"{100 * delta:+.1f}%" if delta is not None else "—"
+            status = row["status"]
+            status_text = "⚠️ WARN" if status == "WARN" else status
+            lines.append(
+                f"| `{row['metric']}` | {_rate(row['baseline'])} | "
+                f"{_rate(row['current'])} | {delta_text} | {status_text} |"
+            )
+        return "\n".join(lines)
 
 
 def _best_of(

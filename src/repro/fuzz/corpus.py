@@ -5,9 +5,11 @@ shrunk witnesses and violation details), interesting seeds worth
 re-fuzzing (e.g. programs that were accepted and exercised unusual
 instruction mixes), and mutation seeds — shrunk near-miss and
 rejected-but-clean programs a precision campaign feeds back into the
-generator.  Programs are stored as kernel-wire-format bytecode hex, so
-entries round-trip exactly through :meth:`Program.from_bytes` and can be
-replayed by any later build — or fed to external BPF tooling.
+generator.  Programs are stored as kernel-wire-format bytecode hex via
+the shared ingestion layer (:mod:`repro.api.ingest`), so entries
+round-trip exactly, can be replayed by any later build or external BPF
+tooling — and can be POSTed verbatim to the service's ``/verify``
+endpoint (which accepts the corpus-entry ``bytecode_hex`` spelling).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.api.ingest import program_from_hex, program_to_hex
 from repro.bpf.program import Program
 
 __all__ = ["CorpusEntry", "Corpus"]
@@ -37,12 +40,12 @@ class CorpusEntry:
     note: str = ""
 
     def program(self) -> Program:
-        return Program.from_bytes(bytes.fromhex(self.bytecode_hex))
+        return program_from_hex(self.bytecode_hex)
 
     def shrunk_program(self) -> Optional[Program]:
         if self.shrunk_hex is None:
             return None
-        return Program.from_bytes(bytes.fromhex(self.shrunk_hex))
+        return program_from_hex(self.shrunk_hex)
 
 
 @dataclass
@@ -64,8 +67,8 @@ class Corpus:
             kind="violation",
             seed=seed,
             profile=profile,
-            bytecode_hex=program.to_bytes().hex(),
-            shrunk_hex=shrunk.to_bytes().hex() if shrunk else None,
+            bytecode_hex=program_to_hex(program),
+            shrunk_hex=program_to_hex(shrunk) if shrunk else None,
             violation=violation,
             note=note,
         )
@@ -79,7 +82,7 @@ class Corpus:
             kind="interesting",
             seed=seed,
             profile=profile,
-            bytecode_hex=program.to_bytes().hex(),
+            bytecode_hex=program_to_hex(program),
             note=note,
         )
         self.entries.append(entry)
@@ -93,7 +96,7 @@ class Corpus:
             kind="seed",
             seed=seed,
             profile=profile,
-            bytecode_hex=program.to_bytes().hex(),
+            bytecode_hex=program_to_hex(program),
             note=note,
         )
         self.entries.append(entry)

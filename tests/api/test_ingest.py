@@ -1,0 +1,129 @@
+"""The shared ingestion layer: one decode path, structured rejections."""
+
+import pytest
+
+from repro.api.ingest import (
+    MAX_CTX_SIZE,
+    MAX_WIRE_BYTES,
+    IngestError,
+    parse_ctx_size,
+    program_from_hex,
+    program_from_json_payload,
+    program_from_wire,
+    program_to_hex,
+)
+from repro.bpf import assemble
+
+GOOD = "mov r0, 0\nexit"
+
+
+def good_bytes() -> bytes:
+    return assemble(GOOD).to_bytes()
+
+
+class TestWireDecoding:
+    def test_round_trip(self):
+        program = program_from_wire(good_bytes())
+        assert len(program) == 2
+
+    def test_hex_round_trip(self):
+        program = assemble(GOOD)
+        assert program_from_hex(program_to_hex(program)).to_bytes() == (
+            program.to_bytes()
+        )
+
+    def test_empty_is_422(self):
+        with pytest.raises(IngestError) as exc:
+            program_from_wire(b"")
+        assert exc.value.status == 422
+        assert exc.value.code == "empty-program"
+
+    def test_truncated_is_400(self):
+        with pytest.raises(IngestError) as exc:
+            program_from_wire(good_bytes()[:-3])
+        assert exc.value.status == 400
+        assert exc.value.code == "bad-wire-format"
+
+    def test_truncated_lddw_is_400(self):
+        data = assemble("lddw r0, 0x1122334455667788\nexit").to_bytes()
+        with pytest.raises(IngestError) as exc:
+            program_from_wire(data[:8])   # first half of the lddw pair
+        assert exc.value.status == 400
+
+    def test_oversize_is_422(self):
+        with pytest.raises(IngestError) as exc:
+            program_from_wire(b"\x00" * (MAX_WIRE_BYTES + 8))
+        assert exc.value.status == 422
+        assert exc.value.code == "program-too-large"
+
+    def test_bad_jump_target_is_422(self):
+        # `ja +7` past the end decodes instruction-by-instruction but is
+        # structurally invalid as a program.
+        data = bytes.fromhex("0500070000000000") + good_bytes()
+        with pytest.raises(IngestError) as exc:
+            program_from_wire(data)
+        assert exc.value.status == 422
+        assert exc.value.code == "invalid-program"
+
+    def test_bad_hex_is_400(self):
+        with pytest.raises(IngestError) as exc:
+            program_from_hex("zz" * 8)
+        assert exc.value.status == 400
+        assert exc.value.code == "bad-encoding"
+
+    def test_non_string_hex_is_400(self):
+        with pytest.raises(IngestError) as exc:
+            program_from_hex(1234)
+        assert exc.value.status == 400
+
+    def test_ingest_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            program_from_hex("odd")
+
+    def test_error_payload_shape(self):
+        try:
+            program_from_wire(b"")
+        except IngestError as exc:
+            payload = exc.to_payload()
+        assert set(payload) == {"code", "message"}
+        assert isinstance(payload["code"], str)
+        assert isinstance(payload["message"], str)
+
+
+class TestJsonPayload:
+    def test_program_hex_key(self):
+        payload = {"program_hex": good_bytes().hex()}
+        assert len(program_from_json_payload(payload)) == 2
+
+    def test_corpus_style_bytecode_hex_key(self):
+        payload = {"bytecode_hex": good_bytes().hex(), "kind": "seed",
+                   "seed": 7, "profile": "mixed", "note": ""}
+        assert len(program_from_json_payload(payload)) == 2
+
+    def test_missing_program_is_400(self):
+        with pytest.raises(IngestError) as exc:
+            program_from_json_payload({"ctx_size": 64})
+        assert exc.value.status == 400
+        assert exc.value.code == "missing-program"
+
+    def test_non_object_is_400(self):
+        with pytest.raises(IngestError) as exc:
+            program_from_json_payload(["not", "an", "object"])
+        assert exc.value.status == 400
+
+
+class TestCtxSize:
+    def test_default(self):
+        assert parse_ctx_size(None, default=64) == 64
+
+    def test_int_and_string(self):
+        assert parse_ctx_size(128) == 128
+        assert parse_ctx_size("128") == 128
+
+    @pytest.mark.parametrize("bad", [-1, MAX_CTX_SIZE + 1, "huge", 1.5,
+                                     True, [64]])
+    def test_bad_values_are_422(self, bad):
+        with pytest.raises(IngestError) as exc:
+            parse_ctx_size(bad)
+        assert exc.value.status == 422
+        assert exc.value.code == "bad-ctx-size"

@@ -379,6 +379,42 @@ class TestVerdictCache:
         cache = VerdictCache.load(tmp_path / "absent.json")
         assert len(cache) == 0
 
+    def test_load_truncated_store_is_a_clear_error(self, tmp_path):
+        # A crash mid-save leaves a partially written JSON file; loading
+        # it must name the file and the problem, not dump a traceback
+        # from deep inside the decoder.
+        cache = VerdictCache()
+        verdict_fingerprint(assemble("mov r0, 1\nexit"), cache=cache)
+        store = tmp_path / "verdicts.json"
+        cache.save(store)
+        text = store.read_text()
+        store.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError) as exc:
+            VerdictCache.load(store)
+        message = str(exc.value)
+        assert "corrupt or truncated" in message
+        assert str(store) in message
+        assert "delete it" in message
+
+    def test_load_malformed_store_is_a_clear_error(self, tmp_path):
+        # Valid JSON, wrong shape: entries records missing fields.
+        store = tmp_path / "verdicts.json"
+        payload = VerdictCache().to_payload()
+        payload["entries"] = [["deadbeef", 64]]   # no verdict record
+        store.write_text(json.dumps(payload))
+        with pytest.raises(ValueError) as exc:
+            VerdictCache.load(store)
+        message = str(exc.value)
+        assert str(store) in message
+        assert "malformed" in message
+
+    def test_load_non_dict_store_is_a_clear_error(self, tmp_path):
+        store = tmp_path / "verdicts.json"
+        store.write_text(json.dumps(["not", "a", "store"]))
+        with pytest.raises(ValueError) as exc:
+            VerdictCache.load(store)
+        assert str(store) in str(exc.value)
+
     def test_version_mismatch_raises(self, tmp_path):
         store = tmp_path / "verdicts.json"
         payload = VerdictCache().to_payload()

@@ -2,6 +2,7 @@
 
 import json
 import re
+from pathlib import Path
 
 import pytest
 
@@ -377,3 +378,111 @@ class TestBenchCli:
             "--repeats", "1", "--baseline", str(bad),
         ]) == 2
         assert "cannot load baseline" in capsys.readouterr().err
+
+
+class TestVerifyJsonAndWire:
+    def test_json_accept_payload(self, safe_file, capsys):
+        assert main(["verify", safe_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "accept"
+        assert payload["ok"] is True
+        assert len(payload["canonical_hash"]) == 64
+        assert payload["cached"] is False
+        assert "error" not in payload
+
+    def test_json_reject_payload(self, unsafe_file, capsys):
+        assert main(["verify", unsafe_file, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verdict"] == "reject"
+        assert isinstance(payload["error"]["index"], int)
+        assert payload["error"]["reason"]
+
+    def test_wire_input(self, tmp_path, capsys):
+        from repro.bpf import assemble
+
+        wire = tmp_path / "prog.bin"
+        wire.write_bytes(assemble(SAFE).to_bytes())
+        assert main(["verify", str(wire), "--wire"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_wire_garbage_is_usage_error(self, tmp_path, capsys):
+        wire = tmp_path / "prog.bin"
+        wire.write_bytes(b"\xde\xad\xbe\xef")
+        assert main(["verify", str(wire), "--wire"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_corrupt_verdict_store_is_usage_error(self, tmp_path, capsys):
+        store = tmp_path / "verdicts.json"
+        store.write_text("{truncated")
+        assert main(["serve", "--verdict-cache", str(store)]) == 2
+        err = capsys.readouterr().err
+        assert "corrupt or truncated" in err
+        assert str(store) in err
+
+    def test_serve_end_to_end(self, tmp_path):
+        """Boot `repro serve` in a subprocess, verify over HTTP, SIGTERM."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys as _sys
+        import urllib.request
+
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.search(r"(http://[\d.]+:\d+)", line)
+            assert match, f"no URL in serve banner: {line!r}"
+            url = match.group(1)
+            with urllib.request.urlopen(url + "/healthz", timeout=10) as r:
+                assert json.loads(r.read())["status"] == "ok"
+            body = bytes.fromhex("b700000000000000" "9500000000000000")
+            request = urllib.request.Request(
+                url + "/verify", data=body,
+                headers={"Content-Type": "application/octet-stream"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as r:
+                assert json.loads(r.read())["verdict"] == "accept"
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            output, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0
+        assert "serve: shutdown" in output
+        assert "verdict cache:" in output
+
+
+class TestBenchMarkdown:
+    def test_markdown_without_baseline_is_usage_error(self, tmp_path, capsys):
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--markdown", str(tmp_path / "diff.md"),
+        ]) == 2
+        assert "--markdown" in capsys.readouterr().err
+
+    def test_markdown_diff_table(self, tmp_path, capsys):
+        baseline = tmp_path / "bench.json"
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--out", str(baseline),
+        ]) == 0
+        capsys.readouterr()
+        diff = tmp_path / "diff.md"
+        assert main([
+            "bench", "--budget", "4", "--campaign-budget", "4",
+            "--repeats", "1", "--baseline", str(baseline),
+            "--max-regression", "1000", "--markdown", str(diff),
+        ]) == 0
+        assert "markdown ->" in capsys.readouterr().out
+        text = diff.read_text()
+        assert "### Throughput vs committed baseline" in text
+        assert "| metric |" in text
+        assert "driver_mixed" in text
