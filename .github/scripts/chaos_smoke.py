@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI chaos client for `repro serve` — stdlib urllib only.
+
+Drives a service booted with injected verification hangs
+(`service.verify.hang`), a queue bound, and a request deadline, and
+asserts the *structured* degradation answers: 503 + `Retry-After` when
+the queue is full, 504 when the deadline blows, `/healthz` live
+throughout, shed/timeout counters in `/stats` and `/metrics`.
+
+Usage: chaos_smoke.py [BASE_URL]   (default http://127.0.0.1:8739)
+"""
+
+import json
+import struct
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+EXIT = bytes.fromhex("9500000000000000")
+
+
+def program(i):
+    """`mov r0, i ; exit` in kernel wire format — distinct per i, so
+    single-flight dedup can't collapse concurrent submissions."""
+    return struct.pack("<BBhi", 0xB7, 0, 0, i) + EXIT
+
+
+def request(base, path, data=None, content_type=None, timeout=30):
+    headers = {"Content-Type": content_type} if content_type else {}
+    req = urllib.request.Request(base + path, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as response:
+            return response.status, dict(response.headers), \
+                json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def check(label, condition, context):
+    if not condition:
+        print(f"FAIL {label}: {context}")
+        sys.exit(1)
+    print(f"ok   {label}")
+
+
+def main():
+    base = sys.argv[1] if len(sys.argv) > 1 else "http://127.0.0.1:8739"
+
+    status, _, body = request(base, "/healthz")
+    check("healthz before chaos", status == 200, (status, body))
+
+    # Four concurrent distinct programs against workers=1, max-queue=1,
+    # and a hang on every verification: the queue fills instantly, so
+    # some submissions must shed (503) and the rest must hit the
+    # request deadline (504).  Nothing may 200 and nothing may 500.
+    answers = {}
+    lock = threading.Lock()
+
+    def submit(i):
+        status, headers, body = request(
+            base, "/verify", program(i), "application/octet-stream")
+        with lock:
+            answers[i] = (status, headers, body)
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    # While the pool is saturated, liveness must not queue behind it.
+    status, _, body = request(base, "/healthz", timeout=5)
+    check("healthz during chaos", status == 200, (status, body))
+    for t in threads:
+        t.join(timeout=60)
+
+    codes = sorted(status for status, _, _ in answers.values())
+    check("all answered", len(answers) == 4, answers)
+    check("some requests shed (503)", 503 in codes, codes)
+    check("some requests timed out (504)", 504 in codes, codes)
+    check("only 503/504 under saturation",
+          set(codes) <= {503, 504}, codes)
+    for status, headers, body in answers.values():
+        if status == 503:
+            check("503 is structured",
+                  body.get("error", {}).get("code") == "overloaded", body)
+            check("503 carries Retry-After",
+                  int(headers.get("Retry-After", 0)) >= 1, headers)
+        else:
+            check("504 is structured",
+                  body.get("error", {}).get("code") == "deadline-exceeded",
+                  body)
+        check("error body is versioned",
+              isinstance(body.get("schema_version"), int), body)
+
+    status, _, stats = request(base, "/stats")
+    service = stats.get("service", {})
+    check("stats: shed counted", service.get("shed", 0) >= 1, service)
+    check("stats: timeouts counted",
+          service.get("timeouts", 0) >= 1, service)
+    check("stats: limits visible",
+          service.get("max_queue") == 1
+          and service.get("request_timeout_s") is not None, service)
+
+    with urllib.request.urlopen(base + "/metrics", timeout=10) as response:
+        text = response.read().decode()
+    check("metrics: degradation counters",
+          "repro_api_shed_total" in text
+          and "repro_api_timeouts_total" in text,
+          text.splitlines()[:5])
+
+    status, _, body = request(base, "/healthz")
+    check("healthz after chaos", status == 200, (status, body))
+
+    print("chaos smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -46,12 +46,25 @@ __all__ = [
     "VerifyRequest",
     "VerdictError",
     "Verdict",
+    "error_payload",
     "precision_summary",
 ]
 
 #: Version of the request/response payload shape served by the API and
 #: ``repro verify --json``.  Additive fields do not bump it.
 API_SCHEMA_VERSION = 1
+
+
+def error_payload(code: str, message: str) -> dict:
+    """The one structured error shape every API surface renders.
+
+    Clients switch on ``error.code``, never on prose — 503 (shed), 504
+    (deadline), and every 4xx all share this envelope.
+    """
+    return {
+        "schema_version": API_SCHEMA_VERSION,
+        "error": {"code": code, "message": message},
+    }
 
 
 @dataclass

@@ -23,6 +23,12 @@ a daemon-threaded ``http.server`` bound to ``127.0.0.1`` by default,
 
 Every error body is JSON: ``{"schema_version": 1, "error": {"code":
 ..., "message": ...}}`` — clients switch on ``code``, never on prose.
+Under pressure the server degrades structurally instead of collapsing
+(see ``docs/resilience.md``): a full work queue answers **503**
+(``overloaded``, with a ``Retry-After`` header), a request that outlives
+the service deadline answers **504** (``deadline-exceeded``), stalled
+client sockets are timed out, and ``/healthz`` stays live throughout —
+it never touches the verification pool.
 """
 
 from __future__ import annotations
@@ -36,14 +42,18 @@ from urllib.parse import parse_qsl, urlsplit
 from repro import obs as _obs
 
 from .ingest import MAX_WIRE_BYTES, IngestError, parse_ctx_size
-from .models import API_SCHEMA_VERSION, VerifyRequest
-from .service import VerificationService
+from .models import API_SCHEMA_VERSION, VerifyRequest, error_payload
+from .service import DeadlineExceeded, ServiceOverloaded, VerificationService
 
-__all__ = ["ApiServer", "MAX_BODY_BYTES"]
+__all__ = ["ApiServer", "MAX_BODY_BYTES", "DEFAULT_SOCKET_TIMEOUT_S"]
 
 #: Request bodies past this cannot contain an acceptable program (hex
 #: doubles the wire bytes; the rest is JSON framing).
 MAX_BODY_BYTES = 4 * MAX_WIRE_BYTES + 4096
+
+#: Per-connection socket timeout: a client that stops sending (or
+#: reading) cannot pin a handler thread forever.
+DEFAULT_SOCKET_TIMEOUT_S = 30.0
 
 
 class ApiServer:
@@ -54,10 +64,12 @@ class ApiServer:
         service: VerificationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        socket_timeout_s: float = DEFAULT_SOCKET_TIMEOUT_S,
     ) -> None:
         self.service = service
         self._host = host
         self._requested_port = port
+        self._socket_timeout_s = socket_timeout_s
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
@@ -75,9 +87,13 @@ class ApiServer:
 
     def start(self) -> "ApiServer":
         service = self.service
+        socket_timeout_s = self._socket_timeout_s
 
         class Handler(BaseHTTPRequestHandler):
             protocol_version = "HTTP/1.1"
+            # http.server applies this to the connection socket: a stalled
+            # client trips it and the handler thread is reclaimed.
+            timeout = socket_timeout_s
 
             def do_POST(self) -> None:  # noqa: N802 - http.server API
                 path, query = _split(self.path)
@@ -92,6 +108,18 @@ class ApiServer:
                     return
                 try:
                     verdict = service.verify(request)
+                except ServiceOverloaded as exc:
+                    # Load shed: structured, with a drain estimate — the
+                    # request cost nothing, the client knows when to come
+                    # back, and the service never queues unboundedly.
+                    self._error(
+                        503, "overloaded", str(exc),
+                        headers={"Retry-After": str(exc.retry_after_s)},
+                    )
+                    return
+                except DeadlineExceeded as exc:
+                    self._error(504, "deadline-exceeded", str(exc))
+                    return
                 except Exception as exc:  # never a traceback on the wire
                     self._error(500, "internal-error", str(exc))
                     return
@@ -176,24 +204,43 @@ class ApiServer:
 
             # -- response helpers ---------------------------------------
 
-            def _json(self, code: int, payload: Dict) -> None:
+            def _json(
+                self,
+                code: int,
+                payload: Dict,
+                headers: Optional[Dict[str, str]] = None,
+            ) -> None:
                 self._text(
                     code,
                     json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     "application/json",
+                    headers=headers,
                 )
 
-            def _error(self, code: int, error_code: str, message: str) -> None:
-                self._json(code, {
-                    "schema_version": API_SCHEMA_VERSION,
-                    "error": {"code": error_code, "message": message},
-                })
+            def _error(
+                self,
+                code: int,
+                error_code: str,
+                message: str,
+                headers: Optional[Dict[str, str]] = None,
+            ) -> None:
+                self._json(
+                    code, error_payload(error_code, message), headers=headers
+                )
 
-            def _text(self, code: int, body: str, ctype: str) -> None:
+            def _text(
+                self,
+                code: int,
+                body: str,
+                ctype: str,
+                headers: Optional[Dict[str, str]] = None,
+            ) -> None:
                 data = body.encode("utf-8")
                 self.send_response(code)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(data)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, value)
                 self.end_headers()
                 self.wfile.write(data)
 
@@ -246,6 +293,8 @@ def _metrics_payload(service: VerificationService) -> str:
         ("repro_api_requests_total", stats["requests"]),
         ("repro_api_verifications_total", stats["verifications"]),
         ("repro_api_rejections_total", stats["rejections"]),
+        ("repro_api_shed_total", stats["shed"]),
+        ("repro_api_timeouts_total", stats["timeouts"]),
         ("repro_api_cache_hits_total", cache["hits"]),
         ("repro_api_cache_misses_total", cache["misses"]),
         ("repro_api_cache_evictions_total", cache["evictions"]),

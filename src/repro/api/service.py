@@ -35,8 +35,10 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import faults as _faults
 from repro import obs as _obs
 from repro.bpf.canon import CachedVerdict, VerdictCache
 from repro.bpf.program import Program
@@ -44,11 +46,39 @@ from repro.bpf.verifier import Verifier
 
 from .models import Verdict, VerifyRequest, precision_summary
 
-__all__ = ["VerificationService", "DEFAULT_WORKERS"]
+__all__ = [
+    "VerificationService",
+    "ServiceOverloaded",
+    "DeadlineExceeded",
+    "DEFAULT_WORKERS",
+]
 
 DEFAULT_WORKERS = 4
 
 CacheKey = Tuple[str, int]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The work queue is full — shed instead of queueing unboundedly.
+
+    Carries the advisory ``retry_after_s`` the HTTP layer renders as a
+    ``Retry-After`` header on its structured 503.
+    """
+
+    def __init__(self, retry_after_s: int) -> None:
+        super().__init__(
+            f"verification queue is full; retry in ~{retry_after_s}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request outlived its deadline — surfaced, never left hanging.
+
+    Raised whether the deadline expired in the queue, mid-walk (the
+    verifier's own watchdog stops the walk), or while waiting on another
+    request's flight.  The HTTP layer maps it to a structured 504.
+    """
 
 
 class _Flight:
@@ -72,9 +102,15 @@ class VerificationService:
         cache_size: int = 65536,
         workers: int = DEFAULT_WORKERS,
         default_ctx_size: int = 64,
+        max_queue: Optional[int] = None,
+        request_timeout_s: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
         if cache is None:
             # ``load`` raises a clear ValueError on a corrupt/truncated
             # store (see VerdictCache.load) — the caller surfaces it as
@@ -88,11 +124,19 @@ class VerificationService:
         self.cache_path = cache_path
         self.default_ctx_size = default_ctx_size
         self.workers = workers
+        self.max_queue = max_queue
+        self.request_timeout_s = request_timeout_s
         self.requests = 0
         self.verifications = 0
         #: requests rejected before reaching the verifier (400/422) —
         #: ticked by the transport layer via :meth:`note_rejection`.
         self.rejections = 0
+        #: requests shed at the queue (503) and deadlines blown (504).
+        self.shed = 0
+        self.timeouts = 0
+        #: verification tasks submitted and not yet finished — the
+        #: bounded "queue" ``max_queue`` sheds against.
+        self._queued = 0
         self._lock = threading.Lock()
         self._inflight: Dict[CacheKey, _Flight] = {}
         self._pool = ThreadPoolExecutor(
@@ -104,7 +148,15 @@ class VerificationService:
     # -- the request path ---------------------------------------------------
 
     def verify(self, request: VerifyRequest) -> Verdict:
-        """Answer one verification request (cache → single-flight → walk)."""
+        """Answer one verification request (cache → single-flight → walk).
+
+        Degrades structurally instead of collapsing: with ``max_queue``
+        set, a full queue sheds the request (:class:`ServiceOverloaded`,
+        HTTP 503) before it costs anything; with ``request_timeout_s``
+        set, a request that outlives its deadline — queued, walking, or
+        waiting on another flight — raises :class:`DeadlineExceeded`
+        (HTTP 504).  Cache hits are O(1) and never shed.
+        """
         with self._lock:
             self.requests += 1
         self._count("requests")
@@ -112,7 +164,7 @@ class VerificationService:
             request.program.canonical_hash(), request.ctx_size,
         )
         if request.want_states:
-            return self._pool.submit(self._verify_fresh, key, request).result()
+            return self._await(self._submit(self._verify_fresh, key, request))
         with self._lock:
             flight = self._inflight.get(key)
             if flight is None:
@@ -126,11 +178,13 @@ class VerificationService:
                 leader = False
         if leader:
             try:
-                entry = self._pool.submit(
-                    self._verify_miss, key, request
-                ).result()
+                entry = self._await(
+                    self._submit(self._verify_miss, key, request)
+                )
                 flight.entry = entry
             except BaseException as exc:
+                # Shed/timeout included: followers piggybacked on this
+                # flight inherit the failure instead of hanging.
                 flight.error = exc
                 raise
             finally:
@@ -140,7 +194,8 @@ class VerificationService:
             return self._render(entry, key, request, cached=False)
         # Follower: wait for the leader's walk, then answer from the
         # stored entry — a real cache hit (counted as one).
-        flight.done.wait()
+        if not flight.done.wait(timeout=self.request_timeout_s):
+            raise self._deadline()
         if flight.error is not None:
             raise flight.error
         with self._lock:
@@ -149,6 +204,50 @@ class VerificationService:
             entry = flight.entry
         assert entry is not None
         return self._render(entry, key, request, cached=True)
+
+    def _submit(self, fn: Callable, *args):
+        """Queue work on the pool, shedding when the queue is full."""
+        with self._lock:
+            if self.max_queue is not None and self._queued >= self.max_queue:
+                self.shed += 1
+                # Rough drain estimate: queue depth over pool width,
+                # floored at 1s — advisory, not a promise.
+                retry_after = max(1, round(self._queued / self.workers))
+                self._count("shed")
+                raise ServiceOverloaded(retry_after)
+            self._queued += 1
+
+        def run():
+            try:
+                return fn(*args)
+            finally:
+                with self._lock:
+                    self._queued -= 1
+
+        return self._pool.submit(run)
+
+    def _await(self, future):
+        """The future's result, bounded by the request deadline.
+
+        The pool thread keeps running past a timeout (threads are not
+        cancellable) but the walk itself is deadline-bounded too
+        (``Verifier.deadline_s``), so abandoned work self-terminates.
+        """
+        if self.request_timeout_s is None:
+            return future.result()
+        try:
+            return future.result(timeout=self.request_timeout_s)
+        except _FuturesTimeout:
+            raise self._deadline() from None
+
+    def _deadline(self) -> DeadlineExceeded:
+        with self._lock:
+            self.timeouts += 1
+        self._count("timeouts")
+        return DeadlineExceeded(
+            f"verification exceeded the service's "
+            f"{self.request_timeout_s:g}s deadline"
+        )
 
     def lookup(self, canonical_hash: str, ctx_size: int) -> Optional[Verdict]:
         """``GET /verdict/<hash>``: the cached verdict, or ``None``."""
@@ -171,14 +270,21 @@ class VerificationService:
     def _verify_miss(
         self, key: CacheKey, request: VerifyRequest
     ) -> CachedVerdict:
+        if _faults.enabled():
+            _faults.sleep_if("service.verify.hang")
         events: List[Tuple[int, str, object]] = []
         verifier = Verifier(
             ctx_size=request.ctx_size,
+            deadline_s=self.request_timeout_s,
             on_transfer=lambda idx, label, scalar: events.append(
                 (idx, label, scalar)
             ),
         )
         result = verifier.verify(request.program)
+        if result.timed_out:
+            # A timeout says nothing about the program: never cached,
+            # surfaced as 504 — the next submission gets a full walk.
+            raise self._deadline()
         entry = CachedVerdict.from_result(result, tuple(events))
         with self._lock:
             self.verifications += 1
@@ -187,15 +293,20 @@ class VerificationService:
         return entry
 
     def _verify_fresh(self, key: CacheKey, request: VerifyRequest) -> Verdict:
+        if _faults.enabled():
+            _faults.sleep_if("service.verify.hang")
         events: List[Tuple[int, str, object]] = []
         verifier = Verifier(
             ctx_size=request.ctx_size,
             collect_states=True,
+            deadline_s=self.request_timeout_s,
             on_transfer=lambda idx, label, scalar: events.append(
                 (idx, label, scalar)
             ),
         )
         result = verifier.verify(request.program)
+        if result.timed_out:
+            raise self._deadline()
         states = {
             idx: str(state) for idx, state in verifier.states_at.items()
         }
@@ -239,6 +350,11 @@ class VerificationService:
                 "requests": self.requests,
                 "verifications": self.verifications,
                 "rejections": self.rejections,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "queued": self._queued,
+                "max_queue": self.max_queue,
+                "request_timeout_s": self.request_timeout_s,
                 "inflight": len(self._inflight),
                 "workers": self.workers,
                 "uptime_s": round(time.monotonic() - self._started, 3),

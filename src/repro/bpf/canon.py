@@ -46,12 +46,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import struct
 import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro import obs as _obs
 from repro.core.tnum import Tnum
 from repro.domains.interval import Interval
@@ -521,18 +523,29 @@ class VerdictCache:
         on a previously plan-less accepted entry.  Folding shards in
         index order therefore produces the same entry set for any
         worker count.
+
+        All-or-nothing: the whole shard is decoded *before* anything is
+        applied, so a corrupt shard (truncated pipe payload, an injected
+        ``campaign.shard.corrupt``) raises without leaving a half-merged
+        cache behind — the campaign's absorb loop rejects it and carries
+        on with the entries it already has.
         """
-        for chash, ctx_size, payload in shard.get("entries", []):
-            key = (str(chash), int(ctx_size))
-            incoming = CachedVerdict.from_payload(payload)
+        decoded = [
+            ((str(chash), int(ctx_size)), CachedVerdict.from_payload(payload))
+            for chash, ctx_size, payload in shard.get("entries", [])
+        ]
+        hits = int(shard.get("hits", 0))
+        misses = int(shard.get("misses", 0))
+        evictions = int(shard.get("evictions", 0))
+        for key, incoming in decoded:
             existing = self._entries.get(key)
             if existing is None or (
                 existing.plans is None and incoming.plans is not None
             ):
                 self.put(key, incoming)
-        self.hits += int(shard.get("hits", 0))
-        self.misses += int(shard.get("misses", 0))
-        self.evictions += int(shard.get("evictions", 0))
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
 
     # -- persistence --------------------------------------------------------
 
@@ -577,9 +590,32 @@ class VerdictCache:
         return cache
 
     def save(self, path: "str | Path") -> None:
-        Path(path).write_text(
-            json.dumps(self.to_payload(), sort_keys=True) + "\n"
-        )
+        """Atomically persist the store: write a temp file, then rename.
+
+        A reader (or the next run's :meth:`load`) never observes a torn
+        store — ``os.replace`` is atomic on POSIX, so a crash at any
+        point leaves either the old complete file or the new complete
+        file.  The ``cache.save.torn``/``cache.save.slow`` fault sites
+        exercise exactly this window: a saver killed mid-write must not
+        cost the previous store.
+        """
+        target = Path(path)
+        text = json.dumps(self.to_payload(), sort_keys=True) + "\n"
+        tmp = target.with_name(target.name + f".tmp.{os.getpid()}")
+        half = len(text) // 2
+        with open(tmp, "w") as fh:
+            fh.write(text[:half])
+            if _faults.enabled():
+                if _faults.fire("cache.save.torn"):
+                    fh.flush()
+                    return   # die mid-write: temp left behind, no rename
+                if _faults.fire("cache.save.slow"):
+                    fh.flush()
+                    time.sleep(_faults.arg("cache.save.slow"))
+            fh.write(text[half:])
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
 
     @classmethod
     def load(

@@ -37,9 +37,11 @@ cannot drift from the reference semantics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
+from repro import faults as _faults
 from repro.bpf import isa
 from repro.bpf.cfg import CFGError, build_cfg
 from repro.bpf.insn import Instruction
@@ -390,6 +392,12 @@ class Verifier:
     #: verified at this ``ctx_size`` from the cache, replaying the
     #: recorded transfer stream into ``on_transfer`` instead of walking.
     verdict_cache: Optional["VerdictCache"] = None
+    #: wall-clock watchdog for the compiled walk: when set, the walk
+    #: checks ``time.monotonic()`` once per basic block and stops with a
+    #: structured timeout rejection (``VerifierError.timeout``) instead
+    #: of running unbounded.  Timeout results are never cached — the
+    #: deadline is a property of the *request*, not the program.
+    deadline_s: Optional[float] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -431,7 +439,8 @@ class Verifier:
                 note(idx, label, scalar)
 
         result = self._verify_compiled(program, recording_note)
-        cache.store(key, result, events)
+        if not result.timed_out:
+            cache.store(key, result, events)
         return result
 
     def _verify_compiled(
@@ -449,8 +458,26 @@ class Verifier:
         in_states: Dict[int, AbstractState] = {0: AbstractState.entry_state()}
         merge = self._merge_into
         processed = 0
+        # Watchdog + fault hooks, both hoisted: with no deadline and no
+        # armed fault plan (the default) the loop pays two falsy local
+        # checks per *block*, nothing per instruction.
+        deadline_at: Optional[float] = None
+        if self.deadline_s is not None:
+            deadline_at = time.monotonic() + self.deadline_s
+        hang_s = 0.0
+        if _faults.enabled() and _faults.fire("verify.hang"):
+            hang_s = _faults.arg("verify.hang")
         try:
             for block in compiled.blocks:
+                if hang_s:
+                    time.sleep(hang_s)
+                if deadline_at is not None and time.monotonic() > deadline_at:
+                    raise VerifierError(
+                        block.indices[0] if block.indices else block.term_idx,
+                        f"verification exceeded its {self.deadline_s:g}s "
+                        f"deadline after {processed} instructions",
+                        timeout=True,
+                    )
                 entry = in_states.get(block.block_id)
                 if entry is None:
                     continue  # no feasible path in (dead branch)

@@ -20,15 +20,25 @@ class VerifierError(Exception):
     ``structural`` marks whole-program rejections (bad CFG: loops,
     unreachable code, fall-through) whose ``insn_index`` is synthetic
     and must not be attributed to a specific instruction.
+
+    ``timeout`` marks watchdog expiries: the walk exceeded its wall-clock
+    deadline and was stopped, so the rejection says nothing about the
+    *program* — consumers must treat it as "unknown", never cache it as
+    a verdict, and surface it as a timeout (the service maps it to 504).
     """
 
     def __init__(
-        self, insn_index: int, reason: str, structural: bool = False
+        self,
+        insn_index: int,
+        reason: str,
+        structural: bool = False,
+        timeout: bool = False,
     ) -> None:
         super().__init__(f"insn {insn_index}: {reason}")
         self.insn_index = insn_index
         self.reason = reason
         self.structural = structural
+        self.timeout = timeout
 
 
 @dataclass
@@ -41,6 +51,11 @@ class VerificationResult:
 
     def __bool__(self) -> bool:
         return self.ok
+
+    @property
+    def timed_out(self) -> bool:
+        """The walk hit its deadline — this is *not* a verdict."""
+        return any(e.timeout for e in self.errors)
 
     def error_messages(self) -> List[str]:
         return [str(e) for e in self.errors]

@@ -83,6 +83,31 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                             "always kept)")
 
 
+def _add_faults_flag(parser: argparse.ArgumentParser):
+    """The shared ``--faults`` chaos switch; returns its group."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument("--faults", metavar="SPEC",
+                       help="arm deterministic fault injection for this "
+                            "run, e.g. "
+                            "'seed=42,campaign.worker.crash=0.5' "
+                            "(sites and key contracts: docs/resilience.md; "
+                            "also honored via the REPRO_FAULTS env var)")
+    return group
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Crash-recovery knobs for multi-worker runs (fuzz, campaign)."""
+    group = _add_faults_flag(parser)
+    group.add_argument("--lease-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and retry a worker batch that runs "
+                            "longer than this (default: no limit)")
+    group.add_argument("--batch-retries", type=int, default=3,
+                       metavar="N",
+                       help="attempts per worker batch before it is "
+                            "quarantined (default 3)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write failures/seeds to a JSON corpus file")
     p_fuzz.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
+    _add_resilience_flags(p_fuzz)
     _add_obs_flags(p_fuzz)
 
     p_camp = sub.add_parser(
@@ -217,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="operators shown in the ranking (default 10)")
     p_camp.add_argument("--no-shrink", action="store_true",
                         help="skip counterexample minimization")
+    _add_resilience_flags(p_camp)
     _add_obs_flags(p_camp)
 
     p_diff = sub.add_parser(
@@ -332,6 +359,18 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="N",
                          help="max cached verdicts before LRU eviction "
                               "(default 65536)")
+    p_serve.add_argument("--request-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-request deadline: a verification that "
+                              "outlives it answers a structured 504 "
+                              "(default: no deadline)")
+    p_serve.add_argument("--max-queue", type=int, default=None,
+                         metavar="N",
+                         help="bound the verification queue: requests "
+                              "past N in flight are shed with a "
+                              "structured 503 + Retry-After "
+                              "(default: unbounded)")
+    _add_faults_flag(p_serve)
     _add_obs_flags(p_serve)
 
     p_stats = sub.add_parser(
@@ -574,9 +613,44 @@ def _print_obs_outputs(args) -> None:
         print(f"obs: trace/metrics/heartbeat -> {args.obs_dir}")
 
 
+def _arm_faults(args) -> Optional[int]:
+    """Arm ``--faults`` (if given); an exit code on a bad spec."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro import faults
+
+    try:
+        faults.arm(spec)
+    except ValueError as exc:
+        print(f"error: --faults: {exc}", file=sys.stderr)
+        return 2
+    return None
+
+
+def _retry_policy(args) -> "Optional[object] | int":
+    """A RetryPolicy from the CLI knobs; an exit code on bad values."""
+    from repro.fuzz import RetryPolicy
+
+    try:
+        return RetryPolicy(
+            max_attempts=args.batch_retries,
+            lease_timeout_s=args.lease_timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import CampaignConfig, Corpus, run_campaign
 
+    failed = _arm_faults(args)
+    if failed is not None:
+        return failed
+    policy = _retry_policy(args)
+    if isinstance(policy, int):
+        return policy
     config = CampaignConfig(
         budget=args.budget,
         seed=args.seed,
@@ -589,7 +663,7 @@ def _cmd_fuzz(args) -> int:
     )
     corpus = Corpus()
     with _obs_session(args):
-        result = run_campaign(config, corpus)
+        result = run_campaign(config, corpus, retry_policy=policy)
     print(f"campaign: seed={args.seed} profile={args.profile} "
           f"workers={args.workers}")
     print(result.stats.summary())
@@ -611,6 +685,12 @@ def _cmd_campaign(args) -> int:
         run_precision_campaign,
     )
 
+    failed = _arm_faults(args)
+    if failed is not None:
+        return failed
+    policy = _retry_policy(args)
+    if isinstance(policy, int):
+        return policy
     try:
         spec = CampaignSpec(
             budget=args.budget,
@@ -642,7 +722,8 @@ def _cmd_campaign(args) -> int:
     try:
         with _obs_session(args):
             result = run_precision_campaign(
-                spec, state_dir=args.state, verdict_cache=cache
+                spec, state_dir=args.state, verdict_cache=cache,
+                retry_policy=policy,
             )
     except CampaignStateError as exc:   # unusable --state directory
         print(f"error: {exc}", file=sys.stderr)
@@ -650,6 +731,10 @@ def _cmd_campaign(args) -> int:
     print(f"campaign: seed={args.seed} profile={args.profile} "
           f"rounds={args.rounds} workers={args.workers}")
     print(result.stats.summary())
+    if result.quarantined:
+        where = f" -> {args.state}/poison/" if args.state else ""
+        print(f"quarantine: {len(result.quarantined)} poison "
+              f"batch(es){where}")
     if cache is not None:
         cache.save(args.verdict_cache)
         print(cache.summary_line(args.verdict_cache))
@@ -854,12 +939,17 @@ def _cmd_serve(args) -> int:
 
     from repro.api import ApiServer, VerificationService
 
+    failed = _arm_faults(args)
+    if failed is not None:
+        return failed
     try:
         service = VerificationService(
             cache_path=args.verdict_cache,
             cache_size=args.verdict_cache_size,
             workers=args.workers,
             default_ctx_size=args.ctx_size,
+            max_queue=args.max_queue,
+            request_timeout_s=args.request_timeout,
         )
     except ValueError as exc:   # corrupt store, bad sizes — never a traceback
         print(f"error: {exc}", file=sys.stderr)
@@ -869,15 +959,27 @@ def _cmd_serve(args) -> int:
     restore = _install_stop_handlers(stop)
     try:
         with _obs_session(args):
-            server = ApiServer(
-                service, host=args.host, port=args.port
-            ).start()
+            try:
+                server = ApiServer(
+                    service, host=args.host, port=args.port
+                ).start()
+            except OSError as exc:  # port in use, bad bind address
+                print(f"error: cannot bind {args.host}:{args.port}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
+                service.close()
+                return 2
             print(f"serve: {server.url}  "
                   f"(POST /verify, GET /verdict/<hash>, /healthz, "
                   f"/stats, /metrics)", flush=True)
             if args.verdict_cache:
                 print(f"serve: verdict store {args.verdict_cache} "
                       f"({len(service.cache)} entries)", flush=True)
+            if args.max_queue is not None or args.request_timeout is not None:
+                print(f"serve: max-queue="
+                      f"{args.max_queue if args.max_queue is not None else 'unbounded'} "
+                      f"request-timeout="
+                      f"{args.request_timeout if args.request_timeout is not None else 'none'}",
+                      flush=True)
             try:
                 while not stop.wait(0.5):
                     pass

@@ -39,6 +39,11 @@ Pipeline
     individual transfer functions, and feed shrunk near-miss programs
     back in as mutation seeds.  Results merge into a deterministic
     :class:`~repro.eval.precision.PrecisionReport`.
+:mod:`~repro.fuzz.resilience`
+    Crash recovery for multi-worker runs: per-batch leases with bounded
+    retry and exponential backoff, lease timeouts for wedged workers,
+    and quarantine for batches that keep failing (see
+    ``docs/resilience.md``).
 
 Quick start
 -----------
@@ -79,6 +84,13 @@ from .generator import (
 )
 from .mutate import MUTATION_KINDS, mutate_program
 from .oracle import DifferentialOracle, OracleReport, Violation
+from .resilience import (
+    LeaseOutcome,
+    QuarantinedBatch,
+    RetryPolicy,
+    batch_indices,
+    run_leased_batches,
+)
 from .shrink import ShrinkStats, shrink_program
 
 __all__ = [
@@ -108,4 +120,9 @@ __all__ = [
     "PrecisionCampaignStats",
     "PrecisionCampaignResult",
     "run_precision_campaign",
+    "RetryPolicy",
+    "QuarantinedBatch",
+    "LeaseOutcome",
+    "run_leased_batches",
+    "batch_indices",
 ]

@@ -34,14 +34,14 @@ stats, report, corpus) and a rerun resumes where it stopped.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import random
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro import obs as _obs
 from repro.bpf.canon import VerdictCache
 from repro.bpf.insn import Instruction
@@ -54,6 +54,12 @@ from .driver import program_seed, shrink_violation
 from .generator import PROFILES, generate_program
 from .mutate import mutate_program
 from .oracle import DifferentialOracle
+from .resilience import (
+    QuarantinedBatch,
+    RetryPolicy,
+    batch_indices,
+    run_leased_batches,
+)
 from .shrink import shrink_program
 
 __all__ = [
@@ -135,6 +141,10 @@ class PrecisionCampaignStats:
     seeds_pooled: int = 0
     rounds_completed: int = 0
     elapsed_seconds: float = 0.0
+    # Crash-recovery counters (defaults keep pre-resilience checkpoints
+    # loadable): lease retries spent and batches lost to quarantine.
+    retries: int = 0
+    quarantined: int = 0
 
     @property
     def programs_per_second(self) -> float:
@@ -152,6 +162,15 @@ class PrecisionCampaignStats:
             f"checks    : {self.containment_checks} register containments",
             f"seed pool : {self.seeds_pooled} mutation seeds admitted",
             f"violations: {self.violations}",
+        ]
+        if self.retries or self.quarantined:
+            # Only under chaos/real faults — the fault-free summary is
+            # byte-stable for goldens.
+            lines.append(
+                f"resilience: {self.retries} batch retries, "
+                f"{self.quarantined} quarantined"
+            )
+        lines += [
             f"throughput: {self.programs_per_second:.1f} programs/sec "
             f"({self.elapsed_seconds:.2f}s)",
         ]
@@ -166,10 +185,14 @@ class PrecisionCampaignResult:
     corpus: Corpus
     report: PrecisionReport
     pool: List[str] = field(default_factory=list)   # bytecode hex
+    #: poison-batch payloads (see :class:`QuarantinedBatch.to_payload`,
+    #: plus ``round`` and regenerated programs) — also written under
+    #: ``<state_dir>/poison/`` when the campaign has a state directory.
+    quarantined: List[Dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return self.stats.violations == 0
+        return self.stats.violations == 0 and not self.quarantined
 
 
 class TransferCollector:
@@ -313,10 +336,43 @@ def _iter_tightness(collector: TransferCollector, report):
         yield label, max(0, abstract_bits - observed_bits)
 
 
+def _program_for_index(
+    spec: CampaignSpec,
+    pool: Tuple[str, ...],
+    index: int,
+    get_pool_program=None,
+) -> Tuple[int, str, Program]:
+    """Regenerate the exact program campaign ``index`` fuzzes.
+
+    Pure function of ``(spec, pool, index)`` — shared by the worker-side
+    fuzz path and the parent-side poison-batch writer, so a quarantined
+    batch's artifact names precisely the programs the round lost.
+    """
+    if get_pool_program is None:
+        get_pool_program = lambda i: Program.from_bytes(  # noqa: E731
+            bytes.fromhex(pool[i])
+        )
+    seed = program_seed(spec.seed, index)
+    generated = generate_program(
+        seed, spec.profile, spec.max_insns, spec.ctx_size
+    )
+    program = generated.program
+    origin = "fresh"
+    mut_rng = random.Random(seed ^ _MUTATE_MIX)
+    if pool and mut_rng.random() < spec.mutate_fraction:
+        base = get_pool_program(mut_rng.randrange(len(pool)))
+        program = mutate_program(
+            base, donor=generated.program, rng=mut_rng,
+            max_insns=spec.max_insns,
+        )
+        origin = "mutant"
+    return seed, origin, program
+
+
 def _fuzz_one(index: int) -> Dict:
     """Fuzz one campaign index with telemetry; JSON-friendly result.
 
-    Top-level so it pickles for ``multiprocessing.Pool``; the spec and
+    Top-level so it pickles across the process boundary; the spec and
     mutation pool arrive via :func:`_set_worker_state`.
     """
     if _obs.enabled():
@@ -331,7 +387,33 @@ def _fuzz_one(index: int) -> Dict:
     if _worker_cache is not None and not _worker_cache_shared:
         # Same merge-on-return shape as obs: newly recorded verdicts ride
         # home with the item and the parent absorbs them in index order.
-        out["verdict_cache"] = _worker_cache.drain_new()
+        shard = _worker_cache.drain_new()
+        if _faults.enabled() and _faults.fire(
+            "campaign.shard.corrupt", (index,)
+        ):
+            # Chaos: ship garbage instead.  The parent's absorb loop must
+            # reject it without poisoning the merged cache — and the
+            # PrecisionReport never depends on the cache either way.
+            shard = _faults.corrupt_payload(shard)
+        out["verdict_cache"] = shard
+    return out
+
+
+def _fuzz_batch(
+    indices: "Sequence[int]", attempt: int, inject: bool
+) -> List[Dict]:
+    """Lease-runner batch task: fuzz each index, with crash injection.
+
+    The crash key includes the attempt number, so an injected crash does
+    not deterministically recur on retry; ``inject`` is False on the
+    final attempt (:class:`RetryPolicy.fault_free_final_attempt`), which
+    bounds injected chaos without masking real faults.
+    """
+    out: List[Dict] = []
+    for index in indices:
+        if inject and _faults.enabled():
+            _faults.crash_point("campaign.worker.crash", (index, attempt))
+        out.append(_fuzz_one(index))
     return out
 
 
@@ -339,20 +421,9 @@ def _fuzz_one_inner(index: int) -> Dict:
     spec = _worker_spec
     assert spec is not None, "worker spec not installed"
     pool = _worker_pool
-    seed = program_seed(spec.seed, index)
-    generated = generate_program(
-        seed, spec.profile, spec.max_insns, spec.ctx_size
+    seed, origin, program = _program_for_index(
+        spec, pool, index, get_pool_program=_pool_program
     )
-    program = generated.program
-    origin = "fresh"
-    mut_rng = random.Random(seed ^ _MUTATE_MIX)
-    if pool and mut_rng.random() < spec.mutate_fraction:
-        base = _pool_program(mut_rng.randrange(len(pool)))
-        program = mutate_program(
-            base, donor=generated.program, rng=mut_rng,
-            max_insns=spec.max_insns,
-        )
-        origin = "mutant"
 
     collector = TransferCollector()
     oracle = _telemetry_oracle(spec, collector, verdict_cache=_worker_cache)
@@ -524,8 +595,70 @@ def _save_state(
 
 def _atomic_write(path: Path, text: str) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
+    if _faults.enabled() and _faults.fire("campaign.checkpoint.torn"):
+        # Chaos: die after the temp write, before the rename — the
+        # window a non-atomic writer would corrupt.  The previous
+        # complete checkpoint must survive untouched.
+        tmp.write_text(text[: len(text) // 2])
+        return
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def _record_quarantine(
+    state_path: Optional[Path],
+    rnd: int,
+    spec: CampaignSpec,
+    round_pool: Tuple[str, ...],
+    quarantined: List[QuarantinedBatch],
+) -> List[Dict]:
+    """Materialize poison batches: payloads, plus artifacts on disk.
+
+    Each quarantined batch becomes one JSON file under
+    ``<state_dir>/poison/`` carrying the failure fingerprints *and* the
+    regenerated programs the round lost — everything needed to replay
+    the batch in isolation (the fuzz stream is a pure function of
+    ``(spec, pool, index)``).
+    """
+    payloads: List[Dict] = []
+    if not quarantined:
+        return payloads
+    pool_programs: Dict[int, Program] = {}
+
+    def get_pool_program(i: int) -> Program:
+        program = pool_programs.get(i)
+        if program is None:
+            program = pool_programs[i] = Program.from_bytes(
+                bytes.fromhex(round_pool[i])
+            )
+        return program
+
+    for batch in quarantined:
+        programs = []
+        for index in batch.indices:
+            seed, origin, program = _program_for_index(
+                spec, round_pool, index, get_pool_program=get_pool_program
+            )
+            programs.append({
+                "index": index,
+                "seed": seed,
+                "origin": origin,
+                "bytecode_hex": program.to_bytes().hex(),
+            })
+        payload = dict(batch.to_payload())
+        payload["round"] = rnd
+        payload["programs"] = programs
+        payload["fault_plan"] = _faults.worker_init_state()
+        payloads.append(payload)
+        if state_path is not None:
+            poison_dir = state_path / "poison"
+            poison_dir.mkdir(parents=True, exist_ok=True)
+            _atomic_write(
+                poison_dir
+                / f"round-{rnd:03d}-batch-{batch.batch_id:03d}.json",
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            )
+    return payloads
 
 
 def _load_state(
@@ -573,6 +706,7 @@ def run_precision_campaign(
     state_dir: Optional["str | Path"] = None,
     stop_after_rounds: Optional[int] = None,
     verdict_cache: Optional[VerdictCache] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> PrecisionCampaignResult:
     """Run (or resume) a precision campaign.
 
@@ -589,7 +723,17 @@ def run_precision_campaign(
     count, and resumed campaigns may toggle it freely.  Workers get a
     snapshot per round and ship new entries back per item; the caller's
     cache object accumulates everything (mirroring the obs shard merge).
+
+    ``retry_policy`` governs crash recovery in the multi-worker path
+    (see :mod:`repro.fuzz.resilience`): a worker that dies or hangs
+    mid-batch costs a bounded retry, and a batch that keeps failing is
+    quarantined (recorded on the result, and as a poison artifact under
+    ``<state_dir>/poison/``) instead of hanging the round.  Like the
+    cache it is a runtime knob, deliberately outside the spec — the
+    report stays byte-identical to a fault-free run whenever no batch
+    is actually quarantined.
     """
+    retry_policy = retry_policy or RetryPolicy()
     state_path = Path(state_dir) if state_dir is not None else None
     if state_path is not None:
         # Fail before any fuzzing, not at the first checkpoint.
@@ -616,6 +760,7 @@ def run_precision_campaign(
     budgets = _round_budgets(spec)
     started = time.perf_counter()
     rounds_this_call = 0
+    quarantined_payloads: List[Dict] = []
 
     for rnd in range(stats.rounds_completed, spec.rounds):
         if stop_after_rounds is not None and rounds_this_call >= stop_after_rounds:
@@ -627,26 +772,32 @@ def run_precision_campaign(
         # programs of bytecode, so work items stay bare indices.
         round_pool = tuple(pool)
         if spec.workers > 1 and len(indices) > 1:
-            chunk = max(1, len(indices) // (spec.workers * 8))
             cache_snapshot = (
                 verdict_cache.to_payload()
                 if verdict_cache is not None else None
             )
-            with multiprocessing.Pool(
-                spec.workers,
-                initializer=_set_worker_state,
-                initargs=(
-                    spec, round_pool, _obs.worker_init_state(),
-                    cache_snapshot,
-                ),
-            ) as mp_pool:
-                with _obs.tracer().span(
-                    "campaign.round", round=rnd, programs=len(indices),
-                    workers=spec.workers,
-                ):
-                    results = mp_pool.map(
-                        _fuzz_one, indices, chunksize=chunk
-                    )
+            with _obs.tracer().span(
+                "campaign.round", round=rnd, programs=len(indices),
+                workers=spec.workers,
+            ):
+                lease_out = run_leased_batches(
+                    batch_indices(indices, spec.workers),
+                    _fuzz_batch,
+                    spec.workers,
+                    initializer=_set_worker_state,
+                    initargs=(
+                        spec, round_pool, _obs.worker_init_state(),
+                        cache_snapshot,
+                    ),
+                    policy=retry_policy,
+                )
+            results = lease_out.results
+            stats.retries += lease_out.retries
+            stats.quarantined += len(lease_out.quarantined)
+            for poison in _record_quarantine(
+                state_path, rnd, spec, round_pool, lease_out.quarantined
+            ):
+                quarantined_payloads.append(poison)
         else:
             _set_worker_state(spec, round_pool, cache=verdict_cache)
             with _obs.tracer().span(
@@ -665,11 +816,22 @@ def run_precision_campaign(
             # Absorb worker verdict shards in index order (keep-first on
             # duplicates), so the resulting entry set is identical for
             # any worker count.  Inline rounds mutate the cache directly
-            # and ship no shards.
+            # and ship no shards.  A shard that fails to decode — a torn
+            # pipe payload, an injected campaign.shard.corrupt — is
+            # dropped whole (absorb is all-or-nothing): the cache is an
+            # accelerator, never report-bearing, so losing a shard costs
+            # re-verification, not correctness.
             for res in results:
                 shard = res.pop("verdict_cache", None)
-                if shard is not None:
+                if shard is None:
+                    continue
+                try:
                     verdict_cache.absorb(shard)
+                except (ValueError, KeyError, TypeError, IndexError):
+                    if _obs.enabled():
+                        _obs.default_registry().counter(
+                            "campaign.shard_rejected"
+                        ).inc()
 
         for res in results:
             stats.containment_checks += res["checks"]
@@ -762,6 +924,8 @@ def run_precision_campaign(
                 "accepted": stats.accepted,
                 "rejected_clean": stats.rejected_clean,
                 "violations": stats.violations,
+                "retries": stats.retries,
+                "quarantined": stats.quarantined,
                 "corpus_size": len(corpus),
                 "pool_size": len(pool),
                 "elapsed_s": round(live_elapsed, 3),
@@ -783,4 +947,6 @@ def run_precision_campaign(
 
     if state_path is None:
         stats.elapsed_seconds += time.perf_counter() - started
-    return PrecisionCampaignResult(stats, corpus, report, pool)
+    return PrecisionCampaignResult(
+        stats, corpus, report, pool, quarantined=quarantined_payloads
+    )

@@ -17,17 +17,18 @@ a slow oracle caps how much of the program space a campaign can cover.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults as _faults
 from repro import obs as _obs
 from repro.bpf.program import Program
 
 from .corpus import Corpus
 from .generator import PROFILES, generate_program
 from .oracle import DifferentialOracle
+from .resilience import RetryPolicy, batch_indices, run_leased_batches
 from .shrink import shrink_program
 
 __all__ = [
@@ -90,6 +91,10 @@ class CampaignStats:
     violations: int = 0
     containment_checks: int = 0
     elapsed_seconds: float = 0.0
+    # Crash-recovery counters (multi-worker path only): lease retries
+    # spent and batches lost to quarantine.
+    retries: int = 0
+    quarantined: int = 0
 
     @property
     def programs_per_second(self) -> float:
@@ -110,9 +115,18 @@ class CampaignStats:
             f"(clean replay: {self.rejected_clean})",
             f"checks    : {self.containment_checks} register containments",
             f"violations: {self.violations}",
-            f"throughput: {self.programs_per_second:.1f} programs/sec "
-            f"({self.elapsed_seconds:.2f}s)",
         ]
+        if self.retries or self.quarantined:
+            # Only under chaos/real faults — the fault-free summary is
+            # byte-stable for goldens.
+            lines.append(
+                f"resilience: {self.retries} batch retries, "
+                f"{self.quarantined} quarantined"
+            )
+        lines.append(
+            f"throughput: {self.programs_per_second:.1f} programs/sec "
+            f"({self.elapsed_seconds:.2f}s)"
+        )
         return "\n".join(lines)
 
 
@@ -192,6 +206,23 @@ def _fuzz_index_inner(index: int) -> Dict:
     return out
 
 
+def _fuzz_index_batch(
+    indices: "Sequence[int]", attempt: int, inject: bool
+) -> List[Dict]:
+    """Lease-runner batch task (see :mod:`repro.fuzz.resilience`).
+
+    The crash key includes the attempt, so an injected crash does not
+    deterministically recur on retry; ``inject`` is False on the final
+    attempt, which bounds injected chaos without masking real faults.
+    """
+    out: List[Dict] = []
+    for index in indices:
+        if inject and _faults.enabled():
+            _faults.crash_point("campaign.worker.crash", (index, attempt))
+        out.append(_fuzz_index(index))
+    return out
+
+
 def asdict_violation(v) -> Dict:
     return asdict(v)
 
@@ -223,9 +254,17 @@ def shrink_violation(
 
 
 def run_campaign(
-    config: CampaignConfig, corpus: Optional[Corpus] = None
+    config: CampaignConfig,
+    corpus: Optional[Corpus] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
-    """Run one campaign to completion and return aggregated results."""
+    """Run one campaign to completion and return aggregated results.
+
+    Multi-worker runs recover from worker crashes and hangs via leased
+    batches with bounded retry (:mod:`repro.fuzz.resilience`); a batch
+    that keeps failing is quarantined (counted on the stats) rather than
+    hanging the campaign.
+    """
     corpus = corpus if corpus is not None else Corpus()
     stats = CampaignStats(budget=config.budget)
     started = time.perf_counter()
@@ -235,13 +274,17 @@ def run_campaign(
     # serialization overhead.
     indices = range(config.budget)
     if config.workers > 1:
-        chunk = max(1, config.budget // (config.workers * 8))
-        with multiprocessing.Pool(
+        lease_out = run_leased_batches(
+            batch_indices(indices, config.workers),
+            _fuzz_index_batch,
             config.workers,
             initializer=_set_worker_config,
             initargs=(config, _obs.worker_init_state()),
-        ) as pool:
-            results = pool.map(_fuzz_index, indices, chunksize=chunk)
+            policy=retry_policy or RetryPolicy(),
+        )
+        results = lease_out.results
+        stats.retries = lease_out.retries
+        stats.quarantined = len(lease_out.quarantined)
     else:
         _set_worker_config(config)
         results = [_fuzz_index(index) for index in indices]
@@ -292,6 +335,8 @@ def run_campaign(
         "budget": config.budget,
         "executed": stats.executed,
         "violations": stats.violations,
+        "retries": stats.retries,
+        "quarantined": stats.quarantined,
         "corpus_size": len(corpus),
         "elapsed_s": round(stats.elapsed_seconds, 3),
         "programs_per_s": round(stats.programs_per_second, 1),

@@ -1,0 +1,234 @@
+"""Leased batches, crash recovery, and chaos-parity of campaign reports.
+
+The batch tasks here are module-level on purpose: they cross the process
+boundary by name (fork or spawn), exactly like the campaign's own
+``_fuzz_batch``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import faults
+from repro.fuzz import CampaignConfig, CampaignSpec, run_campaign
+from repro.fuzz.campaign import run_precision_campaign
+from repro.fuzz.resilience import (
+    QuarantinedBatch,
+    RetryPolicy,
+    batch_indices,
+    run_leased_batches,
+)
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def _echo_task(indices, attempt, inject):
+    return [{"index": i, "attempt": attempt} for i in indices]
+
+
+def _crash_first_attempt_task(indices, attempt, inject):
+    if attempt == 0:
+        os._exit(faults.WORKER_CRASH_EXIT_CODE)
+    return [{"index": i, "attempt": attempt} for i in indices]
+
+
+def _always_crash_task(indices, attempt, inject):
+    os._exit(faults.WORKER_CRASH_EXIT_CODE)
+
+
+def _soft_error_task(indices, attempt, inject):
+    if attempt == 0:
+        raise ValueError("flaky once")
+    return [{"index": i} for i in indices]
+
+
+def _hang_task(indices, attempt, inject):
+    if attempt == 0:
+        time.sleep(60)
+    return [{"index": i} for i in indices]
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=0.35)
+        assert policy.backoff_s(0) == 0.0
+        assert policy.backoff_s(1) == pytest.approx(0.1)
+        assert policy.backoff_s(2) == pytest.approx(0.2)
+        assert policy.backoff_s(3) == pytest.approx(0.35)   # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(lease_timeout_s=0)
+
+
+class TestBatchIndices:
+    def test_covers_every_index_once(self):
+        batches = batch_indices(range(100), workers=4)
+        flat = [i for batch in batches for i in batch]
+        assert flat == list(range(100))
+
+    def test_small_rounds_still_batch(self):
+        assert batch_indices(range(3), workers=8) == [[0], [1], [2]]
+
+
+class TestLeaseRunner:
+    def test_happy_path(self):
+        batches = batch_indices(range(20), workers=2)
+        out = run_leased_batches(batches, _echo_task, workers=2)
+        assert sorted(r["index"] for r in out.results) == list(range(20))
+        assert not out.quarantined and out.retries == 0
+
+    def test_crash_retries_and_recovers(self):
+        out = run_leased_batches(
+            [[0, 1], [2, 3]], _crash_first_attempt_task, workers=2,
+            policy=RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+        )
+        assert sorted(r["index"] for r in out.results) == [0, 1, 2, 3]
+        assert out.crashes >= 2 and out.retries >= 2
+        assert not out.quarantined
+
+    def test_unrecoverable_batch_quarantines(self):
+        out = run_leased_batches(
+            [[0, 1]], _always_crash_task, workers=1,
+            policy=RetryPolicy(max_attempts=2, backoff_base_s=0.01),
+        )
+        assert out.results == []
+        assert len(out.quarantined) == 1
+        batch = out.quarantined[0]
+        assert batch.indices == [0, 1] and batch.attempts == 2
+        assert all(fp["kind"] == "crash" for fp in batch.fingerprints)
+        payload = batch.to_payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_soft_error_retries(self):
+        out = run_leased_batches(
+            [[0], [1]], _soft_error_task, workers=2,
+            policy=RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+        )
+        assert sorted(r["index"] for r in out.results) == [0, 1]
+        assert out.errors == 2 and not out.quarantined
+
+    def test_lease_timeout_kills_and_retries(self):
+        out = run_leased_batches(
+            [[0]], _hang_task, workers=1,
+            policy=RetryPolicy(
+                max_attempts=2, lease_timeout_s=0.5, backoff_base_s=0.01,
+            ),
+        )
+        assert [r["index"] for r in out.results] == [0]
+        assert out.timeouts == 1 and out.retries == 1
+
+    def test_empty_batches(self):
+        out = run_leased_batches([], _echo_task, workers=2)
+        assert out.results == [] and not out.quarantined
+
+
+def _report_bytes(result):
+    return json.dumps(result.report.to_dict(), sort_keys=True)
+
+
+class TestChaosParity:
+    """Injected worker crashes must not change the campaign's output."""
+
+    SPEC = dict(budget=24, rounds=2, seed=42, max_insns=12,
+                inputs_per_program=4, shrink=False)
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _report_bytes(
+            run_precision_campaign(CampaignSpec(workers=1, **self.SPEC))
+        )
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_report_byte_identical_under_crashes(self, workers, baseline):
+        faults.arm("seed=7,campaign.worker.crash=0.5")
+        result = run_precision_campaign(
+            CampaignSpec(workers=workers, **self.SPEC),
+            retry_policy=RetryPolicy(backoff_base_s=0.01),
+        )
+        assert result.stats.retries > 0          # chaos actually happened
+        assert result.stats.quarantined == 0     # ...and was fully absorbed
+        assert _report_bytes(result) == baseline
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_resume_mid_campaign_under_crashes(
+        self, workers, baseline, tmp_path
+    ):
+        """Kill-and-resume: one round, stop, resume under injected crashes."""
+        faults.arm("seed=7,campaign.worker.crash=0.4")
+        state = tmp_path / f"state-{workers}"
+        spec = CampaignSpec(workers=workers, **self.SPEC)
+        policy = RetryPolicy(backoff_base_s=0.01)
+        first = run_precision_campaign(
+            spec, state_dir=state, stop_after_rounds=1, retry_policy=policy,
+        )
+        assert first.stats.rounds_completed == 1
+        resumed = run_precision_campaign(
+            spec, state_dir=state, retry_policy=policy,
+        )
+        assert resumed.stats.rounds_completed == spec.rounds
+        assert _report_bytes(resumed) == baseline
+
+    def test_corrupt_shards_never_change_the_report(self, baseline, tmp_path):
+        from repro.bpf.canon import VerdictCache
+
+        faults.arm("seed=7,campaign.shard.corrupt=1")
+        cache = VerdictCache()
+        result = run_precision_campaign(
+            CampaignSpec(workers=2, **self.SPEC), verdict_cache=cache,
+        )
+        assert _report_bytes(result) == baseline
+        # Every shard was corrupt, so nothing was absorbed.
+        assert len(cache) == 0
+
+
+class TestQuarantineArtifacts:
+    def test_poison_batches_written_and_reported(self, tmp_path):
+        faults.arm("seed=7,campaign.worker.crash=1")
+        spec = CampaignSpec(
+            budget=8, rounds=1, seed=1, workers=2, max_insns=8,
+            inputs_per_program=2, shrink=False,
+        )
+        # No fault-free last attempt: every batch crashes to exhaustion.
+        result = run_precision_campaign(
+            spec, state_dir=tmp_path / "state",
+            retry_policy=RetryPolicy(
+                max_attempts=2, backoff_base_s=0.01,
+                fault_free_final_attempt=False,
+            ),
+        )
+        assert result.stats.quarantined == len(result.quarantined) > 0
+        assert not result.ok
+        poison = sorted((tmp_path / "state" / "poison").glob("*.json"))
+        assert len(poison) == len(result.quarantined)
+        payload = json.loads(poison[0].read_text())
+        assert payload["attempts"] == 2
+        assert payload["fingerprints"][0]["kind"] == "crash"
+        assert payload["programs"], "poison batch must name its programs"
+        for program in payload["programs"]:
+            assert set(program) >= {"index", "seed", "origin", "bytecode_hex"}
+
+
+class TestDriverChaos:
+    def test_fuzz_driver_recovers_and_matches(self):
+        config = dict(budget=30, seed=3, max_insns=10, shrink=False)
+        base = run_campaign(CampaignConfig(workers=1, **config))
+        faults.arm("seed=5,campaign.worker.crash=0.5")
+        chaos = run_campaign(
+            CampaignConfig(workers=2, **config),
+            retry_policy=RetryPolicy(backoff_base_s=0.01),
+        )
+        assert chaos.stats.retries > 0
+        assert chaos.stats.quarantined == 0
+        for field in ("executed", "accepted", "rejected", "rejected_clean",
+                      "violations", "containment_checks"):
+            assert getattr(chaos.stats, field) == getattr(base.stats, field)

@@ -460,6 +460,77 @@ class TestServeCli:
         assert "verdict cache:" in output
 
 
+class TestResilienceFlags:
+    @pytest.fixture(autouse=True)
+    def disarmed(self):
+        from repro import faults
+
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_port_in_use_is_one_line_error(self, capsys):
+        import socket
+
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(1)
+        port = sock.getsockname()[1]
+        try:
+            assert main(["serve", "--port", str(port)]) == 2
+        finally:
+            sock.close()
+        err = capsys.readouterr().err
+        assert "cannot bind" in err and str(port) in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("command", [
+        ["serve", "--faults", "bogus"],
+        ["fuzz", "--budget", "2", "--faults", "nosuch.site=1"],
+        ["campaign", "--budget", "2", "--faults", "seed=x"],
+    ])
+    def test_bad_faults_spec_is_usage_error(self, command, capsys):
+        assert main(command) == 2
+        assert "error: --faults" in capsys.readouterr().err
+
+    def test_bad_batch_retries_is_usage_error(self, capsys):
+        assert main(["fuzz", "--budget", "2", "--batch-retries", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fuzz_accepts_chaos_flags(self, capsys):
+        assert main([
+            "fuzz", "--budget", "4", "--seed", "1", "--no-shrink",
+            "--faults", "seed=1,campaign.worker.crash=0",
+            "--batch-retries", "2", "--lease-timeout", "30",
+        ]) == 0
+        assert "programs" in capsys.readouterr().out
+
+    def test_serve_announces_degradation_limits(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--max-queue", "8", "--request-timeout", "2.5"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            assert "serve:" in proc.stdout.readline()
+            limits = proc.stdout.readline()
+            assert "max-queue=8" in limits
+            assert "request-timeout=2.5" in limits
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=30)
+        assert proc.returncode == 0
+
+
 class TestBenchMarkdown:
     def test_markdown_without_baseline_is_usage_error(self, tmp_path, capsys):
         assert main([
