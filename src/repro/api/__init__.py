@@ -38,8 +38,19 @@ from .models import (
 from .server import ApiServer
 from .service import VerificationService
 
+
+def __getattr__(name: str):
+    # Lazy on purpose: eager import would cycle (api.dist needs
+    # repro.fuzz.dist, whose campaign core imports api.ingest back).
+    if name == "CoordinatorApi":
+        from .dist import CoordinatorApi
+        return CoordinatorApi
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "API_SCHEMA_VERSION",
+    "CoordinatorApi",
     "DEFAULT_CTX_SIZE",
     "MAX_CTX_SIZE",
     "MAX_WIRE_BYTES",

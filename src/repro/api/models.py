@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro import faults as _faults
 from repro.bpf.program import Program
 from repro.bpf.verifier.errors import VerificationResult, VerifierError
 
@@ -47,6 +48,7 @@ __all__ = [
     "VerdictError",
     "Verdict",
     "error_payload",
+    "faults_echo",
     "precision_summary",
 ]
 
@@ -65,6 +67,21 @@ def error_payload(code: str, message: str) -> dict:
         "schema_version": API_SCHEMA_VERSION,
         "error": {"code": code, "message": message},
     }
+
+
+def faults_echo() -> Optional[dict]:
+    """The armed fault plan, or None when injection is off.
+
+    ``/healthz`` and ``/stats`` (on every HTTP surface — the
+    verification service and the dist coordinator) echo this so a chaos
+    harness can *assert* the process under test is actually running the
+    plan it armed — a server accidentally started without
+    ``REPRO_FAULTS`` would otherwise pass its chaos suite vacuously.
+    """
+    plan = _faults.active_plan()
+    if plan is None:
+        return None
+    return {"spec": plan.to_spec(), "seed": plan.seed}
 
 
 @dataclass

@@ -42,7 +42,12 @@ from urllib.parse import parse_qsl, urlsplit
 from repro import obs as _obs
 
 from .ingest import MAX_WIRE_BYTES, IngestError, parse_ctx_size
-from .models import API_SCHEMA_VERSION, VerifyRequest, error_payload
+from .models import (
+    API_SCHEMA_VERSION,
+    VerifyRequest,
+    error_payload,
+    faults_echo,
+)
 from .service import DeadlineExceeded, ServiceOverloaded, VerificationService
 
 __all__ = ["ApiServer", "MAX_BODY_BYTES", "DEFAULT_SOCKET_TIMEOUT_S"]
@@ -279,6 +284,9 @@ def _stats_payload(service: VerificationService) -> Dict:
         "schema_version": API_SCHEMA_VERSION,
         "service": service.stats(),
     }
+    echo = faults_echo()
+    if echo is not None:
+        payload["faults"] = echo
     if _obs.enabled():
         payload["metrics"] = _obs.default_registry().to_dict()
     return payload

@@ -44,7 +44,7 @@ from repro.bpf.canon import CachedVerdict, VerdictCache
 from repro.bpf.program import Program
 from repro.bpf.verifier import Verifier
 
-from .models import Verdict, VerifyRequest, precision_summary
+from .models import Verdict, VerifyRequest, faults_echo, precision_summary
 
 __all__ = [
     "VerificationService",
@@ -370,11 +370,17 @@ class VerificationService:
 
     def healthz(self) -> Dict:
         with self._lock:
-            return {
+            payload = {
                 "status": "ok",
                 "workers": self.workers,
                 "cache_entries": len(self.cache),
             }
+        echo = faults_echo()
+        if echo is not None:
+            # A chaos harness asserts on this: the probe proves the
+            # process is actually running the armed plan.
+            payload["faults"] = echo
+        return payload
 
     def summary_line(self) -> str:
         """One greppable shutdown line (mirrors the campaign CLI's)."""

@@ -373,6 +373,86 @@ def build_parser() -> argparse.ArgumentParser:
     _add_faults_flag(p_serve)
     _add_obs_flags(p_serve)
 
+    p_coord = sub.add_parser(
+        "coordinate",
+        help="run a distributed-campaign coordinator (POST /lease, "
+             "POST /result, GET /round, /healthz, /stats)",
+    )
+    p_coord.add_argument("--budget", type=int, default=400,
+                         help="programs across all rounds (default 400)")
+    p_coord.add_argument("--rounds", type=int, default=2,
+                         help="campaign rounds (default 2)")
+    p_coord.add_argument("--seed", type=int, default=0,
+                         help="campaign seed; the merged report is "
+                              "byte-identical to a single-machine "
+                              "`repro campaign` with the same spec "
+                              "(default 0)")
+    p_coord.add_argument("--profile", default="mixed",
+                         choices=("mixed", "alu", "memory", "branchy"))
+    p_coord.add_argument("--max-insns", type=int, default=32)
+    p_coord.add_argument("--inputs", type=int, default=8)
+    p_coord.add_argument("--ctx-size", type=int, default=64)
+    p_coord.add_argument("--mutate-fraction", type=float, default=0.5)
+    p_coord.add_argument("--no-shrink", action="store_true",
+                         help="skip counterexample minimization")
+    p_coord.add_argument("--state", metavar="DIR", required=True,
+                         help="checkpoint directory (campaign state + "
+                              "in-round lease ledger); restarting with "
+                              "the same spec resumes — even after "
+                              "SIGKILL mid-round")
+    p_coord.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_coord.add_argument("--port", type=int, default=8347,
+                         help="port to serve on (default 8347; 0 picks "
+                              "an ephemeral port)")
+    p_coord.add_argument("--batch-size", type=int, default=8,
+                         help="campaign indices per lease (default 8)")
+    p_coord.add_argument("--lease-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="re-issue a leased batch this long after "
+                              "its grant (default 30)")
+    p_coord.add_argument("--heartbeat-timeout", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="treat a worker silent this long as dead "
+                              "and re-issue its leases (default 60)")
+    p_coord.add_argument("--batch-retries", type=int, default=3,
+                         metavar="N",
+                         help="attempts per batch before it is "
+                              "quarantined to the poison corpus "
+                              "(default 3)")
+    p_coord.add_argument("--report", metavar="PATH",
+                         help="write the merged PrecisionReport as JSON")
+    p_coord.add_argument("--markdown", metavar="PATH",
+                         help="write the merged PrecisionReport as "
+                              "markdown")
+    p_coord.add_argument("--corpus", metavar="PATH",
+                         help="write violations and mutation seeds to a "
+                              "JSON corpus file")
+    p_coord.add_argument("--top", type=int, default=10,
+                         help="operators shown in the ranking "
+                              "(default 10)")
+    _add_faults_flag(p_coord)
+    _add_obs_flags(p_coord)
+
+    p_work = sub.add_parser(
+        "work",
+        help="run a stateless distributed-campaign worker against a "
+             "coordinator",
+    )
+    p_work.add_argument("coordinator", metavar="URL",
+                        help="coordinator base URL, e.g. "
+                             "http://127.0.0.1:8347")
+    p_work.add_argument("--name", default=None,
+                        help="worker name for leases and heartbeats "
+                             "(default: <hostname>-<pid>)")
+    p_work.add_argument("--poll-interval", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="idle wait between lease polls when the "
+                             "coordinator has no grantable batch "
+                             "(default 0.2)")
+    _add_faults_flag(p_work)
+    _add_obs_flags(p_work)
+
     p_stats = sub.add_parser(
         "stats",
         help="render the observability artifacts of an --obs-dir run",
@@ -636,6 +716,9 @@ def _retry_policy(args) -> "Optional[object] | int":
         return RetryPolicy(
             max_attempts=args.batch_retries,
             lease_timeout_s=args.lease_timeout,
+            # Thread the campaign seed into the backoff jitter so chaos
+            # runs replay their exact retry schedule.
+            seed=getattr(args, "seed", 0),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1022,6 +1105,150 @@ def _install_stop_handlers(stop) -> "Callable[[], None]":
     return restore
 
 
+def _cmd_coordinate(args) -> int:
+    import threading
+    from pathlib import Path
+
+    from repro.api.dist import CoordinatorApi
+    from repro.eval import render_precision_markdown, render_precision_report
+    from repro.fuzz import (
+        CampaignSpec,
+        CampaignStateError,
+        Coordinator,
+        CoordinatorConfig,
+        RetryPolicy,
+    )
+
+    failed = _arm_faults(args)
+    if failed is not None:
+        return failed
+    try:
+        # workers=1 on purpose: the field is excluded from the campaign
+        # id (reports are fleet-size-independent), so any worker count
+        # may attach.
+        spec = CampaignSpec(
+            budget=args.budget,
+            rounds=args.rounds,
+            seed=args.seed,
+            workers=1,
+            profile=args.profile,
+            max_insns=args.max_insns,
+            ctx_size=args.ctx_size,
+            inputs_per_program=args.inputs,
+            mutate_fraction=args.mutate_fraction,
+            shrink=not args.no_shrink,
+        )
+        config = CoordinatorConfig(
+            batch_size=args.batch_size,
+            lease_timeout_s=args.lease_timeout,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            retry=RetryPolicy(
+                max_attempts=args.batch_retries, seed=args.seed
+            ),
+        )
+    except ValueError as exc:   # bad option values
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stop = threading.Event()
+    restore = _install_stop_handlers(stop)
+    try:
+        with _obs_session(args):
+            try:
+                coordinator = Coordinator(spec, args.state, config=config)
+            except CampaignStateError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            try:
+                server = CoordinatorApi(
+                    coordinator, host=args.host, port=args.port
+                ).start()
+            except OSError as exc:  # port in use, bad bind address
+                print(f"error: cannot bind {args.host}:{args.port}: "
+                      f"{exc.strerror or exc}", file=sys.stderr)
+                return 2
+            print(f"coordinate: {server.url}  "
+                  f"(POST /lease, POST /result, GET /round, /healthz, "
+                  f"/stats)", flush=True)
+            print(f"coordinate: campaign {coordinator.cid} "
+                  f"budget={args.budget} rounds={args.rounds} "
+                  f"seed={args.seed} state={args.state}", flush=True)
+            try:
+                while not coordinator.finished and not stop.wait(0.5):
+                    coordinator.tick()
+            except KeyboardInterrupt:
+                pass
+            finally:
+                server.stop()
+    finally:
+        restore()
+
+    result = coordinator.result()
+    if not coordinator.finished:
+        print(f"coordinate: interrupted after "
+              f"{result.stats.rounds_completed}/{args.rounds} rounds — "
+              f"rerun with the same --state to resume")
+        _print_obs_outputs(args)
+        return 0
+    print(result.stats.summary())
+    if result.quarantined:
+        print(f"quarantine: {len(result.quarantined)} poison "
+              f"batch(es) -> {args.state}/poison/")
+    print()
+    print(render_precision_report(result.report, top=args.top))
+    _print_violations(result.corpus)
+    if args.report:
+        # Identical bytes to `repro campaign --report` for the same
+        # spec — pinned by tests/fuzz/test_dist.py and CI dist-smoke.
+        Path(args.report).write_text(result.report.to_json() + "\n")
+        print(f"\nreport: JSON -> {args.report}")
+    if args.markdown:
+        Path(args.markdown).write_text(
+            render_precision_markdown(result.report, top=args.top) + "\n"
+        )
+        print(f"report: markdown -> {args.markdown}")
+    if args.corpus:
+        result.corpus.save(args.corpus)
+        print(f"corpus: {len(result.corpus)} entries -> {args.corpus}")
+    _print_obs_outputs(args)
+    return 0 if result.ok else 1
+
+
+def _cmd_work(args) -> int:
+    import threading
+
+    from repro.fuzz.dist import (
+        CoordinatorUnreachable,
+        DistProtocolError,
+        run_worker,
+    )
+
+    failed = _arm_faults(args)
+    if failed is not None:
+        return failed
+    stop = threading.Event()
+    restore = _install_stop_handlers(stop)
+    try:
+        with _obs_session(args):
+            try:
+                out = run_worker(
+                    args.coordinator,
+                    name=args.name,
+                    stop=stop,
+                    poll_interval_s=args.poll_interval,
+                )
+            except (CoordinatorUnreachable, DistProtocolError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    finally:
+        restore()
+    print(f"work: {out['worker']} executed {out['batches']} batch(es), "
+          f"{out['programs']} program(s), {out['errors']} error(s), "
+          f"{out['duplicates']} duplicate ack(s)")
+    _print_obs_outputs(args)
+    return 0
+
+
 def _cmd_stats(args) -> int:
     import json
     import time
@@ -1156,6 +1383,8 @@ _DISPATCH = {
     "campaign-diff": _cmd_campaign_diff,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "coordinate": _cmd_coordinate,
+    "work": _cmd_work,
     "stats": _cmd_stats,
 }
 

@@ -94,6 +94,17 @@ SITES: Dict[str, str] = {
         "a store read/write raises OSError",
     "store.io.slow":
         "a store read/write sleeps first (arg: seconds)",
+    "dist.rpc.slow":
+        "a dist worker RPC sleeps before being sent (arg: seconds)",
+    "dist.result.drop":
+        "a dist worker result POST is dropped before the send; the "
+        "worker retries with backoff",
+    "dist.result.duplicate":
+        "a dist worker result POST is sent twice; the coordinator "
+        "must deduplicate on the batch fingerprint",
+    "dist.heartbeat.stale":
+        "a dist worker sleeps before its next lease poll, so the "
+        "coordinator sees its heartbeat go stale (arg: seconds)",
 }
 
 _DEFAULT_ARGS: Dict[str, float] = {
@@ -101,6 +112,8 @@ _DEFAULT_ARGS: Dict[str, float] = {
     "verify.hang": 0.05,
     "service.verify.hang": 0.25,
     "store.io.slow": 0.05,
+    "dist.rpc.slow": 0.05,
+    "dist.heartbeat.stale": 1.0,
 }
 
 

@@ -44,6 +44,12 @@ Pipeline
     retry and exponential backoff, lease timeouts for wedged workers,
     and quarantine for batches that keep failing (see
     ``docs/resilience.md``).
+:mod:`~repro.fuzz.dist`
+    The same lease semantics across machines: a coordinator owns the
+    corpus and merged report; stateless workers lease batches over
+    HTTP.  Idempotent ingest and crash-proof checkpoints keep the
+    report byte-identical to a single-machine run (see
+    ``docs/distributed.md``).
 
 Quick start
 -----------
@@ -66,6 +72,7 @@ from .campaign import (
     run_precision_campaign,
 )
 from .corpus import Corpus, CorpusEntry
+from .dist import Coordinator, CoordinatorConfig, run_worker
 from .driver import (
     CampaignConfig,
     CampaignResult,
@@ -125,4 +132,7 @@ __all__ = [
     "LeaseOutcome",
     "run_leased_batches",
     "batch_indices",
+    "Coordinator",
+    "CoordinatorConfig",
+    "run_worker",
 ]

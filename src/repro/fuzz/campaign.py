@@ -68,6 +68,7 @@ __all__ = [
     "PrecisionCampaignStats",
     "PrecisionCampaignResult",
     "TransferCollector",
+    "merge_round_results",
     "run_precision_campaign",
 ]
 
@@ -653,9 +654,21 @@ def _record_quarantine(
         if state_path is not None:
             poison_dir = state_path / "poison"
             poison_dir.mkdir(parents=True, exist_ok=True)
+            # The attempt-count suffix (plus a collision bump) keeps a
+            # resume that re-quarantines the same batch from silently
+            # overwriting the earlier artifact — each quarantine event
+            # leaves its own file.
+            stem = (
+                f"round-{rnd:03d}-batch-{batch.batch_id:03d}"
+                f"-a{batch.attempts:02d}"
+            )
+            path = poison_dir / f"{stem}.json"
+            bump = 1
+            while path.exists():
+                bump += 1
+                path = poison_dir / f"{stem}.{bump}.json"
             _atomic_write(
-                poison_dir
-                / f"round-{rnd:03d}-batch-{batch.batch_id:03d}.json",
+                path,
                 json.dumps(payload, indent=2, sort_keys=True) + "\n",
             )
     return payloads
@@ -695,6 +708,128 @@ def _load_state(
         raise CampaignStateError(
             f"corrupt campaign state in {state_dir}: {exc}"
         )
+
+
+def merge_round_results(
+    spec: CampaignSpec,
+    stats: PrecisionCampaignStats,
+    report: PrecisionReport,
+    pool: List[str],
+    corpus: Corpus,
+    results: List[Dict],
+    verdict_cache: Optional[VerdictCache] = None,
+) -> None:
+    """Fold one completed round's results into the campaign state.
+
+    This is the campaign's determinism core, shared verbatim by the
+    single-machine loop and the distributed coordinator
+    (:mod:`repro.fuzz.dist`): results sort on their campaign index, the
+    report merges in that order, and mutation-seed admission follows
+    index order too — so the merged :class:`PrecisionReport` and the
+    next round's pool are byte-identical for any worker count, transport
+    (in-process pipes or HTTP), or kill schedule.  Results may have
+    round-tripped through JSON (the dist wire format and the campaign
+    checkpoint both do): every field this reads is JSON-stable.
+    """
+    results.sort(key=lambda r: r["index"])
+    if _obs.enabled():
+        registry = _obs.default_registry()
+        for res in results:
+            shard = res.pop("obs", None)
+            if shard is not None:
+                registry.merge_dict(shard)
+    if verdict_cache is not None:
+        # Absorb worker verdict shards in index order (keep-first on
+        # duplicates), so the resulting entry set is identical for
+        # any worker count.  Inline rounds mutate the cache directly
+        # and ship no shards.  A shard that fails to decode — a torn
+        # pipe payload, an injected campaign.shard.corrupt — is
+        # dropped whole (absorb is all-or-nothing): the cache is an
+        # accelerator, never report-bearing, so losing a shard costs
+        # re-verification, not correctness.
+        for res in results:
+            shard = res.pop("verdict_cache", None)
+            if shard is None:
+                continue
+            try:
+                verdict_cache.absorb(shard)
+            except (ValueError, KeyError, TypeError, IndexError):
+                if _obs.enabled():
+                    _obs.default_registry().counter(
+                        "campaign.shard_rejected"
+                    ).inc()
+
+    for res in results:
+        stats.containment_checks += res["checks"]
+        _merge_result(report, res)
+        if res["violations"]:
+            program = Program.from_bytes(bytes.fromhex(res["bytecode_hex"]))
+            shrunk = (
+                shrink_violation(spec, res["bytecode_hex"], res["seed"])
+                if spec.shrink
+                else None
+            )
+            corpus.add_violation(
+                program,
+                seed=res["seed"],
+                profile=spec.profile,
+                violation=res["violations"][0],
+                shrunk=shrunk,
+                note=f"index {res['index']} ({res['origin']})",
+            )
+
+    # Mutation-seed admission: shrunk rejected-but-clean programs
+    # first, then shrunk near-miss accepted programs, at most
+    # ``seeds_per_round`` in total, newest kept on overflow.  All
+    # choices follow index order, so the pool is identical whatever
+    # the worker count.
+    pool_set = set(pool)
+    admitted = 0
+    rejected_clean = [
+        r for r in results
+        if r["rejected_but_clean"] and "bytecode_hex" in r
+    ]
+    near_misses = [
+        r for r in results if r["near_miss"] and "bytecode_hex" in r
+    ]
+    # Both candidate lists are bounded *before* shrinking: each
+    # shrink costs up to 150 oracle evaluations, and pool-collision
+    # skips must not pull ever more candidates into that cost.
+    candidates = [
+        (res, "rejected-clean")
+        for res in rejected_clean[: spec.seed_shrink_per_round]
+    ] + [
+        (res, "near-miss")
+        for res in near_misses[: spec.seeds_per_round]
+    ]
+    for res, kind in candidates:
+        if admitted >= spec.seeds_per_round:
+            break
+        program = Program.from_bytes(bytes.fromhex(res["bytecode_hex"]))
+        seed_prog = _shrink_seed(spec, program, res["seed"], kind)
+        hex_code = seed_prog.to_bytes().hex()
+        if hex_code in pool_set:
+            continue
+        pool.append(hex_code)
+        pool_set.add(hex_code)
+        corpus.add_seed(
+            seed_prog, seed=res["seed"], profile=spec.profile,
+            note=f"{kind} index {res['index']} "
+                 f"(shrunk to {len(seed_prog)} insns)",
+        )
+        admitted += 1
+    stats.seeds_pooled += admitted
+    if len(pool) > spec.pool_limit:
+        del pool[: len(pool) - spec.pool_limit]
+
+    # Scalar counters derive from the (deterministic) report so the
+    # two never drift; only timing/checks live on stats alone.
+    stats.executed = report.programs
+    stats.accepted = report.accepted
+    stats.rejected = report.rejected
+    stats.rejected_clean = report.rejected_clean
+    stats.mutants = report.mutants
+    stats.violations = report.violations
 
 
 # -- the campaign loop ----------------------------------------------------------
@@ -805,105 +940,10 @@ def run_precision_campaign(
                 workers=1,
             ):
                 results = [_fuzz_one(index) for index in indices]
-        results.sort(key=lambda r: r["index"])
-        if _obs.enabled():
-            registry = _obs.default_registry()
-            for res in results:
-                shard = res.pop("obs", None)
-                if shard is not None:
-                    registry.merge_dict(shard)
-        if verdict_cache is not None:
-            # Absorb worker verdict shards in index order (keep-first on
-            # duplicates), so the resulting entry set is identical for
-            # any worker count.  Inline rounds mutate the cache directly
-            # and ship no shards.  A shard that fails to decode — a torn
-            # pipe payload, an injected campaign.shard.corrupt — is
-            # dropped whole (absorb is all-or-nothing): the cache is an
-            # accelerator, never report-bearing, so losing a shard costs
-            # re-verification, not correctness.
-            for res in results:
-                shard = res.pop("verdict_cache", None)
-                if shard is None:
-                    continue
-                try:
-                    verdict_cache.absorb(shard)
-                except (ValueError, KeyError, TypeError, IndexError):
-                    if _obs.enabled():
-                        _obs.default_registry().counter(
-                            "campaign.shard_rejected"
-                        ).inc()
-
-        for res in results:
-            stats.containment_checks += res["checks"]
-            _merge_result(report, res)
-            if res["violations"]:
-                program = Program.from_bytes(bytes.fromhex(res["bytecode_hex"]))
-                shrunk = (
-                    shrink_violation(spec, res["bytecode_hex"], res["seed"])
-                    if spec.shrink
-                    else None
-                )
-                corpus.add_violation(
-                    program,
-                    seed=res["seed"],
-                    profile=spec.profile,
-                    violation=res["violations"][0],
-                    shrunk=shrunk,
-                    note=f"index {res['index']} ({res['origin']})",
-                )
-
-        # Mutation-seed admission: shrunk rejected-but-clean programs
-        # first, then shrunk near-miss accepted programs, at most
-        # ``seeds_per_round`` in total, newest kept on overflow.  All
-        # choices follow index order, so the pool is identical whatever
-        # the worker count.
-        pool_set = set(pool)
-        admitted = 0
-        rejected_clean = [
-            r for r in results
-            if r["rejected_but_clean"] and "bytecode_hex" in r
-        ]
-        near_misses = [
-            r for r in results if r["near_miss"] and "bytecode_hex" in r
-        ]
-        # Both candidate lists are bounded *before* shrinking: each
-        # shrink costs up to 150 oracle evaluations, and pool-collision
-        # skips must not pull ever more candidates into that cost.
-        candidates = [
-            (res, "rejected-clean")
-            for res in rejected_clean[: spec.seed_shrink_per_round]
-        ] + [
-            (res, "near-miss")
-            for res in near_misses[: spec.seeds_per_round]
-        ]
-        for res, kind in candidates:
-            if admitted >= spec.seeds_per_round:
-                break
-            program = Program.from_bytes(bytes.fromhex(res["bytecode_hex"]))
-            seed_prog = _shrink_seed(spec, program, res["seed"], kind)
-            hex_code = seed_prog.to_bytes().hex()
-            if hex_code in pool_set:
-                continue
-            pool.append(hex_code)
-            pool_set.add(hex_code)
-            corpus.add_seed(
-                seed_prog, seed=res["seed"], profile=spec.profile,
-                note=f"{kind} index {res['index']} "
-                     f"(shrunk to {len(seed_prog)} insns)",
-            )
-            admitted += 1
-        stats.seeds_pooled += admitted
-        if len(pool) > spec.pool_limit:
-            del pool[: len(pool) - spec.pool_limit]
-
-        # Scalar counters derive from the (deterministic) report so the
-        # two never drift; only timing/checks live on stats alone.
-        stats.executed = report.programs
-        stats.accepted = report.accepted
-        stats.rejected = report.rejected
-        stats.rejected_clean = report.rejected_clean
-        stats.mutants = report.mutants
-        stats.violations = report.violations
+        merge_round_results(
+            spec, stats, report, pool, corpus, results,
+            verdict_cache=verdict_cache,
+        )
 
         stats.rounds_completed = rnd + 1
         rounds_this_call += 1

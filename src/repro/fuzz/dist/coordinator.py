@@ -1,0 +1,614 @@
+"""The coordinator: authoritative owner of one distributed campaign.
+
+Exactly one coordinator owns the corpus, the round schedule, and the
+merged :class:`~repro.eval.precision.PrecisionReport`.  Workers are
+stateless and expendable: they lease batches (:meth:`Coordinator.
+lease`), fuzz them locally, and report results (:meth:`Coordinator.
+ingest`).  Three invariants carry the design — see
+``docs/distributed.md`` for the full failure matrix:
+
+* **Leases expire, work never leaks.**  Every grant carries an
+  epoch-time deadline (`time.time`, so it survives a coordinator
+  restart).  A batch whose deadline passes — or whose worker's
+  heartbeat goes stale — is re-issued to the next worker that asks,
+  with the failed attempt counted against the batch exactly like the
+  single-machine lease runner counts it; a batch that keeps failing
+  quarantines to the same poison-corpus format.
+
+* **Ingest is idempotent.**  Results are keyed on the batch
+  fingerprint (:func:`~repro.fuzz.dist.protocol.batch_fingerprint`),
+  which excludes the attempt number: when a re-issued batch and its
+  presumed-dead original worker both report, the first report wins and
+  every later one is a counted duplicate.  Merge order is campaign
+  index order (:func:`~repro.fuzz.campaign.merge_round_results`, the
+  exact code path the single-machine campaign runs), so the merged
+  report is byte-identical for any worker count or kill schedule.
+
+* **Checkpoints are crash-proof.**  The coordinator writes its
+  in-round ledger (``round.json``) atomically after every lease grant
+  and every result merge, and the cross-round campaign state
+  (``state.json``/``corpus.json``) after every merged round — all via
+  the campaign's temp+rename writer.  A SIGKILLed coordinator resumes
+  from those files without double-granting a live lease (deadlines are
+  epoch time) and without losing a completed batch (done results live
+  in the ledger).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro import obs as _obs
+from repro.eval.precision import PrecisionReport
+from repro.fuzz.campaign import (
+    CampaignSpec,
+    PrecisionCampaignResult,
+    PrecisionCampaignStats,
+    _atomic_write,
+    _load_state,
+    _record_quarantine,
+    _round_budgets,
+    _save_state,
+    merge_round_results,
+)
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.resilience import QuarantinedBatch, RetryPolicy, lease_expired
+
+from .protocol import (
+    DIST_SCHEMA_VERSION,
+    batch_fingerprint,
+    campaign_id,
+    slice_batches,
+    validate_batch_results,
+)
+
+__all__ = ["CoordinatorConfig", "Coordinator"]
+
+_ROUND_FILE = "round.json"
+_ROUND_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Runtime knobs of one coordinator — deliberately *outside* the
+    :class:`~repro.fuzz.campaign.CampaignSpec`: none of these change
+    the report, so a campaign may resume under a different config.
+
+    ``retry`` reuses the single-machine :class:`RetryPolicy` for the
+    attempt budget, backoff-with-jitter schedule, and the fault-free
+    final attempt that bounds injected chaos; only the lease timeout is
+    dist-specific (wall-clock seconds a worker gets per batch, where
+    the local runner's timeout is per in-process lease).
+    """
+
+    batch_size: int = 8
+    lease_timeout_s: float = 30.0
+    #: a worker silent this long has its leases treated as failed even
+    #: before they expire — a stale heartbeat is a cheaper signal than
+    #: a full lease timeout when batches are long.
+    heartbeat_timeout_s: float = 60.0
+    #: advisory wait returned to a worker when no batch is grantable.
+    poll_interval_s: float = 0.25
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+
+
+@dataclass
+class _Batch:
+    """One ledger row: a batch and everything its lease history did."""
+
+    batch_id: int
+    indices: List[int]
+    fingerprint: str
+    status: str = "pending"   # pending | leased | done | quarantined
+    attempt: int = 0
+    worker: Optional[str] = None
+    #: epoch seconds (``time.time``) — survives a coordinator restart.
+    deadline: Optional[float] = None
+    not_before: float = 0.0
+    failures: List[Dict] = field(default_factory=list)
+    results: Optional[List[Dict]] = None
+
+    def to_payload(self) -> Dict:
+        return {
+            "batch_id": self.batch_id,
+            "indices": list(self.indices),
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "attempt": self.attempt,
+            "worker": self.worker,
+            "deadline": self.deadline,
+            "not_before": self.not_before,
+            "failures": list(self.failures),
+            "results": self.results,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "_Batch":
+        return cls(
+            batch_id=int(payload["batch_id"]),
+            indices=[int(i) for i in payload["indices"]],
+            fingerprint=str(payload["fingerprint"]),
+            status=str(payload["status"]),
+            attempt=int(payload["attempt"]),
+            worker=payload.get("worker"),
+            deadline=payload.get("deadline"),
+            not_before=float(payload.get("not_before", 0.0)),
+            failures=list(payload.get("failures", [])),
+            results=payload.get("results"),
+        )
+
+
+class Coordinator:
+    """Lease scheduler + idempotent ingest + crash-proof checkpoints.
+
+    Thread-safe: every public method takes the coordinator lock, so the
+    HTTP layer (:class:`repro.api.dist.CoordinatorApi`) can call in
+    from many handler threads.  ``clock`` is injectable (epoch seconds)
+    so tests drive lease expiry and heartbeat staleness without
+    sleeping; the default is ``time.time`` precisely because epoch
+    deadlines survive a coordinator restart where monotonic ones
+    would not.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        state_dir: "str | Path",
+        config: Optional[CoordinatorConfig] = None,
+        corpus: Optional[Corpus] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.spec = spec
+        self.config = config or CoordinatorConfig()
+        self.clock = clock
+        self.cid = campaign_id(spec)
+        self.state_path = Path(state_dir)
+        self.state_path.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._workers: Dict[str, float] = {}
+        self._counters: Dict[str, int] = {}
+        self._quarantined_payloads: List[Dict] = []
+        self._started = time.perf_counter()
+
+        loaded = _load_state(self.state_path, spec)
+        if loaded is not None:
+            self.stats, self.report, self.pool, self.corpus = loaded
+        else:
+            self.stats = PrecisionCampaignStats(budget=spec.budget)
+            self.report = PrecisionReport()
+            self.pool: List[str] = []
+            self.corpus = corpus if corpus is not None else Corpus()
+
+        self._batches: List[_Batch] = []
+        self._by_fp: Dict[str, _Batch] = {}
+        self._round = self.stats.rounds_completed
+        if not self.finished and not self._load_round():
+            self._new_round()
+
+    # -- round lifecycle ---------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.stats.rounds_completed >= self.spec.rounds
+
+    def _new_round(self) -> None:
+        rnd = self.stats.rounds_completed
+        budgets = _round_budgets(self.spec)
+        start = sum(budgets[:rnd])
+        indices = range(start, start + budgets[rnd])
+        self._round = rnd
+        self._batches = [
+            _Batch(
+                batch_id=bid,
+                indices=batch,
+                fingerprint=batch_fingerprint(self.cid, rnd, bid, batch),
+            )
+            for bid, batch in enumerate(
+                slice_batches(indices, self.config.batch_size)
+            )
+        ]
+        self._by_fp = {b.fingerprint: b for b in self._batches}
+        self._checkpoint_round()
+
+    def _load_round(self) -> bool:
+        """Restore the in-round ledger; False means rebuild from scratch.
+
+        The ledger is *derived* state: discarding a corrupt or stale one
+        only re-runs work (deterministically — same indices, same
+        streams), it can never change the report.  A loaded ledger keeps
+        its own batch layout even if ``batch_size`` changed since: the
+        fingerprints already granted must keep matching.
+        """
+        path = self.state_path / _ROUND_FILE
+        if not path.exists():
+            return False
+        rnd = self.stats.rounds_completed
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format_version") != _ROUND_FORMAT_VERSION:
+                return False
+            if payload.get("campaign_id") != self.cid:
+                return False
+            if payload.get("round") != rnd:
+                return False
+            batches = [_Batch.from_payload(b) for b in payload["batches"]]
+        except (ValueError, KeyError, TypeError):
+            return False
+        budgets = _round_budgets(self.spec)
+        start = sum(budgets[:rnd])
+        expected = list(range(start, start + budgets[rnd]))
+        covered = sorted(i for b in batches for i in b.indices)
+        if covered != expected:
+            return False
+        for b in batches:
+            if b.fingerprint != batch_fingerprint(
+                self.cid, rnd, b.batch_id, b.indices
+            ):
+                return False
+        self._round = rnd
+        self._batches = batches
+        self._by_fp = {b.fingerprint: b for b in batches}
+        now = self.clock()
+        for b in batches:
+            if b.status == "leased" and b.worker is not None:
+                # Start the absent worker's heartbeat clock at resume:
+                # if it is alive it will poll and refresh; if it died
+                # with the coordinator, staleness (or the persisted
+                # epoch deadline) reclaims the lease.
+                self._workers.setdefault(b.worker, now)
+            elif b.status == "quarantined":
+                # Re-count in-round quarantines lost with the in-memory
+                # stats (state.json only reflects merged rounds).  The
+                # poison artifact was already written pre-crash, so the
+                # payload regenerates with no state path — no duplicate
+                # file, no suffix bump.
+                self.stats.quarantined += 1
+                self._quarantined_payloads.extend(_record_quarantine(
+                    None, rnd, self.spec, tuple(self.pool),
+                    [QuarantinedBatch(
+                        batch_id=b.batch_id,
+                        indices=list(b.indices),
+                        attempts=b.attempt,
+                        fingerprints=list(b.failures),
+                    )],
+                ))
+        return True
+
+    def _checkpoint_round(self) -> None:
+        payload = {
+            "format_version": _ROUND_FORMAT_VERSION,
+            "campaign_id": self.cid,
+            "round": self._round,
+            "batches": [b.to_payload() for b in self._batches],
+        }
+        _atomic_write(
+            self.state_path / _ROUND_FILE,
+            json.dumps(payload, sort_keys=True) + "\n",
+        )
+        self._count("checkpoints")
+
+    def _maybe_finish_round(self) -> None:
+        """Merge a fully-settled round; idempotent across crashes.
+
+        If the coordinator dies between marking the last batch done and
+        writing ``state.json``, the resume reloads the done ledger and
+        re-merges — same results in the same index order, so the same
+        bytes."""
+        if self.finished or not self._batches:
+            return
+        if any(b.status in ("pending", "leased") for b in self._batches):
+            return
+        results = [
+            res
+            for b in self._batches if b.status == "done"
+            for res in b.results or ()
+        ]
+        merge_round_results(
+            self.spec, self.stats, self.report, self.pool, self.corpus,
+            results,
+        )
+        self.stats.rounds_completed = self._round + 1
+        now_pc = time.perf_counter()
+        self.stats.elapsed_seconds += now_pc - self._started
+        self._started = now_pc
+        _save_state(
+            self.state_path, self.spec, self.stats, self.report, self.pool,
+            self.corpus,
+        )
+        self._count("rounds_merged")
+        if _obs.enabled():
+            _obs.publish_heartbeat({
+                "phase": "dist-coordinator",
+                "round": self.stats.rounds_completed,
+                "rounds": self.spec.rounds,
+                "budget": self.spec.budget,
+                "executed": self.stats.executed,
+                "violations": self.stats.violations,
+                "retries": self.stats.retries,
+                "quarantined": self.stats.quarantined,
+                "workers": len(self._workers),
+            }, force=True)
+        if self.finished:
+            # The stale round.json self-invalidates on load (its round
+            # number is behind rounds_completed), so nothing to delete.
+            self._batches = []
+            self._by_fp = {}
+        else:
+            self._new_round()
+
+    # -- the lease side ----------------------------------------------------
+
+    def lease(self, worker: str) -> Dict:
+        """Grant the next batch to ``worker`` (its heartbeat refreshes).
+
+        Expired and heartbeat-stale leases are reclaimed here, lazily —
+        the coordinator needs no timer thread because nothing can
+        progress without some worker asking for work anyway (the CLI
+        loop also calls :meth:`tick` as a belt-and-braces sweep).
+        """
+        with self._lock:
+            now = self.clock()
+            self._workers[worker] = now
+            base = {
+                "schema_version": DIST_SCHEMA_VERSION,
+                "campaign_id": self.cid,
+            }
+            while True:
+                self._maybe_finish_round()
+                if self.finished:
+                    return {**base, "done": True}
+                batch = self._next_ready(now, worker)
+                if batch is not None:
+                    batch.status = "leased"
+                    batch.worker = worker
+                    batch.deadline = now + self.config.lease_timeout_s
+                    self._count("leases_granted")
+                    self._checkpoint_round()
+                    retry = self.config.retry
+                    inject = not (
+                        retry.fault_free_final_attempt
+                        and batch.attempt == retry.max_attempts - 1
+                    )
+                    return {
+                        **base,
+                        "round": self._round,
+                        "batch": {
+                            "batch_id": batch.batch_id,
+                            "indices": list(batch.indices),
+                            "attempt": batch.attempt,
+                            "fingerprint": batch.fingerprint,
+                            "inject": inject,
+                        },
+                    }
+                if not self._reclaim_one(now):
+                    return {**base, "wait": self.config.poll_interval_s}
+
+    def _next_ready(self, now: float, worker: str) -> Optional[_Batch]:
+        """First grantable batch, preferring one this worker has not
+        already failed — repeated failures should cross distinct workers
+        before a batch quarantines, when the fleet allows it."""
+        ready = [
+            b for b in self._batches
+            if b.status == "pending" and b.not_before <= now
+        ]
+        for b in ready:
+            last = b.failures[-1].get("worker") if b.failures else None
+            if last != worker:
+                return b
+        return ready[0] if ready else None
+
+    def _reclaim_one(self, now: float) -> bool:
+        """Fail one expired or heartbeat-stale lease; True if any was."""
+        for b in self._batches:
+            if b.status != "leased":
+                continue
+            if lease_expired(b.deadline, now):
+                self._count("leases_expired")
+                self._fail(
+                    b, "timeout",
+                    f"lease exceeded {self.config.lease_timeout_s}s", now,
+                )
+                return True
+            last_seen = self._workers.get(b.worker or "", now)
+            if now - last_seen > self.config.heartbeat_timeout_s:
+                self._count("heartbeats_stale")
+                self._fail(
+                    b, "stale",
+                    f"worker {b.worker} silent for "
+                    f"{now - last_seen:.1f}s", now,
+                )
+                return True
+        return False
+
+    def _fail(
+        self, batch: _Batch, kind: str, detail: object, now: float
+    ) -> None:
+        """One lease attempt failed: retry with backoff or quarantine.
+
+        Mirrors the single-machine runner's ``fail_lease`` — same
+        attempt arithmetic, same fingerprint shape (plus the worker
+        name), same poison-corpus artifact on exhaustion."""
+        batch.failures.append(
+            {"kind": kind, "detail": detail, "worker": batch.worker}
+        )
+        batch.worker = None
+        batch.deadline = None
+        retry = self.config.retry
+        next_attempt = batch.attempt + 1
+        if next_attempt >= retry.max_attempts:
+            batch.status = "quarantined"
+            batch.attempt = next_attempt
+            batch.results = None
+            self.stats.quarantined += 1
+            self._count("batches_quarantined")
+            self._quarantined_payloads.extend(_record_quarantine(
+                self.state_path, self._round, self.spec, tuple(self.pool),
+                [QuarantinedBatch(
+                    batch_id=batch.batch_id,
+                    indices=list(batch.indices),
+                    attempts=next_attempt,
+                    fingerprints=list(batch.failures),
+                )],
+            ))
+        else:
+            batch.status = "pending"
+            batch.attempt = next_attempt
+            batch.not_before = now + retry.backoff_s(
+                next_attempt, key=(batch.batch_id,)
+            )
+            self.stats.retries += 1
+            self._count("leases_retried")
+        self._checkpoint_round()
+
+    # -- the ingest side ---------------------------------------------------
+
+    def ingest(self, payload: Dict) -> Dict:
+        """Idempotently absorb one worker report; returns a status dict.
+
+        Statuses: ``accepted`` (first valid report for the
+        fingerprint), ``duplicate`` (the batch is already done —
+        the re-issue/late-report race, resolved first-wins),
+        ``stale`` (unknown fingerprint, quarantined batch, or a
+        failure report for a superseded attempt — counted and
+        ignored), ``retrying``/``quarantined`` (a failure or invalid
+        result set, charged against the batch's attempts).
+        """
+        with self._lock:
+            now = self.clock()
+            worker = payload.get("worker")
+            if isinstance(worker, str) and worker:
+                self._workers[worker] = now
+            base = {
+                "schema_version": DIST_SCHEMA_VERSION,
+                "campaign_id": self.cid,
+            }
+            batch = self._by_fp.get(payload.get("fingerprint"))
+            if batch is None or batch.status == "quarantined":
+                self._count("results_stale")
+                return {**base, "status": "stale"}
+            if batch.status == "done":
+                self._count("results_duplicate")
+                return {**base, "status": "duplicate"}
+            if not payload.get("ok", False):
+                # A failure report only counts against the *current*
+                # lease: a late error from a superseded attempt is
+                # stale (its expiry was already charged), and failing
+                # the batch now would clobber the live re-issue.
+                if (
+                    batch.status == "leased"
+                    and payload.get("attempt") == batch.attempt
+                ):
+                    self._count("results_failed")
+                    self._fail(batch, "error", payload.get("error"), now)
+                    return {**base, "status": (
+                        "quarantined" if batch.status == "quarantined"
+                        else "retrying"
+                    )}
+                self._count("results_stale")
+                return {**base, "status": "stale"}
+            try:
+                results = validate_batch_results(
+                    batch.indices, payload.get("results")
+                )
+            except ValueError as exc:
+                self._count("results_rejected")
+                self._fail(batch, "error", f"rejected result set: {exc}", now)
+                return {**base, "status": (
+                    "quarantined" if batch.status == "quarantined"
+                    else "retrying"
+                )}
+            # First valid report wins — even from a worker whose lease
+            # expired (its work is correct; the attempt bookkeeping is
+            # not report-bearing), even while a re-issue is in flight
+            # (the re-issued worker's report will be the duplicate).
+            batch.status = "done"
+            batch.results = results
+            batch.worker = None
+            batch.deadline = None
+            self._count("results_merged")
+            self._checkpoint_round()
+            self._maybe_finish_round()
+            return {**base, "status": "accepted"}
+
+    # -- observation and driving -------------------------------------------
+
+    def tick(self) -> None:
+        """Reclaim expired/stale leases and merge a settled round.
+
+        The CLI loop calls this periodically so a fully dead fleet
+        still gets its leases reclaimed (and its quarantines recorded)
+        without any worker polling."""
+        with self._lock:
+            now = self.clock()
+            while self._reclaim_one(now):
+                pass
+            self._maybe_finish_round()
+
+    def round_info(self) -> Dict:
+        """What a worker needs to execute this round's leases: the spec
+        and the round's mutation-seed pool (refetched per round)."""
+        with self._lock:
+            return {
+                "schema_version": DIST_SCHEMA_VERSION,
+                "campaign_id": self.cid,
+                "finished": self.finished,
+                "round": self._round,
+                "rounds": self.spec.rounds,
+                "spec": asdict(self.spec),
+                "pool": list(self.pool),
+            }
+
+    def stats_payload(self) -> Dict:
+        with self._lock:
+            now = self.clock()
+            by_status: Dict[str, int] = {
+                "pending": 0, "leased": 0, "done": 0, "quarantined": 0,
+            }
+            for b in self._batches:
+                by_status[b.status] = by_status.get(b.status, 0) + 1
+            return {
+                "schema_version": DIST_SCHEMA_VERSION,
+                "campaign_id": self.cid,
+                "finished": self.finished,
+                "round": self._round,
+                "rounds": self.spec.rounds,
+                "budget": self.spec.budget,
+                "batches": by_status,
+                "workers": {
+                    name: round(now - seen, 3)
+                    for name, seen in sorted(self._workers.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+                "stats": {
+                    "executed": self.stats.executed,
+                    "violations": self.stats.violations,
+                    "retries": self.stats.retries,
+                    "quarantined": self.stats.quarantined,
+                    "rounds_completed": self.stats.rounds_completed,
+                },
+            }
+
+    def result(self) -> PrecisionCampaignResult:
+        with self._lock:
+            return PrecisionCampaignResult(
+                self.stats, self.corpus, self.report, self.pool,
+                quarantined=list(self._quarantined_payloads),
+            )
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+        if _obs.enabled():
+            _obs.default_registry().counter(f"dist.{name}").inc(n)

@@ -32,12 +32,13 @@ unchanged from the ``Pool`` era.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro import faults as _faults
 from repro import obs as _obs
@@ -48,6 +49,7 @@ __all__ = [
     "LeaseOutcome",
     "run_leased_batches",
     "batch_indices",
+    "lease_expired",
 ]
 
 #: ``task(indices, attempt, inject_ok) -> [result, ...]`` — must be a
@@ -65,6 +67,14 @@ class RetryPolicy:
     injected chaos is bounded so a chaos campaign deterministically
     converges to the fault-free report; real faults still exhaust the
     attempts and quarantine.
+
+    ``jitter`` desynchronizes retry storms: a crash that takes out many
+    workers at once would otherwise have every batch retry on the exact
+    same ``base * 2^(attempt-1)`` schedule.  Each delay is scaled into
+    ``[delay * (1 - jitter), delay]`` by a hash of ``(seed, key,
+    attempt)`` — never wall clock, never a shared RNG — so chaos runs
+    stay exactly reproducible (``seed`` is threaded from the campaign
+    seed by the CLI).
     """
 
     max_attempts: int = 3
@@ -72,20 +82,36 @@ class RetryPolicy:
     backoff_base_s: float = 0.05
     backoff_max_s: float = 2.0
     fault_free_final_attempt: bool = True
+    jitter: float = 0.5
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.lease_timeout_s is not None and self.lease_timeout_s <= 0:
             raise ValueError("lease_timeout_s must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
 
-    def backoff_s(self, attempt: int) -> float:
-        """Delay before attempt ``attempt`` (0 for the first run)."""
+    def backoff_s(self, attempt: int, key: Iterable[object] = ()) -> float:
+        """Delay before attempt ``attempt`` (0 for the first run).
+
+        ``key`` scopes the jitter (batch id, worker name, ...): distinct
+        keys back off at distinct points inside the jitter window.
+        """
         if attempt <= 0:
             return 0.0
-        return min(
+        delay = min(
             self.backoff_base_s * (2.0 ** (attempt - 1)), self.backoff_max_s
         )
+        if self.jitter <= 0.0:
+            return delay
+        digest = hashlib.blake2b(
+            f"{self.seed}|backoff|{tuple(key)!r}|{attempt}".encode(),
+            digest_size=8,
+        ).digest()
+        fraction = int.from_bytes(digest, "big") / float(1 << 64)
+        return delay * (1.0 - self.jitter * fraction)
 
 
 @dataclass
@@ -118,6 +144,17 @@ class LeaseOutcome:
     crashes: int = 0
     timeouts: int = 0
     errors: int = 0
+
+
+def lease_expired(deadline: Optional[float], now: float) -> bool:
+    """Has a lease with ``deadline`` expired at ``now``?
+
+    The boundary is deliberately *exclusive*: a result arriving exactly
+    at the deadline is still inside the lease.  Shared by this runner
+    and the distributed coordinator (:mod:`repro.fuzz.dist`) so the two
+    lease semantics cannot drift.
+    """
+    return deadline is not None and now > deadline
 
 
 def batch_indices(indices: Sequence[int], workers: int) -> List[List[int]]:
@@ -262,7 +299,8 @@ def run_leased_batches(
                 _obs.default_registry().counter("campaign.retries").inc()
             pending.append((
                 batch_id, next_attempt,
-                time.monotonic() + policy.backoff_s(next_attempt),
+                time.monotonic()
+                + policy.backoff_s(next_attempt, key=(batch_id,)),
             ))
 
     def retire(worker: _Worker, kind: str, detail: object) -> None:
@@ -383,10 +421,7 @@ def run_leased_batches(
             now = time.monotonic()
             for worker in list(pool):
                 lease = worker.lease
-                if (
-                    lease is not None and lease[2] is not None
-                    and now > lease[2]
-                ):
+                if lease is not None and lease_expired(lease[2], now):
                     worker.process.kill()
                     retire(
                         worker, "timeout",

@@ -222,3 +222,31 @@ class TestReadEndpoints:
             text = response.read().decode()
         assert "repro_api_requests_total" in text
         assert "repro_api_cache_hits_total" in text
+
+
+class TestFaultsEcho:
+    """An armed chaos plan is visible on the service surface: operators
+    must be able to tell a chaos run from an outage at a glance."""
+
+    @pytest.fixture(autouse=True)
+    def disarmed(self):
+        from repro import faults
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_healthz_and_stats_echo_the_armed_plan(self, server):
+        from repro import faults
+        faults.arm("seed=11,service.verify.hang=0.25:0.1")
+        _, health = get(server, "/healthz")
+        assert health["faults"] == {
+            "spec": "seed=11,service.verify.hang=0.25:0.1", "seed": 11,
+        }
+        _, stats = get(server, "/stats")
+        assert stats["faults"]["seed"] == 11
+
+    def test_no_echo_when_disarmed(self, server):
+        _, health = get(server, "/healthz")
+        assert "faults" not in health
+        _, stats = get(server, "/stats")
+        assert "faults" not in stats

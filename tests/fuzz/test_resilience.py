@@ -18,6 +18,7 @@ from repro.fuzz.resilience import (
     QuarantinedBatch,
     RetryPolicy,
     batch_indices,
+    lease_expired,
     run_leased_batches,
 )
 
@@ -57,17 +58,38 @@ def _hang_task(indices, attempt, inject):
 
 class TestRetryPolicy:
     def test_backoff_doubles_and_caps(self):
-        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=0.35)
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_max_s=0.35, jitter=0.0
+        )
         assert policy.backoff_s(0) == 0.0
         assert policy.backoff_s(1) == pytest.approx(0.1)
         assert policy.backoff_s(2) == pytest.approx(0.2)
         assert policy.backoff_s(3) == pytest.approx(0.35)   # capped
+
+    def test_jitter_stays_inside_the_window_and_desynchronizes(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_max_s=10.0,
+                             jitter=0.5, seed=42)
+        delays = [policy.backoff_s(2, key=(b,)) for b in range(32)]
+        # Every delay lands in [delay * (1 - jitter), delay] ...
+        assert all(0.1 <= d <= 0.2 for d in delays)
+        # ... and distinct batches land at distinct points (no storm).
+        assert len(set(delays)) > 16
+
+    def test_jitter_is_deterministic_per_seed_and_key(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        c = RetryPolicy(seed=8)
+        assert a.backoff_s(3, key=(5,)) == b.backoff_s(3, key=(5,))
+        assert a.backoff_s(3, key=(5,)) != c.backoff_s(3, key=(5,))
+        assert a.backoff_s(3, key=(5,)) != a.backoff_s(3, key=(6,))
 
     def test_validation(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(lease_timeout_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
 
 
 class TestBatchIndices:
@@ -232,3 +254,22 @@ class TestDriverChaos:
         for field in ("executed", "accepted", "rejected", "rejected_clean",
                       "violations", "containment_checks"):
             assert getattr(chaos.stats, field) == getattr(base.stats, field)
+
+
+class TestLeaseExpiry:
+    """The boundary both lease schedulers share: expiry is strictly
+    *after* the deadline (a result landing exactly at the deadline is
+    still inside the lease).  The distributed coordinator pins the same
+    semantics end to end in tests/fuzz/test_dist.py."""
+
+    def test_no_deadline_never_expires(self):
+        assert not lease_expired(None, 1e12)
+
+    def test_before_the_deadline(self):
+        assert not lease_expired(100.0, 99.999)
+
+    def test_exactly_at_the_deadline_is_not_expired(self):
+        assert not lease_expired(100.0, 100.0)
+
+    def test_just_after_the_deadline_is_expired(self):
+        assert lease_expired(100.0, 100.001)

@@ -557,3 +557,81 @@ class TestBenchMarkdown:
         assert "### Throughput vs committed baseline" in text
         assert "| metric |" in text
         assert "driver_mixed" in text
+
+
+class TestDistCli:
+    def test_coordinate_requires_state(self):
+        with pytest.raises(SystemExit) as err:
+            main(["coordinate", "--budget", "4"])
+        assert err.value.code == 2
+
+    def test_work_requires_coordinator_url(self):
+        with pytest.raises(SystemExit) as err:
+            main(["work"])
+        assert err.value.code == 2
+
+    def test_coordinate_rejects_bad_batch_size(self, tmp_path, capsys):
+        assert main([
+            "coordinate", "--budget", "4", "--state", str(tmp_path / "s"),
+            "--batch-size", "0",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_retry_policy_threads_the_campaign_seed(self):
+        import argparse
+
+        from repro.cli import _retry_policy
+
+        policy = _retry_policy(argparse.Namespace(
+            batch_retries=4, lease_timeout=None, seed=9,
+        ))
+        assert policy.max_attempts == 4
+        assert policy.seed == 9
+        # Distinct seeds give distinct jittered schedules.
+        other = _retry_policy(argparse.Namespace(
+            batch_retries=4, lease_timeout=None, seed=10,
+        ))
+        assert policy.backoff_s(2, key=(1,)) != other.backoff_s(2, key=(1,))
+
+    def test_coordinate_and_work_end_to_end(self, tmp_path):
+        import os
+        import subprocess
+        import sys as _sys
+
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        report = tmp_path / "dist.json"
+        coordinator = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "coordinate",
+             "--budget", "8", "--rounds", "1", "--seed", "3",
+             "--no-shrink", "--max-insns", "8", "--inputs", "2",
+             "--state", str(tmp_path / "state"), "--port", "0",
+             "--batch-size", "4", "--report", str(report)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            banner = coordinator.stdout.readline()
+            assert "coordinate: http://" in banner
+            url = banner.split()[1]
+            worker = subprocess.run(
+                [_sys.executable, "-m", "repro", "work", url,
+                 "--name", "cli-w1", "--poll-interval", "0.05"],
+                capture_output=True, text=True, env=env, timeout=300,
+            )
+            out, _ = coordinator.communicate(timeout=300)
+        finally:
+            if coordinator.poll() is None:
+                coordinator.kill()
+                coordinator.communicate()
+        assert coordinator.returncode == 0, out
+        assert "programs" in out           # stats summary printed
+        assert report.exists()
+        payload = json.loads(report.read_text())
+        assert payload                      # a real PrecisionReport
+        # The worker either finished cleanly or lost a final poll race
+        # against coordinator shutdown — both are fine for a tiny run.
+        assert worker.returncode in (0, 2), worker.stderr
+        if worker.returncode == 0:
+            assert "work: cli-w1 executed" in worker.stdout
